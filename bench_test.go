@@ -1,0 +1,295 @@
+// Benchmarks regenerating the paper's tables and figures (DESIGN.md §4):
+// one benchmark per experiment, each at reduced scale so the full suite
+// completes in minutes. Savings percentages are reported as custom
+// metrics; cmd/perseus-tables -scale full regenerates everything at the
+// paper's parameters.
+package perseus
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"perseus/internal/experiments"
+	"perseus/internal/frontier"
+	"perseus/internal/gpu"
+	"perseus/internal/maxflow"
+)
+
+// benchScale keeps each experiment iteration around a second.
+var benchScale = experiments.Scale{MaxMicrobatches: 8, TargetSteps: 200}
+
+func reportSavings(b *testing.B, tab *experiments.Table, col int, metric string) {
+	b.Helper()
+	var sum float64
+	var n int
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), metric)
+	}
+}
+
+func BenchmarkTable1ImbalanceRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure1(io.Discard, "gpt3-1.3b", benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPotentialSavings(b *testing.B) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.PotentialSavings(gpu.A100PCIe, experiments.A100Workloads()[:2], benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSavings(b, tab, 1, "potential-%")
+}
+
+func benchTable3(b *testing.B, g *gpu.Model, cfgs []experiments.WorkloadConfig) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Table3(g, cfgs[:2], benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSavings(b, tab, 1, "perseus-%")
+	reportSavings(b, tab, 2, "envpipe-%")
+}
+
+func BenchmarkTable3IntrinsicA100(b *testing.B) {
+	benchTable3(b, gpu.A100PCIe, experiments.A100Workloads())
+}
+
+func BenchmarkTable3IntrinsicA40(b *testing.B) {
+	benchTable3(b, gpu.A40, experiments.A40Workloads())
+}
+
+func benchTable4(b *testing.B, g *gpu.Model, cfgs []experiments.WorkloadConfig) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Table4(g, cfgs[:1], benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Column for slowdown 1.2 (third slowdown in the header).
+	reportSavings(b, tab, 4, "savings-at-1.2-%")
+}
+
+func BenchmarkTable4StragglerA100(b *testing.B) {
+	benchTable4(b, gpu.A100PCIe, experiments.A100Workloads())
+}
+
+func BenchmarkTable4StragglerA40(b *testing.B) {
+	benchTable4(b, gpu.A40, experiments.A40Workloads())
+}
+
+func BenchmarkTable6Emulation(b *testing.B) {
+	// One emulation cell: Bloom 176B at the smallest Table 5 point.
+	for i := 0; i < b.N; i++ {
+		sys, err := experiments.BuildSystem(experiments.WorkloadConfig{
+			Display: "Bloom 176B", Model: "bloom-176b", Stages: 8,
+			MicrobatchSize: 1, Microbatches: 12, TensorParallel: 8,
+		}, gpu.A100SXM, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.SimulatePlan(sys.PerseusPlan(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*(1-res.Energy/sys.Base.Energy), "intrinsic-%")
+		}
+	}
+}
+
+func BenchmarkFigure7Breakdown(b *testing.B) {
+	// One breakdown cell (GPT-3 175B on A100) instead of the full grid.
+	for i := 0; i < b.N; i++ {
+		sys, err := experiments.BuildSystem(experiments.WorkloadConfig{
+			Display: "GPT-3 175B", Model: "gpt3-175b", Stages: 8,
+			MicrobatchSize: 1, Microbatches: 12, TensorParallel: 8,
+		}, gpu.A100SXM, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		intrinsic, both, err := sys.StragglerBreakdown(16, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*intrinsic, "intrinsic-%")
+			b.ReportMetric(100*both, "intrinsic+extrinsic-%")
+		}
+	}
+}
+
+func BenchmarkFigure8StragglerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8("bloom-176b", "Bloom 176B", gpu.A100SXM,
+			experiments.Scale{MaxMicrobatches: 8, TargetSteps: 150}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9Frontiers(b *testing.B) {
+	panel := experiments.Figure9Configs()[0]
+	for i := 0; i < b.N; i++ {
+		sys, err := experiments.BuildSystem(panel.Config, panel.GPU, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.FrontierComparison(sys, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11Fit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12Frontiers(b *testing.B) {
+	cfg := experiments.A40Workloads()[1] // BERT on A40, 8 stages
+	for i := 0; i < b.N; i++ {
+		sys, err := experiments.BuildSystem(cfg, gpu.A40, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.FrontierComparison(sys, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13Frontiers(b *testing.B) {
+	cfg := experiments.A100Workloads()[1] // BERT on A100, 4 stages
+	for i := 0; i < b.N; i++ {
+		sys, err := experiments.BuildSystem(cfg, gpu.A100PCIe, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.FrontierComparison(sys, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizerRuntime(b *testing.B) {
+	// §6.5: frontier characterization cost for the GPT-3 A100 workload.
+	cfg := experiments.A100Workloads()[0]
+	for i := 0; i < b.N; i++ {
+		sys, err := experiments.BuildSystem(cfg, gpu.A100PCIe,
+			experiments.Scale{MaxMicrobatches: 16, TargetSteps: 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(sys.Frontier.Points())), "frontier-points")
+	}
+}
+
+func BenchmarkScheduleLookup(b *testing.B) {
+	// §6.5: "Looking up the optimal energy schedule ... is instantaneous."
+	sys, err := experiments.BuildSystem(experiments.A100Workloads()[0], gpu.A100PCIe, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmin := sys.Frontier.Tmin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Frontier.Lookup(tmin * (1 + float64(i%50)/100))
+	}
+}
+
+func BenchmarkClusterSimulation(b *testing.B) {
+	sys, err := experiments.BuildSystem(experiments.A100Workloads()[0], gpu.A100PCIe, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := sys.PerseusPlan(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SimulatePlan(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGreedyVsMinCut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGreedy(experiments.A100Workloads()[0], gpu.A100PCIe, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFitChoice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFit(experiments.A100Workloads()[0], gpu.A100PCIe, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTau(b *testing.B) {
+	cfg := experiments.WorkloadConfig{
+		Display: "GPT-3 1.3B", Model: "gpt3-1.3b", Stages: 2,
+		MicrobatchSize: 4, Microbatches: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTau(cfg, gpu.A100PCIe, []float64{20e-3, 5e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMaxFlowSolver(b *testing.B) {
+	// Edmonds-Karp (the paper's solver) vs Dinic on the same workload.
+	cfg := experiments.A100Workloads()[0]
+	for _, solver := range []struct {
+		name string
+		s    maxflow.Solver
+	}{{"edmonds-karp", maxflow.EdmondsKarp}, {"dinic", maxflow.Dinic}} {
+		b.Run(solver.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graph, prof, unit, err := experiments.BuildForAblation(cfg, gpu.A100PCIe, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := frontier.Characterize(graph, prof, frontier.Options{
+					Unit: unit, Solver: solver.s,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command perseus-frontier characterizes a workload's iteration
+// time-energy frontier (paper §4) and prints it as CSV, optionally with
+// the Zeus-derived baseline sweeps for comparison (paper Figure 9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"perseus"
+)
+
+func main() {
+	modelName := flag.String("model", "gpt3-1.3b", "model variant (see -list)")
+	gpuName := flag.String("gpu", "A100-PCIe", "GPU preset")
+	stages := flag.Int("stages", 4, "pipeline stages")
+	mbSize := flag.Int("microbatch-size", 4, "microbatch size")
+	micro := flag.Int("microbatches", 32, "microbatches per iteration")
+	schedule := flag.String("schedule", "1f1b", "pipeline schedule")
+	steps := flag.Int("steps", 1000, "approximate frontier points")
+	baselinesFlag := flag.Bool("baselines", false, "also print ZeusGlobal and ZeusPerStage sweeps")
+	list := flag.Bool("list", false, "list models and GPUs, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models:", strings.Join(perseus.ModelNames(), " "))
+		fmt.Println("gpus:  ", strings.Join(perseus.GPUNames(), " "))
+		return
+	}
+	sys, err := perseus.Characterize(perseus.Workload{
+		Model: *modelName, GPU: *gpuName, Stages: *stages,
+		MicrobatchSize: *mbSize, Microbatches: *micro,
+		Schedule: *schedule, TargetSteps: *steps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "Tmin=%.3fs  T*=%.3fs  (%d schedules)\n",
+		sys.Tmin(), sys.TStar(), len(sys.Frontier()))
+	fmt.Println("system,time_s,energy_j")
+	for _, p := range sys.Frontier() {
+		fmt.Printf("perseus,%.6f,%.3f\n", p.Time, p.Energy)
+	}
+	if *baselinesFlag {
+		for _, name := range []string{"zeus-global", "zeus-per-stage"} {
+			pts, err := sys.BaselineFrontier(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range pts {
+				fmt.Printf("%s,%.6f,%.3f\n", name, p.Time, p.Energy)
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Command perseus-server runs the Perseus server (paper §3.2, Figure 4):
+// a cluster-wide singleton that registers training jobs, receives online
+// profiling results, characterizes time-energy frontiers asynchronously,
+// and serves energy schedules over HTTP — including straggler reactions
+// via POST /jobs/{id}/straggler.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"perseus/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7787", "listen address")
+	flag.Parse()
+	log.Printf("perseus server listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New().Handler()))
+}

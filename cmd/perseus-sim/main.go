@@ -1,0 +1,121 @@
+// Command perseus-sim runs the full Perseus lifecycle end to end (paper
+// Figure 4) inside one process: a training cluster simulation registers
+// with an in-process server, profiles its computations in vivo, receives
+// the characterized energy schedule, and reacts to an injected straggler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"perseus/internal/client"
+	"perseus/internal/gpu"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+	"perseus/internal/server"
+)
+
+func main() {
+	modelName := flag.String("model", "gpt3-1.3b", "model variant")
+	gpuName := flag.String("gpu", "A100-PCIe", "GPU preset")
+	stages := flag.Int("stages", 4, "pipeline stages")
+	micro := flag.Int("microbatches", 8, "microbatches per iteration")
+	mbSize := flag.Int("microbatch-size", 4, "microbatch size")
+	degree := flag.Float64("straggler", 1.3, "straggler slowdown degree to inject")
+	flag.Parse()
+
+	m, err := model.ByName(*modelName)
+	check(err)
+	g, err := gpu.ByName(*gpuName)
+	check(err)
+	part, err := partition.MinImbalance(m.LayerCosts(), *stages)
+	check(err)
+	w := profile.Workload{
+		Model: m, GPU: g, Stages: *stages, Chunks: 1,
+		Partition: part.Boundaries, MicrobatchSize: *mbSize, TensorParallel: 1,
+	}
+	refs, err := w.StageRefTimes()
+	check(err)
+	s, err := sched.OneFOneB(*stages, *micro)
+	check(err)
+
+	srv := server.New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sc := client.NewServerClient(ts.URL)
+
+	tr, err := client.NewTrainer(s, g, refs, m.BwdFactor)
+	check(err)
+	defer tr.Close()
+
+	jobID, err := sc.RegisterJob(client.JobRequest{
+		Schedule: "1f1b", Stages: *stages, Microbatches: *micro, GPU: g.Name, Unit: 2e-3,
+	})
+	check(err)
+	fmt.Printf("registered %s with the Perseus server\n", jobID)
+
+	fmt.Println("profiling in vivo (frequency sweep, highest to lowest)...")
+	ms, err := tr.ProfileSweep(5)
+	check(err)
+	fmt.Printf("collected %d measurements; uploading\n", len(ms))
+	check(sc.UploadProfile(jobID, tr.PBlocking(), ms))
+	check(srv.WaitCharacterized(jobID))
+
+	schedResp, err := sc.FetchSchedule(jobID)
+	check(err)
+	fmt.Printf("frontier ready: Tmin=%.3fs T*=%.3fs\n", schedResp.Tmin, schedResp.TStar)
+
+	tr.LockFrequency(g.FMax)
+	reset(tr)
+	baseTime, err := tr.RunIteration()
+	check(err)
+	baseEnergy := energy(tr)
+
+	check(tr.Deploy(schedResp.Freqs))
+	reset(tr)
+	optTime, err := tr.RunIteration()
+	check(err)
+	optEnergy := energy(tr)
+	fmt.Printf("no straggler:   %.3fs (%+.2f%%), computation energy %.0fJ (%.1f%% saving)\n",
+		optTime, 100*(optTime/baseTime-1), optEnergy, 100*(1-optEnergy/baseEnergy))
+
+	check(sc.SetStraggler(jobID, "pipeline-3", 0, *degree))
+	slowResp, err := sc.FetchSchedule(jobID)
+	check(err)
+	check(tr.Deploy(slowResp.Freqs))
+	reset(tr)
+	slowTime, err := tr.RunIteration()
+	check(err)
+	slowEnergy := energy(tr)
+	fmt.Printf("straggler %.2fx: %.3fs (within T'=%.3fs), computation energy %.0fJ (%.1f%% saving)\n",
+		*degree, slowTime, baseTime**degree, slowEnergy, 100*(1-slowEnergy/baseEnergy))
+
+	check(sc.SetStraggler(jobID, "pipeline-3", 0, 1))
+	backResp, err := sc.FetchSchedule(jobID)
+	check(err)
+	fmt.Printf("straggler recovered: schedule back to %.3fs\n", backResp.Time)
+}
+
+func energy(tr *client.Trainer) float64 {
+	var e float64
+	for _, d := range tr.Devices {
+		e += d.EnergyCounter()
+	}
+	return e
+}
+
+func reset(tr *client.Trainer) {
+	for _, d := range tr.Devices {
+		d.ResetEnergyCounter()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Command perseus-tables regenerates the tables and figures of the
+// Perseus paper's evaluation (§6, Appendices A/D/H). Each experiment
+// prints the same rows or series the paper reports; EXPERIMENTS.md records
+// the paper-versus-measured comparison.
+//
+// Usage:
+//
+//	perseus-tables -experiment all -scale quick
+//	perseus-tables -experiment table3 -scale full
+//	perseus-tables -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"perseus/internal/experiments"
+	"perseus/internal/gpu"
+)
+
+type runner func(sc experiments.Scale, out *os.File) error
+
+var runners = map[string]runner{
+	"table1": func(sc experiments.Scale, out *os.File) error {
+		t, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+	"table7": func(sc experiments.Scale, out *os.File) error {
+		t, err := experiments.Table7()
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+	"potential": func(sc experiments.Scale, out *os.File) error {
+		for _, c := range []struct {
+			g    *gpu.Model
+			cfgs []experiments.WorkloadConfig
+		}{
+			{gpu.A100PCIe, experiments.A100Workloads()},
+			{gpu.A40, experiments.A40Workloads()},
+		} {
+			t, err := experiments.PotentialSavings(c.g, c.cfgs, sc)
+			if err != nil {
+				return err
+			}
+			if err := t.Render(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"table3": func(sc experiments.Scale, out *os.File) error {
+		for _, c := range []struct {
+			g    *gpu.Model
+			cfgs []experiments.WorkloadConfig
+		}{
+			{gpu.A100PCIe, experiments.A100Workloads()},
+			{gpu.A40, experiments.A40Workloads()},
+		} {
+			t, err := experiments.Table3(c.g, c.cfgs, sc)
+			if err != nil {
+				return err
+			}
+			if err := t.Render(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"table4": func(sc experiments.Scale, out *os.File) error {
+		for _, c := range []struct {
+			g    *gpu.Model
+			cfgs []experiments.WorkloadConfig
+		}{
+			{gpu.A100PCIe, experiments.A100Workloads()},
+			{gpu.A40, experiments.A40Workloads()},
+		} {
+			t, err := experiments.Table4(c.g, c.cfgs, sc)
+			if err != nil {
+				return err
+			}
+			if err := t.Render(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"table6": func(sc experiments.Scale, out *os.File) error {
+		t, err := experiments.Table6(sc)
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+	"fig1": func(sc experiments.Scale, out *os.File) error {
+		for _, m := range []string{"gpt3-1.3b", "bert-1.3b", "t5-3b", "bloom-3b", "wide-resnet101"} {
+			if err := experiments.Figure1(out, m, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"fig7": func(sc experiments.Scale, out *os.File) error {
+		t, err := experiments.Figure7(sc)
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+	"fig8": func(sc experiments.Scale, out *os.File) error {
+		for _, em := range experiments.EmulationModels {
+			for _, g := range experiments.EmulationGPUs {
+				t, err := experiments.Figure8(em.Model, em.Display, g, sc)
+				if err != nil {
+					return err
+				}
+				if err := t.Render(out); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+	"fig9": func(sc experiments.Scale, out *os.File) error {
+		tables, err := experiments.Figure9(nil, sc)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := t.Render(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"fig11": func(sc experiments.Scale, out *os.File) error {
+		t, err := experiments.Figure11()
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+	"fig12-13": func(sc experiments.Scale, out *os.File) error {
+		tables, err := experiments.Figure12And13(nil, sc)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := t.Render(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"realized": func(sc experiments.Scale, out *os.File) error {
+		for _, c := range []struct {
+			g    *gpu.Model
+			cfgs []experiments.WorkloadConfig
+		}{
+			{gpu.A100PCIe, experiments.A100Workloads()},
+			{gpu.A40, experiments.A40Workloads()},
+		} {
+			t, err := experiments.RealizedPotential(c.g, c.cfgs, sc)
+			if err != nil {
+				return err
+			}
+			if err := t.Render(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"scaling": func(sc experiments.Scale, out *os.File) error {
+		t, err := experiments.WeakVsStrongScaling("bloom-176b", "Bloom 176B", gpu.A100SXM, sc)
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+	"overhead": func(sc experiments.Scale, out *os.File) error {
+		t, err := experiments.Overhead(gpu.A100PCIe, experiments.A100Workloads(), sc)
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+	"ablation": func(sc experiments.Scale, out *os.File) error {
+		cfg := experiments.A100Workloads()[0]
+		t, err := experiments.AblationGreedy(cfg, gpu.A100PCIe, sc)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		t, err = experiments.AblationFit(cfg, gpu.A100PCIe, sc)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		t, err = experiments.AblationTau(cfg, gpu.A100PCIe, []float64{20e-3, 10e-3, 5e-3, 1e-3})
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	},
+}
+
+// order fixes the presentation sequence for -experiment all.
+var order = []string{
+	"table1", "table7", "fig1", "potential", "table3", "table4", "realized",
+	"table6", "fig7", "fig8", "fig9", "fig11", "fig12-13", "scaling",
+	"overhead", "ablation",
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id, or 'all'")
+	scale := flag.String("scale", "quick", "quick | medium | full (paper parameters; slow)")
+	list := flag.Bool("list", false, "list experiment ids, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(order, "\n"))
+		return
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Scale{MaxMicrobatches: 16, TargetSteps: 400}
+	case "medium":
+		sc = experiments.Scale{MaxMicrobatches: 48, TargetSteps: 800}
+	case "full":
+		sc = experiments.Full
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	ids := order
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			log.Fatalf("unknown experiment %q (use -list)", *exp)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		if err := runners[id](sc, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestOrderMatchesRunners keeps the -experiment all sequence and the
+// runner registry from drifting apart.
+func TestOrderMatchesRunners(t *testing.T) {
+	seen := map[string]bool{}
+	for _, id := range order {
+		if _, ok := runners[id]; !ok {
+			t.Errorf("order lists %q but no runner exists", id)
+		}
+		if seen[id] {
+			t.Errorf("order lists %q twice", id)
+		}
+		seen[id] = true
+	}
+	for id := range runners {
+		if !seen[id] {
+			t.Errorf("runner %q missing from order", id)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package perseus_test
+
+import (
+	"fmt"
+	"log"
+
+	"perseus"
+)
+
+// ExampleCharacterize removes intrinsic energy bloat from a small GPT-3
+// pipeline: the iteration time is unchanged while non-critical
+// computations slow down.
+func ExampleCharacterize() {
+	sys, err := perseus.Characterize(perseus.Workload{
+		Model: "gpt3-1.3b", GPU: "A100-PCIe",
+		Stages: 2, MicrobatchSize: 4, Microbatches: 4,
+		TargetSteps: 200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Simulate(sys.PlanFor(0), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saving, slowdown := sys.Savings(res)
+	fmt.Printf("saving > 3%%: %v\n", saving > 0.03)
+	fmt.Printf("slowdown < 1%%: %v\n", slowdown < 0.01)
+	// Output:
+	// saving > 3%: true
+	// slowdown < 1%: true
+}
+
+// ExampleSystem_PlanFor shows the universal prescription T_opt = min(T*, T')
+// (paper Eq. 2): straggler iteration times are clamped to the
+// minimum-energy point T*.
+func ExampleSystem_PlanFor() {
+	sys, err := perseus.Characterize(perseus.Workload{
+		Model: "bert-1.3b", GPU: "A40",
+		Stages: 2, MicrobatchSize: 8, Microbatches: 4,
+		TargetSteps: 200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	moderate := sys.LookupPoint(sys.Tmin() * 1.1)
+	extreme := sys.LookupPoint(sys.Tmin() * 10)
+	fmt.Printf("moderate straggler uses slack: %v\n", moderate.Time > sys.Tmin())
+	fmt.Printf("extreme straggler clamps to T*: %v\n", extreme.Time == sys.TStar())
+	// Output:
+	// moderate straggler uses slack: true
+	// extreme straggler clamps to T*: true
+}

@@ -1,0 +1,60 @@
+// Large-scale emulation: GPT-3 175B and Bloom 176B with 8 pipeline stages
+// and tensor-parallel degree 8, following the strong-scaling grid of paper
+// Table 5 — the paper §6.3 evaluation that no physical testbed could run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perseus"
+)
+
+func main() {
+	for _, m := range []string{"gpt3-175b", "bloom-176b"} {
+		fmt.Printf("== %s, 16 pipelines x (TP8 x PP8) = 1024 GPUs ==\n", m)
+		sys, err := perseus.Characterize(perseus.Workload{
+			Model:          m,
+			GPU:            "A100-SXM",
+			Stages:         8,
+			MicrobatchSize: 1,
+			Microbatches:   24, // Table 5 row: 64 pipelines use 24 microbatches
+			DataParallel:   16,
+			TensorParallel: 8,
+			TargetSteps:    400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := sys.Baseline()
+		fmt.Printf("iteration %.2fs at all-max; frontier Tmin=%.2fs T*=%.2fs\n",
+			base.IterTime, sys.Tmin(), sys.TStar())
+
+		res, err := sys.Simulate(sys.PlanFor(0), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saving, slowdown := sys.Savings(res)
+		fmt.Printf("intrinsic savings: %.1f%% (slowdown %.2f%%)\n", 100*saving, 100*slowdown)
+
+		// One pipeline throttles to 1.2x (paper Figure 7's setting).
+		straggler := []perseus.Straggler{{Pipeline: 0, Factor: 1.2}}
+		maxRes, err := sys.Simulate(sys.MaxFrequencyPlan(), straggler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fast := sys.PlanFor(0)
+		slow := sys.PlanFor(base.IterTime * 1.2)
+		full, err := sys.SimulatePerPipeline(func(p int) perseus.Plan {
+			if p == 0 {
+				return fast
+			}
+			return slow
+		}, straggler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("with 1.2x straggler: %.1f%% cluster-wide savings\n\n",
+			100*(1-full.Energy/maxRes.Energy))
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: characterize the time-energy frontier of GPT-3 1.3B
+// four-stage pipeline training on A100 GPUs, then remove intrinsic energy
+// bloat — the paper's Figure 1 scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perseus"
+)
+
+func main() {
+	sys, err := perseus.Characterize(perseus.Workload{
+		Model:          "gpt3-1.3b",
+		GPU:            "A100-PCIe",
+		Stages:         4,
+		MicrobatchSize: 4,
+		Microbatches:   24,
+		TargetSteps:    600,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("frontier: Tmin=%.3fs .. T*=%.3fs (%d energy schedules)\n",
+		sys.Tmin(), sys.TStar(), len(sys.Frontier()))
+
+	// Default mode of operation: every GPU at maximum frequency.
+	base := sys.Baseline()
+	fmt.Printf("all-max baseline: %.3fs, %.0f J\n", base.IterTime, base.Energy)
+
+	// Perseus's Tmin schedule: slow down only non-critical computations.
+	res, err := sys.Simulate(sys.PlanFor(0), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saving, slowdown := sys.Savings(res)
+	fmt.Printf("perseus Tmin:     %.3fs, %.0f J  ->  %.1f%% energy saving, %.2f%% slowdown\n",
+		res.IterTime, res.Energy, 100*saving, 100*slowdown)
+
+	fmt.Println("\npipeline timeline under the Perseus schedule (F/B markers, shade = power):")
+	if err := sys.RenderTimeline(os.Stdout, sys.PlanFor(0), 110); err != nil {
+		log.Fatal(err)
+	}
+}

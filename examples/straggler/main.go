@@ -1,0 +1,66 @@
+// Straggler reaction: when one data-parallel pipeline is throttled, all
+// other pipelines would block on gradient synchronization anyway —
+// extrinsic energy bloat (paper §2.3, Figure 2). Perseus slows the
+// non-straggler pipelines to T_opt = min(T*, T'), saving energy without
+// delaying the iteration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perseus"
+)
+
+func main() {
+	sys, err := perseus.Characterize(perseus.Workload{
+		Model:          "bloom-3b",
+		GPU:            "A40",
+		Stages:         4,
+		MicrobatchSize: 4,
+		Microbatches:   16,
+		DataParallel:   4,
+		TargetSteps:    600,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pipeline 0 is throttled to 1.25x by the datacenter's power manager,
+	// which notifies Perseus (paper Table 2: set_straggler).
+	const degree = 1.25
+	straggler := []perseus.Straggler{{Pipeline: 0, Factor: degree}}
+	base, err := sys.Simulate(sys.MaxFrequencyPlan(), straggler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-max with straggler:      %.3fs, %.0f J\n", base.IterTime, base.Energy)
+
+	// Intrinsic-only reaction: everyone keeps the Tmin schedule.
+	fast := sys.PlanFor(0)
+	intr, err := sys.Simulate(fast, straggler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("perseus, intrinsic only:     %.3fs, %.0f J (%.1f%% saving)\n",
+		intr.IterTime, intr.Energy, 100*(1-intr.Energy/base.Energy))
+
+	// Full reaction: non-stragglers move to the T' schedule.
+	tPrime := sys.Baseline().IterTime * degree
+	slow := sys.PlanFor(tPrime)
+	full, err := sys.SimulatePerPipeline(func(p int) perseus.Plan {
+		if p == 0 {
+			return fast // the straggler keeps its own pace
+		}
+		return slow
+	}, straggler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("perseus, intrinsic+extrinsic: %.3fs, %.0f J (%.1f%% saving)\n",
+		full.IterTime, full.Energy, 100*(1-full.Energy/base.Energy))
+	if full.IterTime > base.IterTime*1.001 {
+		log.Fatalf("BUG: extrinsic reaction delayed the iteration")
+	}
+	fmt.Println("\niteration time unchanged: the straggler set the pace either way.")
+}

@@ -1,0 +1,285 @@
+// Package baselines implements the prior-work systems Perseus is compared
+// against in the paper's evaluation:
+//
+//   - EnvPipe (Choi et al., ATC'23): intrinsic-bloat-only point solution
+//     that pins the (assumed heaviest) last pipeline stage at maximum
+//     frequency and stretches other stages' computations into the bubbles
+//     that follow them on the same GPU (§6.2).
+//   - ZeusGlobal (derived from Zeus, NSDI'23): scans one global power
+//     limit for all stages (§6.4).
+//   - ZeusPerStage: finds per-stage power limits that balance forward
+//     computation time across stages (§6.4).
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perseus/internal/cluster"
+	"perseus/internal/dag"
+	"perseus/internal/gpu"
+	"perseus/internal/sched"
+)
+
+// PlanPoint is one (time, energy) operating point of a baseline sweep.
+type PlanPoint struct {
+	// Time is the simulated iteration time in seconds.
+	Time float64
+	// Energy is the simulated total energy in joules (computation plus
+	// blocking, per Eq. 3).
+	Energy float64
+	// Plan realizes the point.
+	Plan cluster.Plan
+}
+
+// EnvPipe builds EnvPipe's frequency plan for a pipeline. Following the
+// paper's characterization (§6.2 and §7): the last stage — assumed to be
+// the heaviest — runs at maximum frequency, forming the "envelope"; every
+// other computation is stretched into the idle gap that follows it on its
+// own GPU under the all-max timeline. The stretch decision is local to
+// each GPU's timeline, so when the gap was actually pipeline slack needed
+// elsewhere, downstream computations are delayed — the source of EnvPipe's
+// occasional iteration time degradation.
+func EnvPipe(spec cluster.Spec) (cluster.Plan, error) {
+	s := spec.Schedule
+	g, err := dag.Build(s, func(op sched.Op) int64 { return 1 })
+	if err != nil {
+		return nil, err
+	}
+	// All-max realized durations; these are the working durations the
+	// stretch passes mutate.
+	durs := make([]float64, len(s.Ops))
+	plan := make(cluster.Plan, len(s.Ops))
+	for i, op := range s.Ops {
+		tp, err := spec.Profile.For(op)
+		if err != nil {
+			return nil, err
+		}
+		durs[i] = tp.MinTime()
+		if op.Kind != sched.Constant {
+			plan[i] = tp.Points[0].Freq
+		}
+	}
+	// SRP-style stretching with the envelope fixed: the last stage is
+	// assumed to bound the iteration and never slows down; every other
+	// computation greedily absorbs its own slack (latest start minus
+	// earliest start against the all-max deadline), one op at a time in
+	// topological order with slack recomputed after each stretch. This
+	// reproduces EnvPipe's strength (deep slowdown of warm-up and drain
+	// computations) and its two documented weaknesses: zero savings on
+	// the pinned last stage even when it is not the heaviest (correct
+	// with probability 1/N, paper §6.2), and greedy first-come slack
+	// consumption instead of a globally energy-optimal distribution.
+	deadline := floatStarts(g, durs)[g.Sink]
+	last := s.Stages - 1
+	est := make([]float64, len(g.Dur))
+	lst := make([]float64, len(g.Dur))
+	for _, v := range g.Topo() {
+		id := int(v)
+		if id >= len(s.Ops) {
+			continue
+		}
+		op := s.Ops[id]
+		if op.Stage == last || op.Kind == sched.Constant {
+			continue
+		}
+		slackStretch(g, durs, deadline, est, lst)
+		slack := lst[id] - est[id]
+		if slack <= 0 {
+			continue
+		}
+		tp, err := spec.Profile.For(op)
+		if err != nil {
+			return nil, err
+		}
+		pt, _ := tp.ForDuration(durs[id] + slack)
+		if pt.Time > durs[id] {
+			durs[id] = pt.Time
+			plan[id] = pt.Freq
+		}
+	}
+	return plan, nil
+}
+
+// ZeusGlobal sweeps a single global power limit applied to every GPU
+// (paper §6.4) and returns the resulting iteration time-energy points,
+// sorted by time. Each limit maps to the highest frequency whose compute
+// power respects it; every computation in every stage runs there.
+func ZeusGlobal(spec cluster.Spec) ([]PlanPoint, error) {
+	g := spec.Profile.GPU
+	seen := map[gpu.Frequency]bool{}
+	var pts []PlanPoint
+	// Sweep limits from TDP down in 5% steps, mirroring Zeus's power
+	// limit exploration.
+	for frac := 1.0; frac >= 0.4; frac -= 0.05 {
+		f := g.PowerLimitFrequency(g.TDP * frac)
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		plan := make(cluster.Plan, len(spec.Schedule.Ops))
+		for i, op := range spec.Schedule.Ops {
+			tp, err := spec.Profile.For(op)
+			if err != nil {
+				return nil, err
+			}
+			if op.Kind == sched.Constant {
+				continue
+			}
+			pt, _ := tp.AtOrAbove(f)
+			plan[i] = pt.Freq
+		}
+		res, err := cluster.Simulate(spec, plan, nil)
+		if err != nil {
+			return nil, err
+		}
+		pts = appendPoint(pts, PlanPoint{Time: res.IterTime, Energy: res.Energy, Plan: plan})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+	return pts, nil
+}
+
+// appendPoint adds a sweep point unless one with the same realized time is
+// already present (clamping at the slowest Pareto choices makes deep power
+// limits collapse onto the same plan).
+func appendPoint(pts []PlanPoint, p PlanPoint) []PlanPoint {
+	for _, q := range pts {
+		if math.Abs(q.Time-p.Time) < 1e-12 {
+			return pts
+		}
+	}
+	return append(pts, p)
+}
+
+// ZeusPerStage sweeps a per-stage power limit assignment that balances
+// forward computation time (paper §6.4): for each target forward latency,
+// every stage picks the lowest frequency that still meets the target, and
+// all of the stage's computations run there. Because the choice ignores
+// the critical path and backward computations, the resulting frontier can
+// be non-monotone (paper Appendix H).
+func ZeusPerStage(spec cluster.Spec) ([]PlanPoint, error) {
+	s := spec.Schedule
+	virtual := s.VirtualStages()
+	// Candidate targets: every stage's achievable forward times.
+	targetSet := map[float64]bool{}
+	for v := 0; v < virtual; v++ {
+		tp, err := spec.Profile.For(sched.Op{Virtual: v, Kind: sched.Forward})
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range tp.Points {
+			targetSet[pt.Time] = true
+		}
+	}
+	targets := make([]float64, 0, len(targetSet))
+	for t := range targetSet {
+		targets = append(targets, t)
+	}
+	sort.Float64s(targets)
+	// The smallest feasible target is the slowest stage's fastest time.
+	var feasibleFrom float64
+	for v := 0; v < virtual; v++ {
+		tp, err := spec.Profile.For(sched.Op{Virtual: v, Kind: sched.Forward})
+		if err != nil {
+			return nil, err
+		}
+		if mt := tp.MinTime(); mt > feasibleFrom {
+			feasibleFrom = mt
+		}
+	}
+
+	var pts []PlanPoint
+	for _, target := range targets {
+		if target < feasibleFrom-1e-12 {
+			continue
+		}
+		// Per virtual stage: the lowest frequency meeting the target.
+		stageFreq := make([]gpu.Frequency, virtual)
+		for v := 0; v < virtual; v++ {
+			tp, err := spec.Profile.For(sched.Op{Virtual: v, Kind: sched.Forward})
+			if err != nil {
+				return nil, err
+			}
+			pt, _ := tp.ForDuration(target)
+			stageFreq[v] = pt.Freq
+		}
+		plan := make(cluster.Plan, len(s.Ops))
+		for i, op := range s.Ops {
+			if op.Kind == sched.Constant {
+				continue
+			}
+			tp, err := spec.Profile.For(op)
+			if err != nil {
+				return nil, err
+			}
+			pt, _ := tp.AtOrAbove(stageFreq[op.Virtual])
+			plan[i] = pt.Freq
+		}
+		res, err := cluster.Simulate(spec, plan, nil)
+		if err != nil {
+			return nil, err
+		}
+		pts = appendPoint(pts, PlanPoint{Time: res.IterTime, Energy: res.Energy, Plan: plan})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("baselines: no feasible per-stage balance target")
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+	return pts, nil
+}
+
+// slackStretch fills est and lst with earliest and latest start times for
+// the current durations against the given deadline.
+func slackStretch(g *dag.Graph, durs []float64, deadline float64, est, lst []float64) {
+	topo := g.Topo()
+	for i := range est {
+		est[i] = 0
+		lst[i] = deadline
+	}
+	for _, v := range topo {
+		var dv float64
+		if int(v) < len(durs) {
+			dv = durs[v]
+		}
+		for _, w := range g.Succ[v] {
+			if t := est[v] + dv; t > est[w] {
+				est[w] = t
+			}
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		var dv float64
+		if int(v) < len(durs) {
+			dv = durs[v]
+		}
+		min := deadline
+		if len(g.Succ[v]) > 0 {
+			for _, w := range g.Succ[v] {
+				if lst[w] < min {
+					min = lst[w]
+				}
+			}
+		}
+		lst[v] = min - dv
+	}
+}
+
+// floatStarts computes earliest start times with float durations over a
+// unit-built dag.Graph topology.
+func floatStarts(g *dag.Graph, durs []float64) []float64 {
+	est := make([]float64, len(g.Dur))
+	for _, v := range g.Topo() {
+		var dv float64
+		if int(v) < len(durs) {
+			dv = durs[v]
+		}
+		for _, w := range g.Succ[v] {
+			if t := est[v] + dv; t > est[w] {
+				est[w] = t
+			}
+		}
+	}
+	return est
+}

@@ -1,0 +1,280 @@
+// Package client implements the Perseus client (paper §5, Table 2): the
+// framework-integrated, accelerator-specific side that profiles forward
+// and backward computations in vivo during the first training iterations,
+// reports results to the Perseus server, and realizes deployed energy
+// schedules through an asynchronous frequency controller.
+//
+// The Trainer type stands in for the Merak pipeline execution engine of
+// paper Listing 1: it walks a pipeline schedule's instructions, wrapping
+// each with controller.SetSpeed and profiler Begin/End exactly as a real
+// training engine would.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"perseus/internal/gpu"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+)
+
+// Profiler measures the time and energy of computations on one device
+// (Table 2: profiler.begin/end). Begin snapshots the device energy
+// counter; End records the measurement.
+type Profiler struct {
+	dev    *gpu.Device
+	open   bool
+	snapJ  float64
+	simSec float64 // simulated elapsed seconds for the open span
+
+	// Records accumulates raw measurements for upload.
+	Records []profile.Measurement
+}
+
+// NewProfiler wraps a device.
+func NewProfiler(dev *gpu.Device) *Profiler { return &Profiler{dev: dev} }
+
+// Begin starts measuring one computation.
+func (p *Profiler) Begin() error {
+	if p.open {
+		return fmt.Errorf("client: profiler Begin while a span is open")
+	}
+	p.open = true
+	p.snapJ = p.dev.EnergyCounter()
+	p.simSec = 0
+	return nil
+}
+
+// Advance accounts simulated execution time inside the open span (the
+// simulator's replacement for wall-clock time).
+func (p *Profiler) Advance(sec float64) { p.simSec += sec }
+
+// End records the measurement for the computation type.
+func (p *Profiler) End(virtual int, kind sched.Kind) error {
+	if !p.open {
+		return fmt.Errorf("client: profiler End without Begin")
+	}
+	p.open = false
+	p.Records = append(p.Records, profile.Measurement{
+		Virtual: virtual,
+		Kind:    kind,
+		Freq:    p.dev.Frequency(),
+		Time:    p.simSec,
+		Energy:  p.dev.EnergyCounter() - p.snapJ,
+	})
+	return nil
+}
+
+// Controller is the asynchronous frequency controller (paper §5): a
+// separate goroutine applies frequency changes so the training loop never
+// blocks on the ~10 ms NVML call. SetSpeed enqueues; the worker applies.
+type Controller struct {
+	dev  *gpu.Device
+	reqs chan ctlReq
+	stop chan struct{}
+	done chan struct{}
+}
+
+type ctlReq struct {
+	freq gpu.Frequency
+	ack  chan struct{} // non-nil: flush marker, closed once reached
+}
+
+// NewController starts the controller's worker goroutine.
+func NewController(dev *gpu.Device) *Controller {
+	c := &Controller{
+		dev:  dev,
+		reqs: make(chan ctlReq, 64),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+func (c *Controller) run() {
+	defer close(c.done)
+	for {
+		select {
+		case r := <-c.reqs:
+			if r.freq > 0 {
+				c.dev.SetFrequency(r.freq)
+			}
+			if r.ack != nil {
+				close(r.ack)
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// SetSpeed asynchronously sets the device's frequency (Table 2:
+// controller.set_speed). Frequency 0 is a no-op (constant-time ops).
+func (c *Controller) SetSpeed(f gpu.Frequency) {
+	select {
+	case c.reqs <- ctlReq{freq: f}:
+	case <-c.stop:
+	}
+}
+
+// Sync waits until every previously queued frequency change has been
+// applied, by enqueueing a flush marker and waiting for the worker to
+// reach it (FIFO ordering guarantees all earlier requests applied). The
+// simulator calls it before running a computation, standing in for the
+// real system's overlap of the NVML call with CPU-side work.
+func (c *Controller) Sync() {
+	ack := make(chan struct{})
+	select {
+	case c.reqs <- ctlReq{ack: ack}:
+	case <-c.stop:
+		return
+	}
+	select {
+	case <-ack:
+	case <-c.done:
+	}
+}
+
+// Close stops the worker.
+func (c *Controller) Close() {
+	close(c.stop)
+	<-c.done
+}
+
+// ServerClient is the HTTP client to the Perseus server.
+type ServerClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewServerClient targets a server at baseURL.
+func NewServerClient(baseURL string) *ServerClient {
+	return &ServerClient{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *ServerClient) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("client: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg.Bytes()))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func (c *ServerClient) get(path string, out any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("client: GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// RegisterJob registers the training job with the server.
+func (c *ServerClient) RegisterJob(req JobRequest) (string, error) {
+	var resp struct {
+		JobID string `json:"job_id"`
+	}
+	if err := c.post("/jobs", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// JobRequest mirrors the server's registration payload.
+type JobRequest struct {
+	Schedule     string  `json:"schedule"`
+	Stages       int     `json:"stages"`
+	Microbatches int     `json:"microbatches"`
+	Chunks       int     `json:"chunks,omitempty"`
+	GPU          string  `json:"gpu"`
+	Unit         float64 `json:"unit,omitempty"`
+}
+
+// UploadProfile sends profiling results.
+func (c *ServerClient) UploadProfile(jobID string, pBlocking float64, ms []profile.Measurement) error {
+	type measurementJSON struct {
+		Virtual int     `json:"virtual"`
+		Kind    string  `json:"kind"`
+		Freq    int     `json:"freq_mhz"`
+		Time    float64 `json:"time_s"`
+		Energy  float64 `json:"energy_j"`
+	}
+	payload := struct {
+		PBlocking    float64           `json:"p_blocking_w"`
+		Measurements []measurementJSON `json:"measurements"`
+	}{PBlocking: pBlocking}
+	for _, m := range ms {
+		kind := "forward"
+		if m.Kind == sched.Backward {
+			kind = "backward"
+		}
+		payload.Measurements = append(payload.Measurements, measurementJSON{
+			Virtual: m.Virtual, Kind: kind, Freq: int(m.Freq), Time: m.Time, Energy: m.Energy,
+		})
+	}
+	return c.post("/jobs/"+jobID+"/profile", payload, nil)
+}
+
+// Schedule is the deployed energy schedule.
+type Schedule struct {
+	Ready   bool    `json:"ready"`
+	Time    float64 `json:"time_s"`
+	Tmin    float64 `json:"tmin_s"`
+	TStar   float64 `json:"tstar_s"`
+	Freqs   []int   `json:"freqs_mhz"`
+	Version int     `json:"version"`
+}
+
+// FetchSchedule returns the currently deployed schedule.
+func (c *ServerClient) FetchSchedule(jobID string) (Schedule, error) {
+	var s Schedule
+	err := c.get("/jobs/"+jobID+"/schedule", &s)
+	return s, err
+}
+
+// WaitSchedule polls until the schedule is ready or attempts run out.
+func (c *ServerClient) WaitSchedule(jobID string, attempts int, interval time.Duration) (Schedule, error) {
+	for i := 0; i < attempts; i++ {
+		s, err := c.FetchSchedule(jobID)
+		if err != nil {
+			return Schedule{}, err
+		}
+		if s.Ready {
+			return s, nil
+		}
+		time.Sleep(interval)
+	}
+	return Schedule{}, fmt.Errorf("client: schedule for %s not ready after %d attempts", jobID, attempts)
+}
+
+// SetStraggler notifies the server of an anticipated straggler (Table 2:
+// server.set_straggler, invoked by the training infrastructure).
+func (c *ServerClient) SetStraggler(jobID, accelID string, delay, degree float64) error {
+	payload := struct {
+		ID     string  `json:"id"`
+		Delay  float64 `json:"delay_s"`
+		Degree float64 `json:"degree"`
+	}{accelID, delay, degree}
+	return c.post("/jobs/"+jobID+"/straggler", payload, nil)
+}

@@ -1,0 +1,200 @@
+package client
+
+import (
+	"fmt"
+
+	"perseus/internal/dag"
+	"perseus/internal/gpu"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+)
+
+// Trainer is the simulated training engine the Perseus client integrates
+// with (paper Listing 1): one device per pipeline stage executing the
+// schedule's instruction stream, each computation wrapped by
+// controller.SetSpeed and profiler Begin/End.
+type Trainer struct {
+	Schedule *sched.Schedule
+	GPU      *gpu.Model
+
+	// Refs holds each virtual stage's forward reference time at maximum
+	// frequency; backward cost is Refs times BwdFactor.
+	Refs      []float64
+	BwdFactor float64
+
+	Devices     []*gpu.Device
+	Profilers   []*Profiler
+	Controllers []*Controller
+
+	graph *dag.Graph
+	plan  []gpu.Frequency // per-op deployed plan; nil = locked frequency
+}
+
+// NewTrainer assembles a trainer with one device, profiler, and
+// asynchronous frequency controller per pipeline stage.
+func NewTrainer(s *sched.Schedule, g *gpu.Model, refs []float64, bwdFactor float64) (*Trainer, error) {
+	if len(refs) != s.VirtualStages() {
+		return nil, fmt.Errorf("client: %d stage references for %d virtual stages", len(refs), s.VirtualStages())
+	}
+	graph, err := dag.Build(s, func(op sched.Op) int64 { return 1 })
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{Schedule: s, GPU: g, Refs: refs, BwdFactor: bwdFactor, graph: graph}
+	for st := 0; st < s.Stages; st++ {
+		dev := gpu.NewDevice(g, fmt.Sprintf("s%d", st))
+		t.Devices = append(t.Devices, dev)
+		t.Profilers = append(t.Profilers, NewProfiler(dev))
+		t.Controllers = append(t.Controllers, NewController(dev))
+	}
+	return t, nil
+}
+
+// Close stops the frequency controllers.
+func (t *Trainer) Close() {
+	for _, c := range t.Controllers {
+		c.Close()
+	}
+}
+
+// Deploy installs a per-op frequency plan (from the server's energy
+// schedule). A nil plan reverts to locked-frequency execution.
+func (t *Trainer) Deploy(freqs []int) error {
+	if freqs == nil {
+		t.plan = nil
+		return nil
+	}
+	if len(freqs) != len(t.Schedule.Ops) {
+		return fmt.Errorf("client: plan has %d entries for %d ops", len(freqs), len(t.Schedule.Ops))
+	}
+	plan := make([]gpu.Frequency, len(freqs))
+	for i, f := range freqs {
+		plan[i] = gpu.Frequency(f)
+	}
+	t.plan = plan
+	return nil
+}
+
+// LockFrequency pins every device to one frequency (profiling phase).
+func (t *Trainer) LockFrequency(f gpu.Frequency) {
+	for st, c := range t.Controllers {
+		c.SetSpeed(f)
+		c.Sync()
+		_ = st
+	}
+	t.plan = nil
+}
+
+// opCost returns an op's reference time at maximum frequency and its
+// memory-bound fraction.
+func (t *Trainer) opCost(op sched.Op) (ref, memBound float64) {
+	switch op.Kind {
+	case sched.Backward:
+		return t.Refs[op.Virtual] * t.BwdFactor, t.GPU.MemBoundBwd
+	default: // Forward and Recompute replay the forward
+		return t.Refs[op.Virtual], t.GPU.MemBoundFwd
+	}
+}
+
+// RunIteration executes one training iteration: every instruction runs on
+// its stage's device in dependency order, wrapped with the client APIs as
+// in paper Listing 1, and profilers record (time, energy) measurements.
+// It returns the iteration time (the DAG makespan under realized
+// durations).
+func (t *Trainer) RunIteration() (float64, error) {
+	durs := make([]float64, len(t.Schedule.Ops))
+	for _, v := range t.graph.Topo() {
+		id := int(v)
+		if id >= len(t.Schedule.Ops) {
+			continue
+		}
+		op := t.Schedule.Ops[id]
+		dev := t.Devices[op.Stage]
+		ctl := t.Controllers[op.Stage]
+		prof := t.Profilers[op.Stage]
+
+		if t.plan != nil && t.plan[id] > 0 {
+			ctl.SetSpeed(t.plan[id]) // controller.set_speed(type)
+		}
+		ctl.Sync()
+		if err := prof.Begin(); err != nil { // profiler.begin(type)
+			return 0, err
+		}
+		ref, mem := t.opCost(op)
+		sec, _ := dev.Run(ref, mem)
+		prof.Advance(sec)
+		if err := prof.End(op.Virtual, op.Kind); err != nil { // profiler.end(type)
+			return 0, err
+		}
+		durs[id] = sec
+	}
+	// Iteration time: longest path with realized durations.
+	est := make([]float64, len(t.graph.Dur))
+	for _, v := range t.graph.Topo() {
+		var dv float64
+		if int(v) < len(durs) {
+			dv = durs[v]
+		}
+		for _, w := range t.graph.Succ[v] {
+			if tt := est[v] + dv; tt > est[w] {
+				est[w] = tt
+			}
+		}
+	}
+	return est[t.graph.Sink], nil
+}
+
+// ProfileSweep runs the in-vivo profiling phase (paper §5): each supported
+// frequency from highest to lowest for itersPerFreq iterations, stopping
+// once every computation type has become strictly suboptimal — more time
+// and more blocking-adjusted energy than a faster frequency — for two
+// consecutive frequencies. It returns all collected measurements.
+func (t *Trainer) ProfileSweep(itersPerFreq int) ([]profile.Measurement, error) {
+	if itersPerFreq <= 0 {
+		itersPerFreq = 5
+	}
+	pb := profile.MeasurePBlocking(t.GPU)
+	type best struct{ time, adj float64 }
+	bests := map[profile.TypeKey]best{}
+	strikes := 0
+	var all []profile.Measurement
+	for _, f := range t.GPU.Frequencies() {
+		t.LockFrequency(f)
+		for _, p := range t.Profilers {
+			p.Records = p.Records[:0]
+		}
+		for it := 0; it < itersPerFreq; it++ {
+			if _, err := t.RunIteration(); err != nil {
+				return nil, err
+			}
+		}
+		allWorse := true
+		for _, p := range t.Profilers {
+			for _, m := range p.Records {
+				all = append(all, m)
+				key := profile.TypeKey{Virtual: m.Virtual, Kind: m.Kind}
+				adj := m.Energy - pb*m.Time
+				b, seen := bests[key]
+				if !seen || adj < b.adj {
+					bests[key] = best{time: m.Time, adj: adj}
+				}
+				if !seen || m.Time <= b.time || adj <= b.adj {
+					allWorse = false
+				}
+			}
+		}
+		if allWorse {
+			strikes++
+			if strikes >= 2 {
+				break
+			}
+		} else {
+			strikes = 0
+		}
+	}
+	return all, nil
+}
+
+// PBlocking measures the blocking power, mirroring the two-GPU procedure
+// of paper §5.
+func (t *Trainer) PBlocking() float64 { return profile.MeasurePBlocking(t.GPU) }

@@ -1,0 +1,144 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"perseus/internal/sched"
+)
+
+// randomGraph builds a random pipeline DAG with random durations.
+func randomGraph(seed int64) (*Graph, *rand.Rand, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(3)
+	m := 1 + rng.Intn(6)
+	var s *sched.Schedule
+	var err error
+	switch rng.Intn(3) {
+	case 0:
+		s, err = sched.OneFOneB(n, m)
+	case 1:
+		s, err = sched.GPipe(n, m)
+	default:
+		s, err = sched.EarlyRecompute1F1B(n, m)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := Build(s, func(op sched.Op) int64 { return 1 + int64(rng.Intn(9)) })
+	return g, rng, err
+}
+
+// TestPropertyMakespanEqualsPathEnumeration checks the longest-path
+// makespan against exhaustive DFS path enumeration on small random DAGs.
+func TestPropertyMakespanEqualsPathEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _, err := randomGraph(seed)
+		if err != nil {
+			return false
+		}
+		if len(g.Dur) > 40 {
+			return true // too large to enumerate; covered by other cases
+		}
+		var dfs func(v int) int64
+		memo := make(map[int]int64)
+		dfs = func(v int) int64 {
+			if got, ok := memo[v]; ok {
+				return got
+			}
+			var best int64
+			for _, w := range g.Succ[v] {
+				if l := dfs(int(w)); l > best {
+					best = l
+				}
+			}
+			memo[v] = best + g.Dur[v]
+			return memo[v]
+		}
+		return g.Makespan() == dfs(g.Source)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMakespanMonotone checks that growing any single duration
+// never decreases the makespan, and never grows it by more than the
+// increment.
+func TestPropertyMakespanMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		g, rng, err := randomGraph(seed)
+		if err != nil {
+			return false
+		}
+		before := g.Makespan()
+		idx := rng.Intn(g.NumReal())
+		delta := int64(1 + rng.Intn(5))
+		g.Dur[idx] += delta
+		after := g.Makespan()
+		return after >= before && after <= before+delta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySlackSemantics checks zero slack == critical, and that
+// growing a node within its slack preserves the makespan exactly.
+func TestPropertySlackSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		g, rng, err := randomGraph(seed)
+		if err != nil {
+			return false
+		}
+		slack := g.Slack()
+		crit, mk := g.Critical()
+		for v := range slack {
+			if (slack[v] == 0) != crit[v] {
+				return false
+			}
+		}
+		// Pick a random node with positive slack and grow within it.
+		var candidates []int
+		for v := 0; v < g.NumReal(); v++ {
+			if slack[v] > 0 {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			return true
+		}
+		v := candidates[rng.Intn(len(candidates))]
+		g.Dur[v] += slack[v]
+		return g.Makespan() == mk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCriticalPathCoversMakespan checks that shrinking every
+// critical computation by one unit reduces the makespan (the premise of
+// the paper's cut-based reduction: all critical paths must shorten).
+func TestPropertyCriticalPathCoversMakespan(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _, err := randomGraph(seed)
+		if err != nil {
+			return false
+		}
+		crit, mk := g.Critical()
+		for v := 0; v < g.NumReal(); v++ {
+			if crit[v] && g.Dur[v] > 1 {
+				g.Dur[v]--
+			}
+		}
+		// Shrinking every critical computation (where possible) must not
+		// increase the makespan; it strictly decreases it unless some
+		// critical path is pinned at unit durations.
+		return g.Makespan() <= mk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"perseus/internal/dag"
+	"perseus/internal/frontier"
+	"perseus/internal/gpu"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+)
+
+// BuildForAblation assembles the DAG and profile for a workload without
+// characterizing, so ablations (and the solver benchmarks) can run
+// multiple optimizer variants on the same inputs. It returns the DAG, the
+// profile, and the auto-selected unit time.
+func BuildForAblation(cfg WorkloadConfig, g *gpu.Model, sc Scale) (*dag.Graph, *profile.Profile, float64, error) {
+	m, err := model.ByName(cfg.Model)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	part, err := partition.MinImbalance(m.LayerCosts(), cfg.Stages)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	prof, err := profile.FromWorkload(profile.Workload{
+		Model: m, GPU: g, Stages: cfg.Stages, Chunks: 1,
+		Partition: part.Boundaries, MicrobatchSize: cfg.MicrobatchSize, TensorParallel: 1,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	s, err := sched.OneFOneB(cfg.Stages, sc.microbatches(cfg.Microbatches))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	graph, err := dag.Build(s, func(op sched.Op) int64 { return 1 })
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	unit := autoUnit(s, prof, sc.targetSteps())
+	return graph, prof, unit, nil
+}
+
+// AblationGreedy compares the paper's min-cut stepper against the greedy
+// single-computation stepper (DESIGN.md §5): greedy cannot shorten
+// parallel critical paths, so it covers less of the frontier.
+func AblationGreedy(cfg WorkloadConfig, g *gpu.Model, sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: min-cut vs greedy stepper (%s on %s)", cfg.Display, g.Name),
+		Header: []string{"Stepper", "Frontier points", "Reached Tmin", "Fastest time (s)"},
+	}
+	for _, variant := range []struct {
+		name    string
+		stepper frontier.Stepper
+	}{
+		{"min-cut (Perseus)", frontier.MinCutStepper{}},
+		{"greedy", frontier.GreedyStepper{}},
+	} {
+		graph, prof, unit, err := BuildForAblation(cfg, g, sc)
+		if err != nil {
+			return nil, err
+		}
+		f, err := frontier.Characterize(graph, prof, frontier.Options{Unit: unit, Stepper: variant.stepper})
+		if err != nil {
+			return nil, err
+		}
+		pts := f.Points()
+		reached := "no"
+		if pts[0].Time <= f.Tmin()+1e-12 {
+			reached = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			variant.name, fmt.Sprint(len(pts)), reached, fmt.Sprintf("%.3f", pts[0].Time),
+		})
+	}
+	return t, nil
+}
+
+// AblationFit compares the exponential relaxation against piecewise-linear
+// interpolation of the measured Pareto points.
+func AblationFit(cfg WorkloadConfig, g *gpu.Model, sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: exponential vs piecewise-linear relaxation (%s on %s)", cfg.Display, g.Name),
+		Header: []string{"Relaxation", "Frontier points", "Energy at Tmin (J)", "Energy at T* (J)"},
+	}
+	for _, variant := range []struct {
+		name      string
+		piecewise bool
+	}{
+		{"exponential (Perseus)", false},
+		{"piecewise-linear", true},
+	} {
+		graph, prof, unit, err := BuildForAblation(cfg, g, sc)
+		if err != nil {
+			return nil, err
+		}
+		f, err := frontier.Characterize(graph, prof, frontier.Options{Unit: unit, PiecewiseFit: variant.piecewise})
+		if err != nil {
+			return nil, err
+		}
+		pts := f.Points()
+		t.Rows = append(t.Rows, []string{
+			variant.name, fmt.Sprint(len(pts)),
+			fmt.Sprintf("%.0f", pts[0].Energy),
+			fmt.Sprintf("%.0f", pts[len(pts)-1].Energy),
+		})
+	}
+	return t, nil
+}
+
+// AblationTau sweeps the unit time τ, trading frontier granularity for
+// optimizer runtime (paper footnote 7).
+func AblationTau(cfg WorkloadConfig, g *gpu.Model, taus []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: unit time τ (%s on %s)", cfg.Display, g.Name),
+		Header: []string{"τ (ms)", "Frontier points", "Runtime", "Energy at Tmin (J)"},
+	}
+	for _, tau := range taus {
+		graph, prof, _, err := BuildForAblation(cfg, g, Scale{MaxMicrobatches: 12})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		f, err := frontier.Characterize(graph, prof, frontier.Options{Unit: tau})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		pts := f.Points()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", tau*1e3), fmt.Sprint(len(pts)),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", pts[0].Energy),
+		})
+	}
+	return t, nil
+}

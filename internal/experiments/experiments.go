@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"perseus/internal/baselines"
+	"perseus/internal/cluster"
+	"perseus/internal/gpu"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+)
+
+// Table is one reproduced table or figure series, renderable as text.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintf(w, "== %s ==\n%s\n", t.Title, line(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Table1 reproduces paper Table 1: the minimum imbalance ratio of every
+// model for 4 and 8 pipeline stages.
+func Table1() (*Table, error) {
+	t := &Table{
+		Title:  "Table 1: minimum forward-latency imbalance ratio (1.00 = perfect balance)",
+		Header: []string{"Model", "Params", "4 stages", "8 stages"},
+	}
+	for _, m := range model.Catalog() {
+		row := []string{m.Name, fmt.Sprintf("%.1fB", float64(m.Params())/1e9)}
+		for _, n := range []int{4, 8} {
+			r, err := partition.MinImbalance(m.LayerCosts(), n)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", r.Ratio))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table7 reproduces Appendix B Table 7: the minimum-imbalance partitions.
+func Table7() (*Table, error) {
+	t := &Table{
+		Title:  "Table 7: minimum imbalance partitions (layer boundary indices)",
+		Header: []string{"Model", "4-stage partition", "8-stage partition"},
+	}
+	for _, m := range model.Catalog() {
+		row := []string{m.Name}
+		for _, n := range []int{4, 8} {
+			r, err := partition.MinImbalance(m.LayerCosts(), n)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprint(r.Boundaries))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// PotentialSavings reproduces §2.4: the energy saved by running every
+// computation at its minimum-energy frequency, an upper bound that ignores
+// the resulting slowdown.
+func PotentialSavings(g *gpu.Model, cfgs []WorkloadConfig, sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Potential savings upper bound on %s (all computations at min-energy frequency)", g.Name),
+		Header: []string{"Workload", "Savings (%)", "Slowdown (%)"},
+	}
+	var sum float64
+	for _, cfg := range cfgs {
+		sys, err := BuildSystem(cfg, g, sc)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := sys.MinEnergyPlan()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.SimulatePlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		sav := 1 - res.Energy/sys.Base.Energy
+		sum += sav
+		t.Rows = append(t.Rows, []string{cfg.Display, pct(sav), pct(res.IterTime/sys.Base.IterTime - 1)})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("average savings %.1f%% (paper: 16%% on A100, 27%% on A40)",
+		100*sum/float64(len(cfgs))))
+	return t, nil
+}
+
+// Table3 reproduces paper Table 3: intrinsic energy bloat reduction
+// without stragglers, Perseus versus EnvPipe, with iteration slowdown.
+func Table3(g *gpu.Model, cfgs []WorkloadConfig, sc Scale) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Table 3: intrinsic bloat reduction on %s (no stragglers)", g.Name),
+		Header: []string{"Model", "Perseus savings (%)", "EnvPipe savings (%)",
+			"Perseus slowdown (%)", "EnvPipe slowdown (%)"},
+	}
+	for _, cfg := range cfgs {
+		sys, err := BuildSystem(cfg, g, sc)
+		if err != nil {
+			return nil, err
+		}
+		pres, err := sys.SimulatePlan(sys.PerseusPlan(0))
+		if err != nil {
+			return nil, err
+		}
+		eplan, err := baselines.EnvPipe(sys.Spec)
+		if err != nil {
+			return nil, err
+		}
+		eres, err := sys.SimulatePlan(eplan)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.Display,
+			pct(1 - pres.Energy/sys.Base.Energy),
+			pct(1 - eres.Energy/sys.Base.Energy),
+			pct(pres.IterTime/sys.Base.IterTime - 1),
+			pct(eres.IterTime/sys.Base.IterTime - 1),
+		})
+	}
+	return t, nil
+}
+
+// StragglerSlowdowns are the straggler factors of paper Table 4.
+var StragglerSlowdowns = []float64{1.05, 1.1, 1.2, 1.3, 1.4, 1.5}
+
+// Table4 reproduces paper Table 4: energy savings of a non-straggler
+// pipeline for varying straggler slowdowns, Perseus versus EnvPipe.
+func Table4(g *gpu.Model, cfgs []WorkloadConfig, sc Scale) (*Table, error) {
+	header := []string{"Model", "Method"}
+	for _, s := range StragglerSlowdowns {
+		header = append(header, fmt.Sprintf("%.2f", s))
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Table 4: non-straggler savings (%%) vs straggler slowdown T'/T on %s", g.Name),
+		Header: header,
+	}
+	for _, cfg := range cfgs {
+		sys, err := BuildSystem(cfg, g, sc)
+		if err != nil {
+			return nil, err
+		}
+		prow := []string{cfg.Display, "Perseus"}
+		erow := []string{"", "EnvPipe"}
+		eplan, err := baselines.EnvPipe(sys.Spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, slow := range StragglerSlowdowns {
+			ps, es, err := stragglerSavings(sys, eplan, slow)
+			if err != nil {
+				return nil, err
+			}
+			prow = append(prow, pct(ps))
+			erow = append(erow, pct(es))
+		}
+		t.Rows = append(t.Rows, prow, erow)
+	}
+	t.Notes = append(t.Notes,
+		"T*/Tmin per workload governs where savings peak (paper §6.2.2)")
+	return t, nil
+}
+
+// stragglerSavings computes the non-straggler pipeline's energy savings
+// under one straggler with the given slowdown factor, for Perseus and for
+// EnvPipe, relative to the all-max baseline in the same scenario.
+func stragglerSavings(sys *System, envpipePlan cluster.Plan, slow float64) (perseus, envpipe float64, err error) {
+	spec := sys.Spec
+	spec.DataParallel = 2
+	straggle := []cluster.Straggler{{Pipeline: 0, Factor: slow}}
+	maxPlan := cluster.PlanAllMax(spec.Schedule, sys.GPU)
+
+	base, err := cluster.Simulate(spec, maxPlan, straggle)
+	if err != nil {
+		return 0, 0, err
+	}
+	baseline := base.PerPipeline[1].ComputeJ + base.PerPipeline[1].BlockJ
+
+	// The straggler keeps the no-straggler Perseus schedule (it is slow
+	// because the infrastructure throttled it); non-stragglers get the
+	// schedule for the anticipated straggler iteration time T'.
+	fastest := sys.PerseusPlan(0)
+	fastRes, err := cluster.Simulate(spec, fastest, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	tPrime := fastRes.IterTime * slow
+	slowPlan := sys.PerseusPlan(tPrime)
+	pres, err := cluster.SimulateMulti(spec, func(p int) cluster.Plan {
+		if p == 0 {
+			return fastest
+		}
+		return slowPlan
+	}, straggle)
+	if err != nil {
+		return 0, 0, err
+	}
+	perseusE := pres.PerPipeline[1].ComputeJ + pres.PerPipeline[1].BlockJ
+
+	eres, err := cluster.Simulate(spec, envpipePlan, straggle)
+	if err != nil {
+		return 0, 0, err
+	}
+	envpipeE := eres.PerPipeline[1].ComputeJ + eres.PerPipeline[1].BlockJ
+
+	return 1 - perseusE/baseline, 1 - envpipeE/baseline, nil
+}
+
+// FrontierSeries is one system's iteration time-energy curve for the
+// frontier-comparison figures.
+type FrontierSeries struct {
+	Name   string
+	Time   []float64
+	Energy []float64
+}
+
+// FrontierComparison reproduces one panel of paper Figures 9/12/13: the
+// simulated iteration time-energy frontier of Perseus against ZeusGlobal
+// and ZeusPerStage. maxPoints subsamples the Perseus frontier for
+// plotting.
+func FrontierComparison(sys *System, maxPoints int) ([]FrontierSeries, error) {
+	if maxPoints <= 1 {
+		maxPoints = 40
+	}
+	pts := sys.Frontier.Points()
+	stride := (len(pts) + maxPoints - 1) / maxPoints
+	if stride < 1 {
+		stride = 1
+	}
+	var per FrontierSeries
+	per.Name = "Perseus"
+	for i := 0; i < len(pts); i += stride {
+		res, err := sys.SimulatePlan(cluster.Plan(pts[i].Plan()))
+		if err != nil {
+			return nil, err
+		}
+		per.Time = append(per.Time, res.IterTime)
+		per.Energy = append(per.Energy, res.Energy)
+	}
+	zg, err := baselines.ZeusGlobal(sys.Spec)
+	if err != nil {
+		return nil, err
+	}
+	zp, err := baselines.ZeusPerStage(sys.Spec)
+	if err != nil {
+		return nil, err
+	}
+	series := []FrontierSeries{per, {Name: "ZeusGlobal"}, {Name: "ZeusPerStage"}}
+	for _, p := range zg {
+		series[1].Time = append(series[1].Time, p.Time)
+		series[1].Energy = append(series[1].Energy, p.Energy)
+	}
+	for _, p := range zp {
+		series[2].Time = append(series[2].Time, p.Time)
+		series[2].Energy = append(series[2].Energy, p.Energy)
+	}
+	return series, nil
+}
+
+// ParetoDominates reports whether series a dominates series b: for every
+// point of b there is a point of a that is at least as fast and consumes
+// no more energy (within tol relative slack).
+func ParetoDominates(a, b FrontierSeries, tol float64) bool {
+	for i := range b.Time {
+		ok := false
+		for j := range a.Time {
+			if a.Time[j] <= b.Time[i]*(1+tol) && a.Energy[j] <= b.Energy[i]*(1+tol) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// envPipePlan builds the EnvPipe plan for a system's pipeline.
+func envPipePlan(sys *System) (cluster.Plan, error) {
+	return baselines.EnvPipe(sys.Spec)
+}
+
+// Overhead reproduces §6.5: optimizer runtime per workload.
+func Overhead(g *gpu.Model, cfgs []WorkloadConfig, sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("§6.5 optimizer overhead on %s", g.Name),
+		Header: []string{"Workload", "Frontier points", "Runtime"},
+	}
+	for _, cfg := range cfgs {
+		start := time.Now()
+		sys, err := BuildSystem(cfg, g, sc)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.Display,
+			fmt.Sprint(len(sys.Frontier.Points())),
+			time.Since(start).Round(time.Millisecond).String(),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: 6.5 min average on A100 workloads (Python); lookups are instantaneous")
+	return t, nil
+}

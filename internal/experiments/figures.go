@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"perseus/internal/cluster"
+	"perseus/internal/fit"
+	"perseus/internal/gpu"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+	"perseus/internal/viz"
+)
+
+// Figure1 renders paper Figure 1 (and the Figure 10 panels): one training
+// iteration of a model with 4 stages and 6 microbatches on A100 PCIe,
+// drawn to scale — first at all-maximum frequency, then under Perseus's
+// Tmin energy schedule that removes intrinsic bloat without lengthening
+// the iteration.
+func Figure1(w io.Writer, modelName string, sc Scale) error {
+	cfg := WorkloadConfig{
+		Display: modelName, Model: modelName,
+		Stages: 4, MicrobatchSize: 4, Microbatches: 6,
+	}
+	sys, err := BuildSystem(cfg, gpu.A100PCIe, sc)
+	if err != nil {
+		return err
+	}
+	maxPlan := cluster.PlanAllMax(sys.Spec.Schedule, sys.GPU)
+	spans, err := cluster.Timeline(sys.Spec, maxPlan)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "-- %s, all maximum frequency (iteration %.2fs) --\n", modelName, sys.Base.IterTime)
+	if err := viz.Timeline(w, spans, 100); err != nil {
+		return err
+	}
+	plan := sys.PerseusPlan(0)
+	res, err := sys.SimulatePlan(plan)
+	if err != nil {
+		return err
+	}
+	spans, err = cluster.Timeline(sys.Spec, plan)
+	if err != nil {
+		return err
+	}
+	saving, slowdown := 1-res.Energy/sys.Base.Energy, res.IterTime/sys.Base.IterTime-1
+	fmt.Fprintf(w, "-- %s, Perseus Tmin schedule (iteration %.2fs, %.1f%% energy saving, %.1f%% slowdown) --\n",
+		modelName, res.IterTime, 100*saving, 100*slowdown)
+	return viz.Timeline(w, spans, 100)
+}
+
+// Figure9Configs are the three parallelization configurations of paper
+// Figure 9.
+func Figure9Configs() []struct {
+	Config WorkloadConfig
+	GPU    *gpu.Model
+} {
+	return []struct {
+		Config WorkloadConfig
+		GPU    *gpu.Model
+	}{
+		{WorkloadConfig{Display: "GPT-3 1.3B PP4", Model: "gpt3-1.3b", Stages: 4,
+			MicrobatchSize: 4, Microbatches: 128}, gpu.A100PCIe},
+		{WorkloadConfig{Display: "GPT-3 2.7B PP8", Model: "gpt3-2.7b", Stages: 8,
+			MicrobatchSize: 4, Microbatches: 256}, gpu.A40},
+		{ThreeDWorkload(), gpu.A40},
+	}
+}
+
+// FrontierSummary condenses one frontier-comparison panel into a table:
+// the span of each system's curve and whether Perseus Pareto-dominates it
+// (the paper's headline for Figures 9/12/13).
+func FrontierSummary(title string, series []FrontierSeries) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"System", "Time span (s)", "Energy span (J)", "Dominated by Perseus"},
+	}
+	per := series[0]
+	for i, s := range series {
+		tmin, tmax := math.Inf(1), math.Inf(-1)
+		emin, emax := math.Inf(1), math.Inf(-1)
+		for j := range s.Time {
+			tmin, tmax = math.Min(tmin, s.Time[j]), math.Max(tmax, s.Time[j])
+			emin, emax = math.Min(emin, s.Energy[j]), math.Max(emax, s.Energy[j])
+		}
+		dom := "-"
+		if i > 0 {
+			if ParetoDominates(per, s, 0.01) {
+				dom = "yes"
+			} else {
+				dom = "no"
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprintf("%.2f - %.2f", tmin, tmax),
+			fmt.Sprintf("%.0f - %.0f", emin, emax),
+			dom,
+		})
+	}
+	return t
+}
+
+// Figure9 reproduces paper Figure 9: Perseus versus the Zeus-derived
+// baselines on three GPT-3 parallelization configurations. It returns one
+// summary table per panel and optionally streams the full CSV series.
+func Figure9(csv io.Writer, sc Scale) ([]*Table, error) {
+	var tables []*Table
+	for _, panel := range Figure9Configs() {
+		sys, err := BuildSystem(panel.Config, panel.GPU, sc)
+		if err != nil {
+			return nil, err
+		}
+		series, err := FrontierComparison(sys, 40)
+		if err != nil {
+			return nil, err
+		}
+		title := fmt.Sprintf("Figure 9: %s on %s", panel.Config.Display, panel.GPU.Name)
+		tables = append(tables, FrontierSummary(title, series))
+		if csv != nil {
+			for _, s := range series {
+				if err := viz.Series(csv, title+" / "+s.Name, s.Time, s.Energy); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return tables, nil
+}
+
+// Figure12And13 reproduces Appendix H: frontier comparisons for the
+// remaining workloads — Figure 12 (eight-stage A40) and Figure 13
+// (four-stage A100 PCIe).
+func Figure12And13(csv io.Writer, sc Scale) ([]*Table, error) {
+	var tables []*Table
+	panels := []struct {
+		cfgs []WorkloadConfig
+		g    *gpu.Model
+		fig  string
+	}{
+		{A40Workloads()[1:], gpu.A40, "Figure 12"}, // BERT, T5, Bloom, WRN
+		{A100Workloads()[1:], gpu.A100PCIe, "Figure 13"},
+	}
+	for _, p := range panels {
+		for _, cfg := range p.cfgs {
+			sys, err := BuildSystem(cfg, p.g, sc)
+			if err != nil {
+				return nil, err
+			}
+			series, err := FrontierComparison(sys, 30)
+			if err != nil {
+				return nil, err
+			}
+			title := fmt.Sprintf("%s: %s on %s", p.fig, cfg.Display, p.g.Name)
+			tables = append(tables, FrontierSummary(title, series))
+			if csv != nil {
+				for _, s := range series {
+					if err := viz.Series(csv, title+" / "+s.Name, s.Time, s.Energy); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return tables, nil
+}
+
+// Figure11 reproduces Appendix D Figure 11: the quality of the exponential
+// fit to each stage's Pareto-optimal (time, energy) measurements, for
+// GPT-3 0.3B with four stages on A40.
+func Figure11() (*Table, error) {
+	m, err := model.GPT3("0.3b")
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.MinImbalance(m.LayerCosts(), 4)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.FromWorkload(profile.Workload{
+		Model: m, GPU: gpu.A40, Stages: 4, Chunks: 1,
+		Partition: part.Boundaries, MicrobatchSize: 4, TensorParallel: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 11: exponential fit quality per stage (GPT-3 0.3B, A40)",
+		Header: []string{"Stage", "Kind", "Pareto points", "Fit rel. RMSE (%)"},
+		Notes:  []string{"the exponential a*exp(b*t)+c is a natural fit to Pareto measurements (Appendix D)"},
+	}
+	for v := 0; v < 4; v++ {
+		for _, kind := range []sched.Kind{sched.Forward, sched.Backward} {
+			tp := prof.Types[profile.TypeKey{Virtual: v, Kind: kind}]
+			var ts, es []float64
+			var mean float64
+			for _, pt := range tp.Points {
+				ts = append(ts, pt.Time)
+				es = append(es, pt.Energy)
+				mean += pt.Energy
+			}
+			mean /= float64(len(es))
+			rmse := fit.RMSE(tp.Curve, ts, es)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(v), kind.String(), fmt.Sprint(len(tp.Points)),
+				fmt.Sprintf("%.2f", 100*rmse/math.Abs(mean)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// RealizedPotential reproduces §6.2.3: the fraction of the §2.4 potential
+// savings Perseus realizes without stragglers (paper: 74% on A100, 89% on
+// A40 on average).
+func RealizedPotential(g *gpu.Model, cfgs []WorkloadConfig, sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("§6.2.3 realized fraction of potential savings on %s", g.Name),
+		Header: []string{"Workload", "Perseus (%)", "Potential (%)", "Realized (%)"},
+	}
+	var sum float64
+	for _, cfg := range cfgs {
+		sys, err := BuildSystem(cfg, g, sc)
+		if err != nil {
+			return nil, err
+		}
+		pres, err := sys.SimulatePlan(sys.PerseusPlan(0))
+		if err != nil {
+			return nil, err
+		}
+		minPlan, err := sys.MinEnergyPlan()
+		if err != nil {
+			return nil, err
+		}
+		mres, err := sys.SimulatePlan(minPlan)
+		if err != nil {
+			return nil, err
+		}
+		perseus := 1 - pres.Energy/sys.Base.Energy
+		potential := 1 - mres.Energy/sys.Base.Energy
+		realized := perseus / potential
+		sum += realized
+		t.Rows = append(t.Rows, []string{cfg.Display, pct(perseus), pct(potential), pct(realized)})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("average realized %.0f%% (paper: 74%% A100, 89%% A40)",
+		100*sum/float64(len(cfgs))))
+	return t, nil
+}

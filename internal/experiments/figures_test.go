@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"perseus/internal/gpu"
+)
+
+func TestFigure1Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure1(&buf, "gpt3-1.3b", Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "S1 |") != 2 {
+		t.Errorf("want two timelines (all-max and Perseus):\n%s", out)
+	}
+	if !strings.Contains(out, "energy saving") {
+		t.Errorf("missing savings annotation")
+	}
+}
+
+func TestFigure11FitQuality(t *testing.T) {
+	tab, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d rows, want 8 (4 stages x fwd/bwd)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		rmse, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmse > 5 {
+			t.Errorf("stage %s %s: fit RMSE %v%% too large — the exponential should fit naturally", row[0], row[1], rmse)
+		}
+	}
+}
+
+func TestFigure9Summaries(t *testing.T) {
+	// Only the first (smallest) panel at quick scale; the full driver is
+	// exercised by cmd/perseus-tables and the benchmarks.
+	panel := Figure9Configs()[0]
+	sys, err := BuildSystem(panel.Config, panel.GPU, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := FrontierComparison(sys, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := FrontierSummary("test", series)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows[1:] {
+		if row[3] != "yes" {
+			t.Errorf("%s not dominated by Perseus", row[0])
+		}
+	}
+}
+
+func TestRealizedPotential(t *testing.T) {
+	tab, err := RealizedPotential(gpu.A40, A40Workloads()[:1], Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realized, err := strconv.ParseFloat(tab.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 74% (A100) to 89% (A40) of potential realized; accept a
+	// broad band but require a substantial fraction.
+	if realized < 50 || realized > 101 {
+		t.Errorf("realized %v%% of potential outside [50, 101]", realized)
+	}
+}
+
+func TestAblationGreedy(t *testing.T) {
+	tab, err := AblationGreedy(A100Workloads()[0], gpu.A100PCIe, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][2] != "yes" {
+		t.Error("min-cut stepper did not reach Tmin")
+	}
+	minCutPts, _ := strconv.Atoi(tab.Rows[0][1])
+	greedyPts, _ := strconv.Atoi(tab.Rows[1][1])
+	if greedyPts > minCutPts {
+		t.Errorf("greedy covered more frontier (%d) than min-cut (%d)", greedyPts, minCutPts)
+	}
+}
+
+func TestAblationFit(t *testing.T) {
+	tab, err := AblationFit(A100Workloads()[0], gpu.A100PCIe, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Both reach a similar T* energy (same minimum-energy durations).
+	e1, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	e2, _ := strconv.ParseFloat(tab.Rows[1][3], 64)
+	if e1 == 0 || e2 == 0 {
+		t.Fatal("zero energies")
+	}
+	if diff := (e1 - e2) / e1; diff > 0.02 || diff < -0.02 {
+		t.Errorf("T* energies diverge: %v vs %v", e1, e2)
+	}
+}
+
+func TestAblationTau(t *testing.T) {
+	tab, err := AblationTau(WorkloadConfig{
+		Display: "GPT-3 1.3B", Model: "gpt3-1.3b", Stages: 2,
+		MicrobatchSize: 4, Microbatches: 4,
+	}, gpu.A100PCIe, []float64{20e-3, 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, _ := strconv.Atoi(tab.Rows[0][1])
+	fine, _ := strconv.Atoi(tab.Rows[1][1])
+	if fine <= coarse {
+		t.Errorf("finer τ should yield more frontier points: %d vs %d", fine, coarse)
+	}
+}

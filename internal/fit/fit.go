@@ -1,0 +1,176 @@
+// Package fit implements the continuous relaxation of paper §4.1 /
+// Appendix D: fitting the exponential function e(t) = a·e^{b·t} + c to the
+// Pareto-optimal (time, energy) measurements of each forward and backward
+// computation. The exponential captures the diminishing returns of
+// spending energy to reduce computation time and turns the NP-hard
+// discrete problem into an efficiently solvable continuous one.
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Curve maps a planned computation duration to predicted energy.
+type Curve interface {
+	// Eval returns the predicted energy at duration t.
+	Eval(t float64) float64
+}
+
+// Exp is the fitted exponential a·e^{b·(t−t0)} + c. The time shift t0
+// keeps the exponent small for numerical stability; it is folded into a
+// when convenient but kept explicit so durations far from zero (integer τ
+// units) do not overflow.
+type Exp struct {
+	A, B, C float64
+	T0      float64
+}
+
+// Eval returns a·e^{b·(t−t0)} + c.
+func (e Exp) Eval(t float64) float64 {
+	return e.A*math.Exp(e.B*(t-e.T0)) + e.C
+}
+
+func (e Exp) String() string {
+	return fmt.Sprintf("%.6g*exp(%.6g*(t-%.6g))+%.6g", e.A, e.B, e.T0, e.C)
+}
+
+// FitExp fits e(t) = a·e^{b·(t−t0)} + c to the points by least squares:
+// for each candidate decay rate b, the optimal (a, c) solve a 2×2 linear
+// system; b itself is found by golden-section search over a log-spaced
+// bracket. Points must be at least three, with strictly increasing times.
+func FitExp(ts, es []float64) (Exp, error) {
+	if len(ts) != len(es) {
+		return Exp{}, fmt.Errorf("fit: %d times vs %d energies", len(ts), len(es))
+	}
+	if len(ts) < 3 {
+		return Exp{}, fmt.Errorf("fit: need at least 3 points, got %d", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return Exp{}, fmt.Errorf("fit: times not strictly increasing at %d", i)
+		}
+	}
+	t0 := ts[0]
+	span := ts[len(ts)-1] - ts[0]
+	if span <= 0 {
+		return Exp{}, fmt.Errorf("fit: degenerate time span")
+	}
+
+	sse := func(b float64) (float64, float64, float64) {
+		// Linear least squares for (a, c) with u = exp(b (t - t0)).
+		var su, suu, se, sue float64
+		n := float64(len(ts))
+		for i := range ts {
+			u := math.Exp(b * (ts[i] - t0))
+			su += u
+			suu += u * u
+			se += es[i]
+			sue += u * es[i]
+		}
+		den := n*suu - su*su
+		if math.Abs(den) < 1e-30 {
+			return math.Inf(1), 0, 0
+		}
+		a := (n*sue - su*se) / den
+		c := (se - a*su) / n
+		var s float64
+		for i := range ts {
+			r := a*math.Exp(b*(ts[i]-t0)) + c - es[i]
+			s += r * r
+		}
+		return s, a, c
+	}
+
+	// Bracket b over decay rates spanning "barely curved" to "cliff".
+	bestB, bestSSE := -1.0/span, math.Inf(1)
+	for k := 0; k < 60; k++ {
+		b := -math.Pow(10, -2+4*float64(k)/59) / span // 0.01/span .. 100/span
+		if s, _, _ := sse(b); s < bestSSE {
+			bestSSE, bestB = s, b
+		}
+	}
+	// Golden-section refinement around the best grid point.
+	lo, hi := bestB*3, bestB/3 // lo < hi (both negative)
+	const phi = 0.6180339887498949
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, _, _ := sse(x1)
+	f2, _, _ := sse(x2)
+	for iter := 0; iter < 80; iter++ {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1, _, _ = sse(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2, _, _ = sse(x2)
+		}
+	}
+	b := (lo + hi) / 2
+	if s, _, _ := sse(b); s > bestSSE {
+		b = bestB
+	}
+	_, a, c := sse(b)
+	return Exp{A: a, B: b, C: c, T0: t0}, nil
+}
+
+// PiecewiseLinear interpolates linearly between measured points; outside
+// the measured range it extrapolates with the boundary segment's slope.
+// It is the ablation alternative to the exponential fit (DESIGN.md §5).
+type PiecewiseLinear struct {
+	ts, es []float64
+}
+
+// FitPiecewise builds a piecewise-linear curve through the points, which
+// must have strictly increasing times.
+func FitPiecewise(ts, es []float64) (*PiecewiseLinear, error) {
+	if len(ts) != len(es) || len(ts) < 2 {
+		return nil, fmt.Errorf("fit: need at least 2 matched points")
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return nil, fmt.Errorf("fit: times not strictly increasing at %d", i)
+		}
+	}
+	return &PiecewiseLinear{
+		ts: append([]float64(nil), ts...),
+		es: append([]float64(nil), es...),
+	}, nil
+}
+
+// Eval returns the interpolated energy at duration t.
+func (p *PiecewiseLinear) Eval(t float64) float64 {
+	n := len(p.ts)
+	// Find the segment by binary search.
+	lo, hi := 0, n-1
+	switch {
+	case t <= p.ts[0]:
+		lo, hi = 0, 1
+	case t >= p.ts[n-1]:
+		lo, hi = n-2, n-1
+	default:
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if p.ts[mid] <= t {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	t1, t2 := p.ts[lo], p.ts[hi]
+	e1, e2 := p.es[lo], p.es[hi]
+	return e1 + (e2-e1)*(t-t1)/(t2-t1)
+}
+
+// RMSE returns the root-mean-square error of a curve over the points.
+func RMSE(c Curve, ts, es []float64) float64 {
+	var s float64
+	for i := range ts {
+		r := c.Eval(ts[i]) - es[i]
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(ts)))
+}

@@ -1,0 +1,142 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perseus/internal/gpu"
+)
+
+func TestRecoverSynthetic(t *testing.T) {
+	// Generate points from a known exponential and check recovery.
+	truth := Exp{A: 50, B: -0.08, C: 200, T0: 100}
+	var ts, es []float64
+	for x := 100.0; x <= 160; x += 4 {
+		ts = append(ts, x)
+		es = append(es, truth.Eval(x))
+	}
+	got, err := FitExp(ts, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{100, 113, 127, 142, 160} {
+		want := truth.Eval(x)
+		if rel := math.Abs(got.Eval(x)-want) / want; rel > 1e-3 {
+			t.Errorf("Eval(%v) = %v, want %v (rel err %.2e)", x, got.Eval(x), want, rel)
+		}
+	}
+}
+
+func TestRecoverWithNoise(t *testing.T) {
+	truth := Exp{A: 30, B: -0.15, C: 80, T0: 0}
+	rng := rand.New(rand.NewSource(5))
+	var ts, es []float64
+	for x := 0.0; x <= 40; x += 2 {
+		ts = append(ts, x)
+		es = append(es, truth.Eval(x)*(1+0.005*rng.NormFloat64()))
+	}
+	got, err := FitExp(ts, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMSE(got, ts, es); r > 1.0 {
+		t.Errorf("noisy fit RMSE %v too large", r)
+	}
+}
+
+func TestFitGPUCurve(t *testing.T) {
+	// Figure 11 (Appendix D): the exponential should be a natural fit to
+	// GPU Pareto-optimal (time, energy) measurements. Require a good
+	// relative fit on every preset for a representative computation.
+	for _, m := range []*gpu.Model{gpu.A100PCIe, gpu.A40} {
+		pts := m.ParetoPoints(0.15, m.MemBoundFwd, m.BlockingW)
+		var ts, es []float64
+		for _, p := range pts {
+			ts = append(ts, p.Time)
+			es = append(es, p.Energy)
+		}
+		c, err := FitExp(ts, es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := 0.0
+		for _, e := range es {
+			mean += e
+		}
+		mean /= float64(len(es))
+		if r := RMSE(c, ts, es); r/math.Abs(mean) > 0.05 {
+			t.Errorf("%s: exponential fit relative RMSE %.3f > 5%%", m.Name, r/math.Abs(mean))
+		}
+	}
+}
+
+func TestFitMonotoneDecreasing(t *testing.T) {
+	// Over the fitted range, the curve must be decreasing (slowing down
+	// never increases Pareto energy); otherwise capacities e+ / e- from
+	// the fit would go negative.
+	m := gpu.A40
+	pts := m.ParetoPoints(0.08, m.MemBoundBwd, m.BlockingW)
+	var ts, es []float64
+	for _, p := range pts {
+		ts = append(ts, p.Time)
+		es = append(es, p.Energy)
+	}
+	c, err := FitExp(ts, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.B >= 0 || c.A <= 0 {
+		t.Fatalf("fit %v should decay (A>0, B<0)", c)
+	}
+	prev := c.Eval(ts[0])
+	for x := ts[0]; x <= ts[len(ts)-1]; x += (ts[len(ts)-1] - ts[0]) / 200 {
+		cur := c.Eval(x)
+		if cur > prev+1e-9 {
+			t.Fatalf("fit not monotone decreasing at t=%v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitExp([]float64{1, 2}, []float64{3, 2}); err == nil {
+		t.Error("2 points should error")
+	}
+	if _, err := FitExp([]float64{1, 2, 2}, []float64{3, 2, 1}); err == nil {
+		t.Error("non-increasing times should error")
+	}
+	if _, err := FitExp([]float64{1, 2, 3}, []float64{3, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitPiecewise([]float64{1}, []float64{1}); err == nil {
+		t.Error("1 point should error")
+	}
+	if _, err := FitPiecewise([]float64{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("decreasing times should error")
+	}
+}
+
+func TestPiecewiseInterpolation(t *testing.T) {
+	p, err := FitPiecewise([]float64{0, 10, 20}, []float64{100, 50, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 100}, {10, 50}, {20, 40}, {5, 75}, {15, 45},
+		{-10, 150}, // extrapolate left
+		{30, 30},   // extrapolate right
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestExpString(t *testing.T) {
+	e := Exp{A: 1, B: -2, C: 3, T0: 4}
+	if e.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,589 @@
+// Package frontier implements Perseus's core contribution (paper §4): the
+// iterative graph cut-based characterization of a training pipeline's
+// time-energy Pareto frontier, and the energy-schedule lookup that removes
+// intrinsic and extrinsic energy bloat.
+//
+// Starting from the schedule where every computation runs at its
+// minimum-energy duration (the frontier's right end, T*), each iteration
+// reduces the iteration time by one unit τ with the smallest possible
+// energy increase (Algorithm 1). One reduction step (Algorithm 2 /
+// GetNextSchedule) works on the Critical DAG: any s-t cut of it speeds the
+// whole DAG by τ when the S→T cut computations speed up by τ — and T→S cut
+// computations may simultaneously slow down by τ, recovering energy. The
+// cheapest such cut is a minimum cut of the Capacity DAG whose edges carry
+// the marginal energies of the continuous relaxation (Appendix E), found
+// by maximum flow with lower bounds.
+package frontier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"perseus/internal/dag"
+	"perseus/internal/fit"
+	"perseus/internal/gpu"
+	"perseus/internal/maxflow"
+	"perseus/internal/profile"
+)
+
+// Options configure frontier characterization.
+type Options struct {
+	// Unit is the unit time τ in seconds (paper §4.2); each iteration of
+	// the optimizer reduces iteration time by exactly one unit. Smaller
+	// units give a finer frontier at higher optimization cost. Default
+	// 1 ms, the paper's setting (Appendix B.4).
+	Unit float64
+
+	// MaxSteps caps optimizer iterations as a safety net. Default
+	// 500000.
+	MaxSteps int
+
+	// Stepper selects the per-iteration strategy. Default MinCutStepper
+	// (the paper's algorithm). GreedyStepper is the ablation baseline
+	// that speeds up the single cheapest critical computation and fails
+	// to handle parallel critical paths.
+	Stepper Stepper
+
+	// PiecewiseFit replaces the exponential relaxation with
+	// piecewise-linear interpolation of the measured Pareto points
+	// (ablation, DESIGN.md §5).
+	PiecewiseFit bool
+
+	// Solver selects the max-flow algorithm inside the min-cut
+	// subroutine. Default maxflow.EdmondsKarp, the paper's choice;
+	// maxflow.Dinic computes identical cuts faster.
+	Solver maxflow.Solver
+
+	// keyframeEvery controls duration-snapshot spacing for plan
+	// reconstruction; exposed for tests.
+	keyframeEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Unit <= 0 {
+		o.Unit = 1e-3
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 500000
+	}
+	if o.Stepper == nil {
+		o.Stepper = MinCutStepper{Solver: o.Solver}
+	}
+	if o.keyframeEvery <= 0 {
+		o.keyframeEvery = 256
+	}
+	return o
+}
+
+// Stepper finds the next energy schedule one unit-time faster than the
+// current one.
+type Stepper interface {
+	// Step mutates st.durs to reduce the makespan by (at least) one
+	// unit with minimal energy increase, returning false when no
+	// further reduction is possible.
+	Step(st *state) (bool, error)
+}
+
+// compInfo is the per-computation planning state derived from its type
+// profile.
+type compInfo struct {
+	tp         *profile.TypeProfile
+	curve      fit.Curve
+	minU, maxU int64
+	fixed      bool // single-choice duration (constant op or τ too coarse)
+}
+
+// state is the optimizer's working state.
+type state struct {
+	g     *dag.Graph
+	unit  float64
+	info  []compInfo
+	durs  []int64 // alias of g.Dur[:NumReal()]
+	nReal int
+}
+
+// phi returns the relaxed adjusted energy of computation i at duration d.
+func (st *state) phi(i int, d int64) float64 {
+	ci := &st.info[i]
+	if ci.fixed {
+		return ci.tp.Points[0].Energy
+	}
+	return ci.curve.Eval(float64(d) * st.unit)
+}
+
+// marginals returns e+ (cost of speeding up by one unit) and e- (gain of
+// slowing down by one unit) for computation i, clamped to be non-negative
+// and consistent (e- <= e+), guarding against fit wiggle at the edges.
+func (st *state) marginals(i int) (ePlus, eMinus float64) {
+	d := st.durs[i]
+	ci := &st.info[i]
+	if d > ci.minU {
+		ePlus = st.phi(i, d-1) - st.phi(i, d)
+		if ePlus < 0 {
+			ePlus = 0
+		}
+	}
+	if d < ci.maxU {
+		eMinus = st.phi(i, d) - st.phi(i, d+1)
+		if eMinus < 0 {
+			eMinus = 0
+		}
+	}
+	if d > ci.minU && d < ci.maxU && eMinus > ePlus {
+		eMinus = ePlus
+	}
+	return ePlus, eMinus
+}
+
+// Point is one energy schedule on the frontier.
+type Point struct {
+	// TimeUnits and Time give the planned iteration time.
+	TimeUnits int64
+	Time      float64
+
+	// EnergyRelaxed is the relaxed objective Σ φ_i(t_i): adjusted energy
+	// under the continuous fit.
+	EnergyRelaxed float64
+
+	// Energy is the discrete adjusted computation energy
+	// Σ (e_i − P_blocking·t_i) after converting durations to real
+	// frequencies.
+	Energy float64
+
+	// RawEnergy is the discrete unadjusted computation energy Σ e_i.
+	RawEnergy float64
+
+	index int
+	f     *Frontier
+}
+
+// Durations returns the planned per-computation durations in τ units,
+// indexed by DAG op id.
+func (p Point) Durations() []int64 { return p.f.durationsAt(p.index) }
+
+// Plan returns the realized frequency plan: for each computation, the
+// slowest frequency not exceeding its planned duration (paper §4.3).
+// Constant ops get frequency 0.
+func (p Point) Plan() []gpu.Frequency {
+	durs := p.Durations()
+	plan := make([]gpu.Frequency, p.f.nReal)
+	for i := 0; i < p.f.nReal; i++ {
+		ci := &p.f.info[i]
+		if ci.tp.Constant {
+			continue
+		}
+		pt, _ := realize(ci, durs[i], p.f.Unit)
+		plan[i] = pt.Freq
+	}
+	return plan
+}
+
+// realize converts a planned duration to the discrete Pareto choice. A
+// duration at the computation's fastest bound means "as fast as possible"
+// and always realizes the maximum frequency; otherwise quantization (ceil
+// of MinTime to τ units) could admit one frequency step below maximum and
+// silently slow the Tmin schedule.
+func realize(ci *compInfo, dur int64, unit float64) (gpu.Point, float64) {
+	if dur <= ci.minU {
+		return ci.tp.Points[0], ci.tp.Raw[0]
+	}
+	return ci.tp.ForDuration(float64(dur) * unit)
+}
+
+// Frontier is the characterized time-energy tradeoff frontier: energy
+// schedules from Tmin (all-max-frequency iteration time) to T* (minimum
+// energy), one per unit time.
+type Frontier struct {
+	// Unit is τ in seconds.
+	Unit float64
+
+	// Graph is the computation DAG the frontier was characterized on.
+	Graph *dag.Graph
+
+	points []Point
+	deltas [][]durDelta // per point, changes vs previous point
+	keys   map[int][]int64
+	keyStp int
+	info   []compInfo
+	nReal  int
+
+	tminUnits, tstarUnits int64
+}
+
+type durDelta struct {
+	comp  int32
+	delta int8
+}
+
+// Tmin returns the shortest iteration time on the frontier in seconds.
+func (f *Frontier) Tmin() float64 { return float64(f.tminUnits) * f.Unit }
+
+// TStar returns the minimum-energy iteration time in seconds (paper §3.1).
+func (f *Frontier) TStar() float64 { return float64(f.tstarUnits) * f.Unit }
+
+// Points returns every frontier point ordered by increasing time.
+func (f *Frontier) Points() []Point { return f.points }
+
+// Lookup returns the energy schedule for a straggler iteration time
+// tPrime, applying the universal prescription T_opt = min(T*, T')
+// (paper Eq. 2): the schedule with the largest planned time not exceeding
+// T_opt. A tPrime at or below Tmin returns the fastest schedule — only
+// intrinsic bloat can be removed (Figure 3a).
+func (f *Frontier) Lookup(tPrime float64) Point {
+	topt := math.Min(tPrime, f.TStar())
+	units := int64(math.Floor(topt/f.Unit + 1e-9))
+	// Points are time-ascending; binary search the last one <= units.
+	lo, hi := 0, len(f.points)-1
+	if units <= f.points[0].TimeUnits {
+		return f.points[0]
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if f.points[mid].TimeUnits <= units {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return f.points[lo]
+}
+
+// durationsAt reconstructs the duration vector of point idx from the
+// nearest keyframe plus deltas.
+func (f *Frontier) durationsAt(idx int) []int64 {
+	base := idx - idx%f.keyStp
+	durs := append([]int64(nil), f.keys[base]...)
+	for i := base + 1; i <= idx; i++ {
+		for _, d := range f.deltas[i] {
+			durs[d.comp] += int64(d.delta)
+		}
+	}
+	return durs
+}
+
+// Characterize computes the frontier of a pipeline's computation DAG given
+// its profile (paper Algorithm 1).
+func Characterize(g *dag.Graph, p *profile.Profile, opts Options) (*Frontier, error) {
+	opts = opts.withDefaults()
+	nReal := g.NumReal()
+	if nReal == 0 {
+		return nil, fmt.Errorf("frontier: empty DAG")
+	}
+	st := &state{g: g, unit: opts.Unit, nReal: nReal}
+	st.info = make([]compInfo, nReal)
+	for i, op := range g.Ops {
+		tp, err := p.For(op)
+		if err != nil {
+			return nil, err
+		}
+		ci := compInfo{tp: tp}
+		if opts.PiecewiseFit && !tp.Constant {
+			var ts, es []float64
+			for _, pt := range tp.Points {
+				ts = append(ts, pt.Time)
+				es = append(es, pt.Energy)
+			}
+			pw, err := fit.FitPiecewise(ts, es)
+			if err != nil {
+				return nil, fmt.Errorf("frontier: piecewise fit for op %d: %w", i, err)
+			}
+			ci.curve = pw
+		} else {
+			ci.curve = tp.Curve
+		}
+		// Round the fastest duration to the nearest unit: ceiling would
+		// bias every critical-path computation ~τ/2 long, inflating Tmin
+		// by τ/2 times the critical path length. Realization treats a
+		// duration at minU as "maximum frequency" (see realize), so a
+		// rounded-down plan still executes correctly.
+		ci.minU = unitsRound(tp.MinTime(), opts.Unit)
+		// Ceil so the slowest planned duration admits the true
+		// minimum-energy frequency; longer plans are always realizable.
+		ci.maxU = unitsCeil(tp.MaxTime(), opts.Unit)
+		if ci.minU < 1 {
+			ci.minU = 1
+		}
+		if ci.maxU < ci.minU {
+			ci.maxU = ci.minU
+		}
+		if tp.Constant || ci.minU == ci.maxU {
+			ci.fixed = true
+			ci.maxU = ci.minU
+		}
+		st.info[i] = ci
+	}
+
+	// Tmin: makespan with every computation at its fastest duration
+	// (paper §3.1: the iteration time of running everything at maximum
+	// speed).
+	for i := 0; i < nReal; i++ {
+		g.Dur[i] = st.info[i].minU
+	}
+	tminUnits := g.Makespan()
+
+	// Algorithm 1 line 1: begin with the minimum energy schedule.
+	for i := 0; i < nReal; i++ {
+		g.Dur[i] = st.info[i].maxU
+	}
+	st.durs = g.Dur[:nReal]
+
+	f := &Frontier{
+		Unit:      opts.Unit,
+		Graph:     g,
+		info:      st.info,
+		nReal:     nReal,
+		keyStp:    opts.keyframeEvery,
+		keys:      map[int][]int64{},
+		tminUnits: tminUnits,
+	}
+
+	// Incrementally maintained energy sums.
+	var relaxed, adj, raw float64
+	for i := 0; i < nReal; i++ {
+		relaxed += st.phi(i, st.durs[i])
+		pt, r := realize(&st.info[i], st.durs[i], opts.Unit)
+		adj += pt.Energy
+		raw += r
+	}
+
+	prevDurs := append([]int64(nil), st.durs...)
+	record := func(mk int64) {
+		idx := len(f.points)
+		var deltas []durDelta
+		for i := 0; i < nReal; i++ {
+			if d := st.durs[i] - prevDurs[i]; d != 0 {
+				deltas = append(deltas, durDelta{comp: int32(i), delta: int8(d)})
+				// Update energy sums incrementally.
+				relaxed += st.phi(i, st.durs[i]) - st.phi(i, prevDurs[i])
+				newPt, newRaw := realize(&st.info[i], st.durs[i], opts.Unit)
+				oldPt, oldRaw := realize(&st.info[i], prevDurs[i], opts.Unit)
+				adj += newPt.Energy - oldPt.Energy
+				raw += newRaw - oldRaw
+				prevDurs[i] = st.durs[i]
+			}
+		}
+		f.deltas = append(f.deltas, deltas)
+		if idx%f.keyStp == 0 {
+			f.keys[idx] = append([]int64(nil), st.durs...)
+		}
+		f.points = append(f.points, Point{
+			TimeUnits:     mk,
+			Time:          float64(mk) * opts.Unit,
+			EnergyRelaxed: relaxed,
+			Energy:        adj,
+			RawEnergy:     raw,
+			index:         idx,
+			f:             f,
+		})
+	}
+
+	mk := g.Makespan()
+	f.tstarUnits = mk
+	record(mk)
+	for steps := 0; mk > tminUnits && steps < opts.MaxSteps; steps++ {
+		ok, err := opts.Stepper.Step(st)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		newMk := g.Makespan()
+		if newMk >= mk {
+			return nil, fmt.Errorf("frontier: step did not reduce makespan (%d -> %d)", mk, newMk)
+		}
+		mk = newMk
+		record(mk)
+	}
+
+	// Reverse to time-ascending order and fix indices.
+	for i, j := 0, len(f.points)-1; i < j; i, j = i+1, j-1 {
+		f.points[i], f.points[j] = f.points[j], f.points[i]
+	}
+	for i := range f.points {
+		f.points[i].f = f
+	}
+	return f, nil
+}
+
+func unitsCeil(sec, unit float64) int64 {
+	return int64(math.Ceil(sec/unit - 1e-9))
+}
+
+func unitsRound(sec, unit float64) int64 {
+	return int64(math.Round(sec / unit))
+}
+
+func unitsFloor(sec, unit float64) int64 {
+	return int64(math.Floor(sec/unit + 1e-9))
+}
+
+// MinCutStepper is the paper's GetNextSchedule (Algorithm 2): it removes
+// non-critical computations, annotates the Critical DAG with marginal
+// energy flow capacities (Eq. 8), and finds the minimum s-t cut via
+// maximum flow with lower bounds. S→T cut computations speed up by one
+// unit; T→S cut computations slow down by one unit, reclaiming energy
+// (Appendix E.1).
+type MinCutStepper struct {
+	// Solver selects the max-flow algorithm (default Edmonds-Karp).
+	Solver maxflow.Solver
+}
+
+// Step implements Stepper.
+func (m MinCutStepper) Step(st *state) (bool, error) {
+	g := st.g
+	est := g.EarliestStarts()
+	mk := est[g.Sink]
+	lst := g.LatestStarts(mk)
+	critical := make([]bool, len(g.Dur))
+	for v := range critical {
+		critical[v] = est[v] == lst[v]
+	}
+	critical[g.Source] = true
+	critical[g.Sink] = true
+
+	// Split each critical node into in/out; assign flow-network ids.
+	nodeID := make([]int32, len(g.Dur))
+	for i := range nodeID {
+		nodeID[i] = -1
+	}
+	next := 0
+	for v := range critical {
+		if critical[v] {
+			nodeID[v] = int32(next)
+			next += 2 // in = id, out = id+1
+		}
+	}
+	inf := math.Inf(1)
+	var edges []maxflow.BoundedEdge
+	for v := range critical {
+		if !critical[v] {
+			continue
+		}
+		in, out := int(nodeID[v]), int(nodeID[v])+1
+		lo, up := 0.0, inf
+		if v < st.nReal && !st.info[v].fixed {
+			ePlus, eMinus := st.marginals(v)
+			d := st.durs[v]
+			ci := &st.info[v]
+			switch {
+			case d == ci.maxU: // slowest: can only speed up
+				lo, up = 0, ePlus
+			case d == ci.minU: // fastest: can only slow down
+				lo, up = eMinus, inf
+			default:
+				lo, up = eMinus, ePlus
+			}
+		}
+		edges = append(edges, maxflow.BoundedEdge{From: in, To: out, Lower: lo, Upper: up})
+		for _, w := range g.Succ[v] {
+			// Only tight edges belong to the Critical DAG: both
+			// endpoints critical and the dependency binding
+			// (est[w] == est[v] + dur[v]). A slack dependency between
+			// two critical nodes lies on no critical path and must not
+			// constrain the cut.
+			if critical[w] && est[w] == est[v]+g.Dur[v] {
+				edges = append(edges, maxflow.BoundedEdge{
+					From: out, To: int(nodeID[w]), Lower: 0, Upper: inf,
+				})
+			}
+		}
+	}
+	s := int(nodeID[g.Source])
+	t := int(nodeID[g.Sink]) + 1
+	res, err := maxflow.MinCutWithBoundsUsing(m.Solver, next, edges, s, t)
+	if errors.Is(err, maxflow.ErrInfeasible) {
+		// No circulation satisfies every slow-down credit (Hoffman
+		// violation): some set of computations could be slowed for more
+		// energy than their surroundings can absorb, meaning the relaxed
+		// frontier has an improving rearrangement this step cannot
+		// express. The paper's Algorithm 3 returns nil here without a
+		// recovery; we fall back to the speed-up-only cut (all lower
+		// bounds zero), which is always feasible and still reduces the
+		// makespan by exactly one unit, at a slightly higher energy for
+		// this step.
+		zeroed := make([]maxflow.BoundedEdge, len(edges))
+		for i, e := range edges {
+			e.Lower = 0
+			zeroed[i] = e
+		}
+		res, err = maxflow.MinCutWithBoundsUsing(m.Solver, next, zeroed, s, t)
+	}
+	if err != nil {
+		return false, fmt.Errorf("frontier: min cut: %w", err)
+	}
+	if math.IsInf(res.Value, 1) {
+		return false, nil
+	}
+
+	var spedUp, slowed []int
+	for v := 0; v < st.nReal; v++ {
+		if nodeID[v] < 0 || st.info[v].fixed {
+			continue
+		}
+		inS := res.SSide[nodeID[v]]
+		outS := res.SSide[nodeID[v]+1]
+		switch {
+		case inS && !outS: // S→T cut edge: speed up
+			if st.durs[v] <= st.info[v].minU {
+				return false, fmt.Errorf("frontier: cut crosses computation %d already at its fastest", v)
+			}
+			st.durs[v]--
+			spedUp = append(spedUp, v)
+		case !inS && outS: // T→S cut edge: slow down
+			if st.durs[v] < st.info[v].maxU {
+				st.durs[v]++
+				slowed = append(slowed, v)
+			}
+		}
+	}
+	if len(spedUp) == 0 {
+		return false, fmt.Errorf("frontier: finite cut with no computations to speed up")
+	}
+
+	// Safety check (DESIGN.md §3): slowing T→S computations is exact on
+	// the Critical DAG but may lengthen a path through formerly
+	// non-critical nodes. If the makespan did not drop by exactly one
+	// unit, revert the slowdowns — speedups alone always reduce every
+	// critical path and never lengthen any path.
+	if len(slowed) > 0 && st.g.Makespan() != mk-1 {
+		for _, v := range slowed {
+			st.durs[v]--
+		}
+	}
+	return true, nil
+}
+
+// GreedyStepper is the ablation baseline: speed up the single critical
+// computation with the smallest marginal energy. It cannot reduce the
+// makespan when two critical paths run in parallel (paper Figure 6's key
+// observation), so it terminates early with a partial frontier.
+type GreedyStepper struct{}
+
+// Step implements Stepper.
+func (GreedyStepper) Step(st *state) (bool, error) {
+	g := st.g
+	critical, mk := g.Critical()
+	best, bestCost := -1, math.Inf(1)
+	for v := 0; v < st.nReal; v++ {
+		if !critical[v] || st.info[v].fixed || st.durs[v] <= st.info[v].minU {
+			continue
+		}
+		ePlus, _ := st.marginals(v)
+		if ePlus < bestCost {
+			best, bestCost = v, ePlus
+		}
+	}
+	if best < 0 {
+		return false, nil
+	}
+	st.durs[best]--
+	if g.Makespan() >= mk {
+		// Parallel critical paths: a single speedup cannot help. Revert
+		// and give up.
+		st.durs[best]++
+		return false, nil
+	}
+	return true, nil
+}

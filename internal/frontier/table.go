@@ -1,0 +1,118 @@
+package frontier
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"perseus/internal/gpu"
+)
+
+// LookupTable is the serializable form of a characterized frontier: the
+// energy-schedule cache the Perseus server keeps per job, "saved in a
+// lookup table indexed by T'" (paper §3.2). Unlike Frontier it carries
+// fully materialized frequency plans and no profile state, so it can be
+// persisted across server restarts and served without recomputation.
+type LookupTable struct {
+	// Unit is the optimizer's τ in seconds.
+	Unit float64 `json:"unit_s"`
+
+	// TminUnits and TStarUnits bound the frontier in τ units.
+	TminUnits  int64 `json:"tmin_units"`
+	TStarUnits int64 `json:"tstar_units"`
+
+	// Points are the cached energy schedules by increasing time.
+	Points []TablePoint `json:"points"`
+}
+
+// TablePoint is one cached energy schedule.
+type TablePoint struct {
+	// TimeUnits is the planned iteration time in τ units.
+	TimeUnits int64 `json:"time_units"`
+
+	// Energy is the discrete adjusted computation energy in joules.
+	Energy float64 `json:"energy_j"`
+
+	// Freqs is the realized per-computation frequency plan (MHz),
+	// indexed by schedule op id; 0 marks constant-time operations.
+	Freqs []gpu.Frequency `json:"freqs_mhz"`
+}
+
+// Time returns the planned iteration time in seconds under the table's τ.
+func (lt *LookupTable) time(units int64) float64 { return float64(units) * lt.Unit }
+
+// Table materializes the frontier into a serializable lookup table.
+// Memory is points × computations; for very fine frontiers consider
+// sampling with stride before persisting.
+func (f *Frontier) Table() *LookupTable {
+	lt := &LookupTable{
+		Unit:       f.Unit,
+		TminUnits:  f.tminUnits,
+		TStarUnits: f.tstarUnits,
+	}
+	for _, pt := range f.points {
+		lt.Points = append(lt.Points, TablePoint{
+			TimeUnits: pt.TimeUnits,
+			Energy:    pt.Energy,
+			Freqs:     pt.Plan(),
+		})
+	}
+	return lt
+}
+
+// Lookup returns the energy schedule for an anticipated straggler
+// iteration time tPrime, with the same T_opt = min(T*, T') semantics as
+// Frontier.Lookup (paper Eq. 2). The lookup is a binary search:
+// "instantaneous" per paper §6.5.
+func (lt *LookupTable) Lookup(tPrime float64) TablePoint {
+	tstar := lt.time(lt.TStarUnits)
+	topt := math.Min(tPrime, tstar)
+	units := int64(math.Floor(topt/lt.Unit + 1e-9))
+	if units <= lt.Points[0].TimeUnits {
+		return lt.Points[0]
+	}
+	idx := sort.Search(len(lt.Points), func(i int) bool {
+		return lt.Points[i].TimeUnits > units
+	}) - 1
+	return lt.Points[idx]
+}
+
+// Tmin returns the fastest cached iteration time in seconds.
+func (lt *LookupTable) Tmin() float64 { return lt.time(lt.TminUnits) }
+
+// TStar returns the minimum-energy iteration time in seconds.
+func (lt *LookupTable) TStar() float64 { return lt.time(lt.TStarUnits) }
+
+// Save writes the table as JSON.
+func (lt *LookupTable) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(lt)
+}
+
+// LoadTable reads and validates a table written by Save.
+func LoadTable(r io.Reader) (*LookupTable, error) {
+	var lt LookupTable
+	if err := json.NewDecoder(r).Decode(&lt); err != nil {
+		return nil, fmt.Errorf("frontier: decoding lookup table: %w", err)
+	}
+	if lt.Unit <= 0 {
+		return nil, fmt.Errorf("frontier: lookup table has non-positive unit %v", lt.Unit)
+	}
+	if len(lt.Points) == 0 {
+		return nil, fmt.Errorf("frontier: lookup table has no points")
+	}
+	nComps := len(lt.Points[0].Freqs)
+	for i, pt := range lt.Points {
+		if i > 0 && pt.TimeUnits <= lt.Points[i-1].TimeUnits {
+			return nil, fmt.Errorf("frontier: lookup table times not increasing at point %d", i)
+		}
+		if len(pt.Freqs) != nComps {
+			return nil, fmt.Errorf("frontier: point %d has %d frequencies, want %d", i, len(pt.Freqs), nComps)
+		}
+	}
+	if lt.Points[0].TimeUnits != lt.TminUnits || lt.Points[len(lt.Points)-1].TimeUnits != lt.TStarUnits {
+		return nil, fmt.Errorf("frontier: lookup table endpoints do not match Tmin/T*")
+	}
+	return &lt, nil
+}

@@ -1,0 +1,343 @@
+// Package gpu models a datacenter GPU whose streaming-multiprocessor (SM)
+// frequency can be locked to any value on a discrete ladder, trading off
+// computation time against energy.
+//
+// The model substitutes for the NVIDIA A100/A40 GPUs driven through NVML in
+// the Perseus paper (SOSP 2024). Perseus only requires that the accelerator
+// expose "multiple execution speeds that trade off computation time and
+// energy" (paper §5), with three properties that this model reproduces:
+//
+//  1. Locked-frequency computation latency is deterministic and monotone
+//     decreasing in frequency, saturating at a memory-bound floor.
+//  2. Power is monotone increasing in frequency, with a static component
+//     and a dynamic component that scales like C·V²·f where the voltage V
+//     has a floor below a threshold frequency (real DVFS behaviour). This
+//     yields an interior minimum-energy frequency: "typically not the
+//     lowest frequency" (paper footnote 4).
+//  3. A GPU blocking on communication busy-loops inside a NCCL kernel and
+//     draws a constant power P_blocking (paper §4.1, footnote 5).
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Frequency is an SM clock frequency in MHz.
+type Frequency int
+
+// Model is an immutable description of a GPU type. All methods are pure
+// functions of the model parameters, so computation latency at a locked
+// frequency is exactly reproducible, mirroring the determinism that makes
+// frequency locking "suitable for tightly planning and packing execution
+// over time" (paper §3.1, footnote 3).
+type Model struct {
+	// Name identifies the preset, e.g. "A100-PCIe".
+	Name string
+
+	// FMin, FMax, FStep define the supported frequency ladder
+	// [FMin, FMin+FStep, ..., FMax], mirroring nvmlDeviceGetSupportedGraphicsClocks.
+	FMin, FMax, FStep Frequency
+
+	// TDP is the board power at FMax under full load, in watts.
+	TDP float64
+
+	// IdleW is the power drawn when clocked but idle (no kernels), in watts.
+	IdleW float64
+
+	// StaticW is the non-frequency-scaled power while computing, in watts.
+	StaticW float64
+
+	// VFloorFrac is the fraction of FMax below which the core voltage can
+	// no longer be lowered (the DVFS voltage floor).
+	VFloorFrac float64
+
+	// VMinFrac is the voltage at the floor as a fraction of the voltage
+	// at FMax.
+	VMinFrac float64
+
+	// BlockingW is P_blocking: the power drawn while busy-waiting on
+	// communication inside a collective kernel, in watts.
+	BlockingW float64
+
+	// EffFLOPS is the effective sustained compute throughput at FMax in
+	// FLOP/s, used to convert model-layer FLOP counts into seconds.
+	EffFLOPS float64
+
+	// MemBoundFwd and MemBoundBwd are the fractions of forward and
+	// backward computation time that do not scale with SM frequency
+	// (memory-/launch-bound work).
+	MemBoundFwd, MemBoundBwd float64
+}
+
+// Presets for the GPUs used in the paper's evaluation (§6.1). Parameters are
+// calibrated so the model reproduces the paper's headline statistics: the
+// A40's wider dynamic frequency range yields roughly 27% potential energy
+// savings at minimum-energy frequencies versus roughly 16% on the A100
+// (paper §2.4), and P(FMin) stays above P_blocking.
+var (
+	// A100PCIe models the NVIDIA A100-80G PCIe (evaluation testbed §6.1):
+	// 210-1410 MHz in 15 MHz steps, 300 W TDP.
+	A100PCIe = &Model{
+		Name:        "A100-PCIe",
+		FMin:        210,
+		FMax:        1410,
+		FStep:       15,
+		TDP:         300,
+		IdleW:       55,
+		StaticW:     105,
+		VFloorFrac:  0.78,
+		VMinFrac:    0.80,
+		BlockingW:   75,
+		EffFLOPS:    30e12,
+		MemBoundFwd: 0.28,
+		MemBoundBwd: 0.30,
+	}
+
+	// A100SXM models the A100 SXM used for large-scale emulation (§6.3).
+	A100SXM = &Model{
+		Name:        "A100-SXM",
+		FMin:        210,
+		FMax:        1410,
+		FStep:       15,
+		TDP:         400,
+		IdleW:       60,
+		StaticW:     140,
+		VFloorFrac:  0.78,
+		VMinFrac:    0.80,
+		BlockingW:   90,
+		EffFLOPS:    42e12,
+		MemBoundFwd: 0.28,
+		MemBoundBwd: 0.30,
+	}
+
+	// H100SXM models the NVIDIA H100 SXM, the paper's §6.2 forward-looking
+	// case: a higher maximum frequency (1980 MHz) and TDP (700 W) widen
+	// the dynamic range, so percentage savings exceed both A100 and A40.
+	// Speculative calibration — the paper only cites the spec sheet.
+	H100SXM = &Model{
+		Name:        "H100-SXM",
+		FMin:        210,
+		FMax:        1980,
+		FStep:       15,
+		TDP:         700,
+		IdleW:       70,
+		StaticW:     170,
+		VFloorFrac:  0.62,
+		VMinFrac:    0.62,
+		BlockingW:   120,
+		EffFLOPS:    180e12,
+		MemBoundFwd: 0.22,
+		MemBoundBwd: 0.24,
+	}
+
+	// A40 models the NVIDIA A40-48G (evaluation testbed §6.1):
+	// 210-1740 MHz in 15 MHz steps, 300 W TDP. Its wider frequency range
+	// yields deeper energy savings than the A100 (paper §6.2).
+	A40 = &Model{
+		Name:        "A40",
+		FMin:        210,
+		FMax:        1740,
+		FStep:       15,
+		TDP:         300,
+		IdleW:       40,
+		StaticW:     85,
+		VFloorFrac:  0.70,
+		VMinFrac:    0.66,
+		BlockingW:   66,
+		EffFLOPS:    25e12,
+		MemBoundFwd: 0.22,
+		MemBoundBwd: 0.24,
+	}
+)
+
+// ByName returns the preset with the given name.
+func ByName(name string) (*Model, error) {
+	for _, m := range []*Model{A100PCIe, A100SXM, A40, H100SXM} {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("gpu: unknown model %q", name)
+}
+
+// Frequencies returns the supported frequency ladder in descending order
+// (highest first), matching the profiling order in paper §5.
+func (m *Model) Frequencies() []Frequency {
+	var fs []Frequency
+	for f := m.FMax; f >= m.FMin; f -= m.FStep {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// Clamp returns the nearest supported frequency that is greater than or
+// equal to f (so a computation planned at frequency f never runs slower),
+// clamped to the ladder bounds.
+func (m *Model) Clamp(f Frequency) Frequency {
+	if f <= m.FMin {
+		return m.FMin
+	}
+	if f >= m.FMax {
+		return m.FMax
+	}
+	// Round up to the next step on the ladder.
+	steps := (f - m.FMin + m.FStep - 1) / m.FStep
+	return m.FMin + steps*m.FStep
+}
+
+// voltage returns the relative core voltage at frequency f, as a fraction of
+// the voltage at FMax. Below the voltage floor the voltage is constant.
+func (m *Model) voltage(f Frequency) float64 {
+	x := float64(f) / float64(m.FMax)
+	if x <= m.VFloorFrac {
+		return m.VMinFrac
+	}
+	return m.VMinFrac + (1-m.VMinFrac)*(x-m.VFloorFrac)/(1-m.VFloorFrac)
+}
+
+// Power returns the board power in watts while running compute kernels at
+// frequency f. The dynamic component scales as V(f)²·f (classic DVFS), and
+// the total is normalized so Power(FMax) == TDP.
+func (m *Model) Power(f Frequency) float64 {
+	x := float64(f) / float64(m.FMax)
+	v := m.voltage(f)
+	dyn := (m.TDP - m.StaticW) * v * v * x
+	return m.StaticW + dyn
+}
+
+// Time returns the execution time in seconds of a computation whose time at
+// FMax is refSec, when run at frequency f. A memBound fraction of the work
+// does not scale with frequency.
+func (m *Model) Time(refSec float64, f Frequency, memBound float64) float64 {
+	x := float64(f) / float64(m.FMax)
+	return refSec * (memBound + (1-memBound)/x)
+}
+
+// Energy returns the energy in joules consumed by a computation whose time
+// at FMax is refSec, when run at frequency f.
+func (m *Model) Energy(refSec float64, f Frequency, memBound float64) float64 {
+	return m.Power(f) * m.Time(refSec, f, memBound)
+}
+
+// PowerLimitFrequency returns the highest supported frequency whose
+// sustained compute power does not exceed limitW. It models the GPU's
+// power-limit knob used by the Zeus baselines (§6.4): under a power cap the
+// clock settles at the highest frequency that respects the cap.
+func (m *Model) PowerLimitFrequency(limitW float64) Frequency {
+	for f := m.FMax; f >= m.FMin; f -= m.FStep {
+		if m.Power(f) <= limitW {
+			return f
+		}
+	}
+	return m.FMin
+}
+
+// MinEnergyFrequency returns the frequency minimizing adjusted energy
+// e(f) − pBlocking·t(f) for a computation with the given memory-bound
+// fraction. This is the slowest frequency Perseus will ever plan: past it,
+// slowing down increases energy (paper §3.1, Figure 3c).
+func (m *Model) MinEnergyFrequency(memBound, pBlocking float64) Frequency {
+	best := m.FMax
+	bestE := math.Inf(1)
+	for f := m.FMax; f >= m.FMin; f -= m.FStep {
+		t := m.Time(1, f, memBound)
+		e := m.Power(f)*t - pBlocking*t
+		if e < bestE {
+			bestE = e
+			best = f
+		}
+	}
+	return best
+}
+
+// Device is a single simulated GPU instance with NVML-like controls: the
+// frequency can be locked, and an energy counter accumulates consumption.
+// It is the accelerator handle used by the Perseus client's asynchronous
+// frequency controller.
+type Device struct {
+	Model *Model
+
+	// ID identifies the device within a cluster (e.g. "p0s2" for
+	// pipeline 0, stage 2).
+	ID string
+
+	freq    Frequency
+	energyJ float64
+}
+
+// NewDevice returns a device locked to the maximum frequency, the default
+// mode of operation in production clusters (paper Figure 9 caption).
+func NewDevice(m *Model, id string) *Device {
+	return &Device{Model: m, ID: id, freq: m.FMax}
+}
+
+// SetFrequency locks the SM frequency to the nearest supported value that
+// is not below f and returns the applied value. It mirrors
+// nvmlDeviceSetGpuLockedClocks.
+func (d *Device) SetFrequency(f Frequency) Frequency {
+	d.freq = d.Model.Clamp(f)
+	return d.freq
+}
+
+// Frequency returns the currently locked SM frequency.
+func (d *Device) Frequency() Frequency { return d.freq }
+
+// Run executes a computation whose reference time at FMax is refSec at the
+// currently locked frequency, accumulating energy, and returns the elapsed
+// time and consumed energy.
+func (d *Device) Run(refSec, memBound float64) (sec, joules float64) {
+	sec = d.Model.Time(refSec, d.freq, memBound)
+	joules = d.Model.Power(d.freq) * sec
+	d.energyJ += joules
+	return sec, joules
+}
+
+// Block accounts for sec seconds spent blocking on communication at
+// P_blocking and returns the consumed energy.
+func (d *Device) Block(sec float64) (joules float64) {
+	joules = d.Model.BlockingW * sec
+	d.energyJ += joules
+	return joules
+}
+
+// EnergyCounter returns total accumulated energy in joules, mirroring
+// nvmlDeviceGetTotalEnergyConsumption.
+func (d *Device) EnergyCounter() float64 { return d.energyJ }
+
+// ResetEnergyCounter zeroes the accumulated energy counter.
+func (d *Device) ResetEnergyCounter() { d.energyJ = 0 }
+
+// ParetoPoints returns the Pareto-optimal (time, adjusted energy) choices
+// for a computation with reference time refSec, sweeping all supported
+// frequencies, sorted by increasing time. Adjusted energy subtracts
+// pBlocking·t per paper Eq. 4. Frequencies that are slower and no cheaper
+// than another choice are pruned, mirroring the profiler's early stop
+// (paper §5: "After a certain frequency, lower frequencies result in both
+// more time and energy consumed").
+func (m *Model) ParetoPoints(refSec, memBound, pBlocking float64) []Point {
+	var pts []Point
+	for f := m.FMax; f >= m.FMin; f -= m.FStep {
+		t := m.Time(refSec, f, memBound)
+		e := m.Energy(refSec, f, memBound) - pBlocking*t
+		pts = append(pts, Point{Freq: f, Time: t, Energy: e})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+	out := pts[:0]
+	minE := math.Inf(1)
+	for _, p := range pts {
+		if p.Energy < minE {
+			out = append(out, p)
+			minE = p.Energy
+		}
+	}
+	return append([]Point(nil), out...)
+}
+
+// Point is one (frequency, time, energy) measurement.
+type Point struct {
+	Freq   Frequency
+	Time   float64 // seconds
+	Energy float64 // joules (possibly adjusted by −P_blocking·t)
+}

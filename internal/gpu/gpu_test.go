@@ -1,0 +1,300 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allModels() []*Model { return []*Model{A100PCIe, A100SXM, A40, H100SXM} }
+
+func TestFrequencyLadder(t *testing.T) {
+	fs := A100PCIe.Frequencies()
+	if fs[0] != 1410 || fs[len(fs)-1] != 210 {
+		t.Fatalf("A100 ladder endpoints = %d..%d, want 1410..210", fs[0], fs[len(fs)-1])
+	}
+	if len(fs) != 81 {
+		t.Fatalf("A100 ladder has %d frequencies, want 81", len(fs))
+	}
+	fs = A40.Frequencies()
+	if fs[0] != 1740 || len(fs) != 103 {
+		t.Fatalf("A40 ladder: first=%d len=%d, want 1740, 103", fs[0], len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1]-fs[i] != A40.FStep {
+			t.Fatalf("ladder step %d -> %d != FStep", fs[i-1], fs[i])
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	m := A100PCIe
+	cases := []struct{ in, want Frequency }{
+		{0, 210}, {210, 210}, {211, 225}, {224, 225}, {225, 225},
+		{1409, 1410}, {1410, 1410}, {9999, 1410},
+	}
+	for _, c := range cases {
+		if got := m.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampNeverSlower(t *testing.T) {
+	// The clamped frequency must never be below the requested one (a
+	// planned computation may run slightly faster but never slower,
+	// paper §4.3).
+	f := func(raw int16) bool {
+		m := A40
+		in := Frequency(raw)
+		got := m.Clamp(in)
+		if got < m.FMin || got > m.FMax {
+			return false
+		}
+		if in >= m.FMin && in <= m.FMax && got < in {
+			return false
+		}
+		return (got-m.FMin)%m.FStep == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeMonotoneDecreasingInFrequency(t *testing.T) {
+	for _, m := range allModels() {
+		prev := math.Inf(1)
+		for _, f := range m.Frequencies() {
+			// Frequencies are descending, so time must ascend as we walk.
+			tt := m.Time(1.0, f, m.MemBoundFwd)
+			if tt <= 0 {
+				t.Fatalf("%s: Time(%d) = %v <= 0", m.Name, f, tt)
+			}
+			_ = prev
+		}
+		// Walk ascending and check strictly decreasing.
+		fs := m.Frequencies()
+		for i := len(fs) - 1; i > 0; i-- {
+			lo, hi := fs[i], fs[i-1]
+			if m.Time(1, hi, 0.3) >= m.Time(1, lo, 0.3) {
+				t.Fatalf("%s: Time not decreasing between %d and %d", m.Name, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTimeAtMaxEqualsRef(t *testing.T) {
+	for _, m := range allModels() {
+		if got := m.Time(2.5, m.FMax, 0.3); math.Abs(got-2.5) > 1e-12 {
+			t.Errorf("%s: Time(ref=2.5, FMax) = %v, want 2.5", m.Name, got)
+		}
+	}
+}
+
+func TestPowerMonotoneIncreasing(t *testing.T) {
+	for _, m := range allModels() {
+		fs := m.Frequencies()
+		for i := len(fs) - 1; i > 0; i-- {
+			lo, hi := fs[i], fs[i-1]
+			if m.Power(hi) <= m.Power(lo) {
+				t.Fatalf("%s: Power not increasing between %d and %d", m.Name, lo, hi)
+			}
+		}
+		if got := m.Power(m.FMax); math.Abs(got-m.TDP) > 1e-9 {
+			t.Errorf("%s: Power(FMax) = %v, want TDP %v", m.Name, got, m.TDP)
+		}
+	}
+}
+
+func TestPowerAboveBlockingEverywhere(t *testing.T) {
+	// A GPU that is computing must draw more than a GPU busy-waiting on
+	// NCCL; otherwise adjusted energy (Eq. 4) would be negative-slope
+	// everywhere and T* would degenerate to the lowest frequency.
+	for _, m := range allModels() {
+		if p := m.Power(m.FMin); p <= m.BlockingW {
+			t.Errorf("%s: Power(FMin)=%v <= BlockingW=%v", m.Name, p, m.BlockingW)
+		}
+	}
+}
+
+func TestInteriorMinimumEnergyFrequency(t *testing.T) {
+	// Paper footnote 4: the minimum-energy frequency is "typically not
+	// the lowest frequency".
+	for _, m := range allModels() {
+		for _, mem := range []float64{m.MemBoundFwd, m.MemBoundBwd} {
+			f := m.MinEnergyFrequency(mem, m.BlockingW)
+			if f <= m.FMin {
+				t.Errorf("%s: min-energy frequency is FMin; want interior", m.Name)
+			}
+			if f >= m.FMax {
+				t.Errorf("%s: min-energy frequency is FMax; no tradeoff exists", m.Name)
+			}
+		}
+	}
+}
+
+func TestCalibrationPotentialSavings(t *testing.T) {
+	// Paper §2.4: running every computation at its minimum-energy
+	// frequency yields about 16% savings on A100 and 27% on A40 on
+	// average. Check the per-computation raw-energy savings are in a
+	// band around those (the pipeline-level numbers in the paper include
+	// blocking effects; the per-computation number must be in the same
+	// regime for the pipeline result to land).
+	check := func(m *Model, lo, hi float64) {
+		t.Helper()
+		mem := m.MemBoundFwd
+		f := m.MinEnergyFrequency(mem, m.BlockingW)
+		save := 1 - m.Energy(1, f, mem)/m.Energy(1, m.FMax, mem)
+		if save < lo || save > hi {
+			t.Errorf("%s: per-computation potential saving %.1f%%, want in [%.0f%%, %.0f%%] (minE freq %d)",
+				m.Name, 100*save, 100*lo, 100*hi, f)
+		}
+	}
+	check(A100PCIe, 0.12, 0.26)
+	check(A40, 0.22, 0.40)
+}
+
+func TestCalibrationMinEnergySlowdown(t *testing.T) {
+	// §6.2.3: stragglers with slowdown ~1.1-1.15 let Perseus fully
+	// realize potential savings, implying the per-computation
+	// minimum-adjusted-energy point sits at a modest slowdown. Allow a
+	// generous band but reject degenerate (>2x) slowdowns.
+	for _, m := range allModels() {
+		f := m.MinEnergyFrequency(m.MemBoundFwd, m.BlockingW)
+		slow := m.Time(1, f, m.MemBoundFwd)
+		if slow < 1.05 || slow > 1.8 {
+			t.Errorf("%s: min-adjusted-energy slowdown %.2fx out of [1.05, 1.8] (freq %d)", m.Name, slow, f)
+		}
+	}
+}
+
+func TestA40DeeperSavingsThanA100(t *testing.T) {
+	// Paper §6.2: "A40 demonstrates more energy savings compared to A100"
+	// due to its wider dynamic frequency range, and "we expect the more
+	// recent GPUs to have better percentage savings due to higher maximum
+	// frequency (e.g., 1980 MHz for H100 SXM)".
+	sav := func(m *Model) float64 {
+		f := m.MinEnergyFrequency(m.MemBoundFwd, m.BlockingW)
+		return 1 - m.Energy(1, f, m.MemBoundFwd)/m.Energy(1, m.FMax, m.MemBoundFwd)
+	}
+	if sav(A40) <= sav(A100PCIe) {
+		t.Errorf("A40 potential saving %.3f should exceed A100's %.3f", sav(A40), sav(A100PCIe))
+	}
+	if sav(H100SXM) <= sav(A40) {
+		t.Errorf("H100 potential saving %.3f should exceed A40's %.3f (§6.2)", sav(H100SXM), sav(A40))
+	}
+}
+
+func TestPowerLimitFrequency(t *testing.T) {
+	m := A100PCIe
+	if f := m.PowerLimitFrequency(m.TDP); f != m.FMax {
+		t.Errorf("PowerLimitFrequency(TDP) = %d, want FMax", f)
+	}
+	if f := m.PowerLimitFrequency(0); f != m.FMin {
+		t.Errorf("PowerLimitFrequency(0) = %d, want FMin", f)
+	}
+	// The returned frequency's power respects the cap, and one step up
+	// violates it (or is FMax).
+	for _, lim := range []float64{150, 200, 250, 280} {
+		f := m.PowerLimitFrequency(lim)
+		if m.Power(f) > lim {
+			t.Errorf("Power(%d)=%.1f exceeds limit %.0f", f, m.Power(f), lim)
+		}
+		if f < m.FMax && m.Power(f+m.FStep) <= lim {
+			t.Errorf("limit %.0f: %d is not the highest admissible frequency", lim, f)
+		}
+	}
+}
+
+func TestDeviceSemantics(t *testing.T) {
+	d := NewDevice(A100PCIe, "p0s0")
+	if d.Frequency() != A100PCIe.FMax {
+		t.Fatalf("new device frequency = %d, want FMax", d.Frequency())
+	}
+	applied := d.SetFrequency(1000)
+	if applied != 1005 {
+		t.Fatalf("SetFrequency(1000) applied %d, want 1005 (next step up)", applied)
+	}
+	sec, j := d.Run(0.1, 0.3)
+	wantSec := A100PCIe.Time(0.1, 1005, 0.3)
+	if math.Abs(sec-wantSec) > 1e-12 {
+		t.Errorf("Run time = %v, want %v", sec, wantSec)
+	}
+	if math.Abs(j-A100PCIe.Power(1005)*wantSec) > 1e-9 {
+		t.Errorf("Run energy = %v, want P*t", j)
+	}
+	jb := d.Block(2.0)
+	if math.Abs(jb-2*A100PCIe.BlockingW) > 1e-9 {
+		t.Errorf("Block energy = %v, want %v", jb, 2*A100PCIe.BlockingW)
+	}
+	if math.Abs(d.EnergyCounter()-(j+jb)) > 1e-9 {
+		t.Errorf("EnergyCounter = %v, want %v", d.EnergyCounter(), j+jb)
+	}
+	d.ResetEnergyCounter()
+	if d.EnergyCounter() != 0 {
+		t.Errorf("EnergyCounter after reset = %v", d.EnergyCounter())
+	}
+}
+
+func TestParetoPoints(t *testing.T) {
+	m := A40
+	pts := m.ParetoPoints(0.2, m.MemBoundFwd, m.BlockingW)
+	if len(pts) < 5 {
+		t.Fatalf("expected a nontrivial Pareto set, got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("Pareto times not strictly increasing at %d", i)
+		}
+		if pts[i].Energy >= pts[i-1].Energy {
+			t.Fatalf("Pareto energies not strictly decreasing at %d", i)
+		}
+	}
+	// The fastest point is FMax; the slowest is the min-adjusted-energy
+	// frequency, not FMin.
+	if pts[0].Freq != m.FMax {
+		t.Errorf("fastest Pareto point freq = %d, want FMax", pts[0].Freq)
+	}
+	last := pts[len(pts)-1]
+	if last.Freq != m.MinEnergyFrequency(m.MemBoundFwd, m.BlockingW) {
+		t.Errorf("slowest Pareto point freq = %d, want min-energy freq %d",
+			last.Freq, m.MinEnergyFrequency(m.MemBoundFwd, m.BlockingW))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range allModels() {
+		got, err := ByName(m.Name)
+		if err != nil || got != m {
+			t.Errorf("ByName(%q) = %v, %v", m.Name, got, err)
+		}
+	}
+	if _, err := ByName("H100"); err == nil {
+		t.Error("ByName(H100) should fail")
+	}
+}
+
+func TestEnergyConvexAlongLadder(t *testing.T) {
+	// Adjusted energy as a function of time should be decreasing up to
+	// the minimum and increasing after: exactly one sign change in the
+	// finite differences.
+	for _, m := range allModels() {
+		fs := m.Frequencies()
+		var es []float64
+		for _, f := range fs {
+			tt := m.Time(1, f, m.MemBoundFwd)
+			es = append(es, m.Power(f)*tt-m.BlockingW*tt)
+		}
+		changes := 0
+		for i := 2; i < len(es); i++ {
+			d0 := es[i-1] - es[i-2]
+			d1 := es[i] - es[i-1]
+			if (d0 < 0) != (d1 < 0) {
+				changes++
+			}
+		}
+		if changes > 1 {
+			t.Errorf("%s: adjusted energy has %d direction changes along ladder, want <= 1", m.Name, changes)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package maxflow
+
+import "math"
+
+// MaxFlowDinic pushes the maximum flow from s to t using Dinic's
+// algorithm: BFS level graphs with blocking flows found by DFS. On the
+// Capacity DAGs the Perseus optimizer builds (thousands of nodes, unit-ish
+// path structure) it is substantially faster than Edmonds-Karp while
+// computing the same flow value; the paper uses Edmonds-Karp (§4.3), so
+// that remains the default solver.
+func (g *Graph) MaxFlowDinic(s, t int) float64 {
+	level := make([]int32, g.n)
+	iter := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range g.head[u] {
+				v := g.to[id]
+				if level[v] < 0 && g.residual(id) > eps {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int32, limit float64) float64
+	dfs = func(u int32, limit float64) float64 {
+		if int(u) == t {
+			return limit
+		}
+		for ; iter[u] < int32(len(g.head[u])); iter[u]++ {
+			id := g.head[u][iter[u]]
+			v := g.to[id]
+			if level[v] != level[u]+1 {
+				continue
+			}
+			r := g.residual(id)
+			if r <= eps {
+				continue
+			}
+			pushed := dfs(v, math.Min(limit, r))
+			if pushed > 0 {
+				g.flow[id] += pushed
+				g.flow[id^1] -= pushed
+				return pushed
+			}
+		}
+		return 0
+	}
+
+	var total float64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(int32(s), math.Inf(1))
+			if pushed <= 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// Solver selects the maximum-flow algorithm used by MinCutWithBounds.
+type Solver int
+
+const (
+	// EdmondsKarp is the paper's solver (§4.3): BFS augmenting paths.
+	EdmondsKarp Solver = iota
+	// Dinic is the faster level-graph solver; identical cuts.
+	Dinic
+)
+
+// maxFlow dispatches on the solver.
+func (g *Graph) maxFlow(solver Solver, s, t int) float64 {
+	if solver == Dinic {
+		return g.MaxFlowDinic(s, t)
+	}
+	return g.MaxFlow(s, t)
+}

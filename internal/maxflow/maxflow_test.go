@@ -1,0 +1,324 @@
+package maxflow
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowClassic(t *testing.T) {
+	// CLRS figure: max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("max flow = %v, want 23", got)
+	}
+	side := g.MinCutSide(0)
+	if !side[0] || side[5] {
+		t.Fatal("cut does not separate source from sink")
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("disconnected max flow = %v, want 0", got)
+	}
+}
+
+func TestMaxFlowParallelPaths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 3, 3)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 4)
+	if got := g.MaxFlow(0, 3); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("max flow = %v, want 7", got)
+	}
+}
+
+func TestMinCutValueEqualsFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(6)
+		g := New(n)
+		type e struct {
+			u, v int
+			c    float64
+		}
+		var es []e
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					c := rng.Float64() * 10
+					g.AddEdge(u, v, c)
+					es = append(es, e{u, v, c})
+				}
+			}
+		}
+		flow := g.MaxFlow(0, n-1)
+		side := g.MinCutSide(0)
+		var cut float64
+		for _, ed := range es {
+			if side[ed.u] && !side[ed.v] {
+				cut += ed.c
+			}
+		}
+		if math.Abs(flow-cut) > 1e-6 {
+			t.Fatalf("trial %d: flow %v != cut %v", trial, flow, cut)
+		}
+	}
+}
+
+func TestBoundedSimpleChain(t *testing.T) {
+	// s(0) -> a(1) -> t(2); both edges cuttable with small uppers.
+	edges := []BoundedEdge{
+		{From: 0, To: 1, Lower: 0, Upper: 5},
+		{From: 1, To: 2, Lower: 0, Upper: 3},
+	}
+	res, err := MinCutWithBounds(3, edges, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-3) > 1e-9 {
+		t.Fatalf("cut value = %v, want 3", res.Value)
+	}
+	if !res.SSide[0] || res.SSide[2] {
+		t.Fatal("cut does not separate s from t")
+	}
+}
+
+func TestBoundedLowerRewardsBackEdge(t *testing.T) {
+	// Diamond where one forward edge is uncuttable (upper=inf, lower=2):
+	//   s -> a (upper 10), a -> t (inf, lower 2)
+	//   s -> b (upper 4),  b -> t (upper 6)
+	// plus a cross edge b -> a with lower 1, upper 9.
+	// Any finite cut must avoid a->t. Candidate cuts:
+	//   {s}: 10+4 = 14
+	//   {s,b}: 10+6 = 16 (b->a becomes S->T: +9) = 25
+	//   {s,a}: inf (a->t)
+	// So min cut is {s} with 14? But lower bounds subtract for T->S
+	// edges: cut {s} has no T->S edges. Check the algorithm agrees.
+	inf := math.Inf(1)
+	edges := []BoundedEdge{
+		{0, 1, 0, 10},
+		{1, 3, 2, inf},
+		{0, 2, 0, 4},
+		{2, 3, 0, 6},
+		{2, 1, 1, 9},
+	}
+	res, err := MinCutWithBounds(4, edges, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-14) > 1e-6 {
+		t.Fatalf("cut value = %v, want 14 (S side %v)", res.Value, res.SSide)
+	}
+}
+
+func TestBoundedInfiniteCut(t *testing.T) {
+	// Single uncuttable chain: every s-t cut crosses an infinite edge.
+	inf := math.Inf(1)
+	edges := []BoundedEdge{
+		{0, 1, 0, inf},
+		{1, 2, 1, inf},
+	}
+	res, err := MinCutWithBounds(3, edges, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Value, 1) {
+		t.Fatalf("cut value = %v, want +inf", res.Value)
+	}
+}
+
+func TestBoundedInfeasible(t *testing.T) {
+	// Lower bound 5 on an edge whose only continuation has upper 1:
+	// no feasible flow.
+	edges := []BoundedEdge{
+		{0, 1, 5, 10},
+		{1, 2, 0, 1},
+	}
+	_, err := MinCutWithBounds(3, edges, 0, 2)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBoundedRejectsBadBounds(t *testing.T) {
+	if _, err := MinCutWithBounds(2, []BoundedEdge{{0, 1, 5, 2}}, 0, 1); err == nil {
+		t.Error("upper < lower should error")
+	}
+	if _, err := MinCutWithBounds(2, []BoundedEdge{{0, 1, -1, 2}}, 0, 1); err == nil {
+		t.Error("negative lower should error")
+	}
+	if _, err := MinCutWithBounds(2, nil, 1, 1); err == nil {
+		t.Error("s == t should error")
+	}
+}
+
+func TestBoundedFlowRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		n := 4 + rng.Intn(4)
+		var edges []BoundedEdge
+		// Random DAG (edges only forward) so feasibility is plausible;
+		// layer it s=0 ... t=n-1. Give generous uppers.
+		for u := 0; u < n-1; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.6 {
+					lo := 0.0
+					if rng.Float64() < 0.3 {
+						lo = rng.Float64() * 2
+					}
+					up := lo + 5 + rng.Float64()*10
+					if rng.Float64() < 0.2 {
+						up = math.Inf(1)
+					}
+					edges = append(edges, BoundedEdge{u, v, lo, up})
+				}
+			}
+		}
+		// Ensure a backbone path exists.
+		for u := 0; u < n-1; u++ {
+			edges = append(edges, BoundedEdge{u, u + 1, 0, 20})
+		}
+		res, err := MinCutWithBounds(n, edges, 0, n-1)
+		if errors.Is(err, ErrInfeasible) {
+			continue // random lower bounds may be unsatisfiable
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bounds respected.
+		for i, e := range edges {
+			f := res.Flow[i]
+			if f < e.Lower-1e-6 {
+				t.Fatalf("trial %d: edge %d flow %v below lower %v", trial, i, f, e.Lower)
+			}
+			if !math.IsInf(e.Upper, 1) && f > e.Upper+1e-6 {
+				t.Fatalf("trial %d: edge %d flow %v above upper %v", trial, i, f, e.Upper)
+			}
+		}
+		// Conservation at interior nodes.
+		net := make([]float64, n)
+		for i, e := range edges {
+			net[e.From] -= res.Flow[i]
+			net[e.To] += res.Flow[i]
+		}
+		for v := 1; v < n-1; v++ {
+			if math.Abs(net[v]) > 1e-6 {
+				t.Fatalf("trial %d: node %d violates conservation by %v", trial, v, net[v])
+			}
+		}
+		// Cut optimality: the returned value must not exceed any
+		// enumerated cut (for small n).
+		if n <= 8 {
+			best := math.Inf(1)
+			for mask := 0; mask < 1<<n; mask++ {
+				if mask&1 == 0 || mask&(1<<(n-1)) != 0 {
+					continue
+				}
+				var val float64
+				ok := true
+				for _, e := range edges {
+					sIn := mask&(1<<e.From) != 0
+					tIn := mask&(1<<e.To) != 0
+					if sIn && !tIn {
+						if math.IsInf(e.Upper, 1) {
+							ok = false
+							break
+						}
+						val += e.Upper
+					} else if !sIn && tIn {
+						val -= e.Lower
+					}
+				}
+				if ok && val < best {
+					best = val
+				}
+			}
+			if res.Value > best+1e-6 {
+				t.Fatalf("trial %d: cut value %v exceeds enumerated best %v", trial, res.Value, best)
+			}
+		}
+	}
+}
+
+// TestDinicMatchesEdmondsKarp checks both solvers compute identical max
+// flows on random graphs.
+func TestDinicMatchesEdmondsKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + rng.Intn(8)
+		type e struct {
+			u, v int
+			c    float64
+		}
+		var es []e
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.35 {
+					es = append(es, e{u, v, rng.Float64() * 10})
+				}
+			}
+		}
+		g1, g2 := New(n), New(n)
+		for _, ed := range es {
+			g1.AddEdge(ed.u, ed.v, ed.c)
+			g2.AddEdge(ed.u, ed.v, ed.c)
+		}
+		f1 := g1.MaxFlow(0, n-1)
+		f2 := g2.MaxFlowDinic(0, n-1)
+		if math.Abs(f1-f2) > 1e-6 {
+			t.Fatalf("trial %d: Edmonds-Karp %v != Dinic %v", trial, f1, f2)
+		}
+	}
+}
+
+// TestBoundedCutSolverEquivalence checks both solvers produce equal-value
+// cuts through the lower-bounds reduction.
+func TestBoundedCutSolverEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(4)
+		var edges []BoundedEdge
+		for u := 0; u < n-1; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.55 {
+					lo := 0.0
+					if rng.Float64() < 0.3 {
+						lo = rng.Float64()
+					}
+					edges = append(edges, BoundedEdge{u, v, lo, lo + 3 + rng.Float64()*8})
+				}
+			}
+		}
+		for u := 0; u < n-1; u++ {
+			edges = append(edges, BoundedEdge{u, u + 1, 0, 15})
+		}
+		r1, err1 := MinCutWithBoundsUsing(EdmondsKarp, n, edges, 0, n-1)
+		r2, err2 := MinCutWithBoundsUsing(Dinic, n, edges, 0, n-1)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: feasibility disagreement: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(r1.Value-r2.Value) > 1e-6 {
+			t.Fatalf("trial %d: cut values differ: %v vs %v", trial, r1.Value, r2.Value)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package partition implements minimum-imbalance pipeline partitioning
+// (paper §2.2 and Appendix B.1): splitting a model's layers into N
+// contiguous stages so that the ratio of the longest stage's forward
+// computation cost to the shortest's is minimized. Only forward cost is
+// considered, as backward cost is proportional to it (Appendix B.1).
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result describes a stage partition of a layered model.
+type Result struct {
+	// Boundaries holds N+1 layer indices [0, b1, ..., L]; stage s spans
+	// layers [Boundaries[s], Boundaries[s+1]). This is the format of
+	// paper Table 7.
+	Boundaries []int
+
+	// StageCosts is the summed forward cost of each stage.
+	StageCosts []float64
+
+	// Ratio is the imbalance ratio: max stage cost / min stage cost.
+	// 1.00 means perfect balance.
+	Ratio float64
+}
+
+// MinImbalance finds the contiguous partition of costs into n stages that
+// minimizes the imbalance ratio max/min. It runs in O(L² · candidates)
+// using a feasibility DP per candidate minimum stage cost; this is exact
+// (proved against brute force in tests), matching the paper's exhaustive
+// search.
+func MinImbalance(costs []float64, n int) (Result, error) {
+	l := len(costs)
+	if n <= 0 {
+		return Result{}, fmt.Errorf("partition: need at least one stage, got %d", n)
+	}
+	if l < n {
+		return Result{}, fmt.Errorf("partition: %d layers cannot form %d stages", l, n)
+	}
+	for i, c := range costs {
+		if c <= 0 {
+			return Result{}, fmt.Errorf("partition: layer %d has non-positive cost %v", i, c)
+		}
+	}
+
+	// Prefix sums for O(1) segment cost.
+	prefix := make([]float64, l+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	seg := func(i, j int) float64 { return prefix[j] - prefix[i] }
+
+	// Candidate minimum stage costs: every contiguous segment sum that
+	// could be the smallest stage, i.e. at most total/n.
+	total := prefix[l]
+	candSet := map[float64]bool{}
+	for i := 0; i < l; i++ {
+		for j := i + 1; j <= l; j++ {
+			if s := seg(i, j); s <= total/float64(n)+1e-9 {
+				candSet[s] = true
+			}
+		}
+	}
+	cands := make([]float64, 0, len(candSet))
+	for c := range candSet {
+		cands = append(cands, c)
+	}
+	// Try larger minimums first: they bound the ratio from below more
+	// tightly, enabling early exit once no candidate can improve.
+	sort.Sort(sort.Reverse(sort.Float64Slice(cands)))
+
+	best := Result{Ratio: math.Inf(1)}
+	for _, minCost := range cands {
+		if best.Ratio < math.Inf(1) && total/float64(n)/minCost >= best.Ratio {
+			// Even a perfectly balanced partition at this minimum cannot
+			// beat the best found, and smaller candidates are worse.
+			break
+		}
+		maxCost, bounds, ok := minMaxWithFloor(prefix, n, minCost)
+		if !ok {
+			continue
+		}
+		// Recover the true min stage cost of this partition (it may
+		// exceed the floor, improving the ratio).
+		minSeen := math.Inf(1)
+		for s := 0; s < n; s++ {
+			if c := seg(bounds[s], bounds[s+1]); c < minSeen {
+				minSeen = c
+			}
+		}
+		ratio := maxCost / minSeen
+		if ratio < best.Ratio {
+			best = Result{Boundaries: bounds, Ratio: ratio}
+		}
+	}
+	if math.IsInf(best.Ratio, 1) {
+		return Result{}, fmt.Errorf("partition: no feasible partition of %d layers into %d stages", l, n)
+	}
+	best.StageCosts = make([]float64, n)
+	for s := 0; s < n; s++ {
+		best.StageCosts[s] = seg(best.Boundaries[s], best.Boundaries[s+1])
+	}
+	return best, nil
+}
+
+// minMaxWithFloor finds a partition into n stages where every stage cost is
+// at least floor, minimizing the maximum stage cost. It returns the optimal
+// maximum, the boundaries, and whether a feasible partition exists.
+// Classic interval DP: dp[s][i] = min over j of max(dp[s-1][j], seg(j,i)).
+func minMaxWithFloor(prefix []float64, n int, floor float64) (float64, []int, bool) {
+	l := len(prefix) - 1
+	const eps = 1e-9
+	seg := func(i, j int) float64 { return prefix[j] - prefix[i] }
+
+	dp := make([][]float64, n+1)
+	arg := make([][]int, n+1)
+	for s := range dp {
+		dp[s] = make([]float64, l+1)
+		arg[s] = make([]int, l+1)
+		for i := range dp[s] {
+			dp[s][i] = math.Inf(1)
+			arg[s][i] = -1
+		}
+	}
+	dp[0][0] = 0
+	for s := 1; s <= n; s++ {
+		for i := s; i <= l; i++ {
+			// Stage s covers (j, i]; scan j from i-1 down. Segment cost
+			// grows as j decreases, so stop once dp[s-1][j] can no
+			// longer improve the max... dp[s-1][j] is not monotone in
+			// j, so scan all (L is small: at most ~100 layers).
+			for j := s - 1; j < i; j++ {
+				c := seg(j, i)
+				if c < floor-eps {
+					continue
+				}
+				if math.IsInf(dp[s-1][j], 1) {
+					continue
+				}
+				m := math.Max(dp[s-1][j], c)
+				if m < dp[s][i] {
+					dp[s][i] = m
+					arg[s][i] = j
+				}
+			}
+		}
+	}
+	if math.IsInf(dp[n][l], 1) {
+		return 0, nil, false
+	}
+	bounds := make([]int, n+1)
+	bounds[n] = l
+	for s := n; s >= 1; s-- {
+		bounds[s-1] = arg[s][bounds[s]]
+	}
+	return dp[n][l], bounds, true
+}
+
+// BruteForce enumerates every contiguous partition and returns the one with
+// the minimum imbalance ratio. Exponential; used as a test oracle and for
+// small models.
+func BruteForce(costs []float64, n int) (Result, error) {
+	l := len(costs)
+	if l < n || n <= 0 {
+		return Result{}, fmt.Errorf("partition: %d layers, %d stages infeasible", l, n)
+	}
+	prefix := make([]float64, l+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	seg := func(i, j int) float64 { return prefix[j] - prefix[i] }
+
+	best := Result{Ratio: math.Inf(1)}
+	bounds := make([]int, n+1)
+	bounds[0], bounds[n] = 0, l
+	var rec func(stage, start int)
+	rec = func(stage, start int) {
+		if stage == n-1 {
+			// Last stage spans [start, l).
+			mx, mn := 0.0, math.Inf(1)
+			bounds[n-1] = start
+			for s := 0; s < n; s++ {
+				c := seg(bounds[s], bounds[s+1])
+				mx = math.Max(mx, c)
+				mn = math.Min(mn, c)
+			}
+			if r := mx / mn; r < best.Ratio {
+				best = Result{Boundaries: append([]int(nil), bounds...), Ratio: r}
+			}
+			return
+		}
+		bounds[stage] = start
+		for next := start + 1; next <= l-(n-stage-1); next++ {
+			bounds[stage+1] = next
+			rec(stage+1, next)
+		}
+	}
+	if n == 1 {
+		best = Result{Boundaries: []int{0, l}, Ratio: 1}
+	} else {
+		rec(0, 0)
+	}
+	if math.IsInf(best.Ratio, 1) {
+		return Result{}, fmt.Errorf("partition: no feasible partition")
+	}
+	best.StageCosts = make([]float64, n)
+	for s := 0; s < n; s++ {
+		best.StageCosts[s] = seg(best.Boundaries[s], best.Boundaries[s+1])
+	}
+	return best, nil
+}
+
+// Balanced returns the partition minimizing the maximum stage cost without
+// the ratio objective — the classic planner goal, used as a comparison
+// point (and by the ZeusPerStage baseline to pick its stage split).
+func Balanced(costs []float64, n int) (Result, error) {
+	l := len(costs)
+	if l < n || n <= 0 {
+		return Result{}, fmt.Errorf("partition: %d layers, %d stages infeasible", l, n)
+	}
+	prefix := make([]float64, l+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	_, bounds, ok := minMaxWithFloor(prefix, n, 0)
+	if !ok {
+		return Result{}, fmt.Errorf("partition: infeasible")
+	}
+	r := Result{Boundaries: bounds, StageCosts: make([]float64, n)}
+	mx, mn := 0.0, math.Inf(1)
+	for s := 0; s < n; s++ {
+		c := prefix[bounds[s+1]] - prefix[bounds[s]]
+		r.StageCosts[s] = c
+		mx = math.Max(mx, c)
+		mn = math.Min(mn, c)
+	}
+	r.Ratio = mx / mn
+	return r, nil
+}

@@ -1,0 +1,350 @@
+// Package profile builds per-computation time/energy profiles: for every
+// (virtual stage, forward/backward) computation type, the Pareto-optimal
+// set of (frequency, time, energy) choices, and the exponential fit of
+// adjusted energy used by the optimizer's continuous relaxation.
+//
+// Two construction paths mirror the paper:
+//
+//   - FromWorkload derives profiles analytically from a model's layer
+//     costs and the GPU model — the emulation path of paper §6.3, which
+//     "profiles the time and energy consumption of each layer" and runs
+//     the optimizer offline.
+//   - Assemble groups raw online measurements reported by the Perseus
+//     client's in-vivo profiler (paper §5) and prunes/fits them; this is
+//     the path exercised by the client/server integration.
+//
+// Energies in profiles are adjusted energies e − P_blocking·t (paper
+// Eq. 4): a computation that finishes early leaves its GPU blocking on
+// communication at P_blocking, so that power is sunk regardless and must
+// be discounted when choosing speeds.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perseus/internal/fit"
+	"perseus/internal/gpu"
+	"perseus/internal/model"
+	"perseus/internal/sched"
+)
+
+// TypeKey identifies a computation type: every microbatch's forward (or
+// backward) on one virtual stage shares a profile, because operator
+// parallelism splits work equally across microbatches (paper §4.4).
+type TypeKey struct {
+	Virtual int
+	Kind    sched.Kind
+}
+
+// TypeProfile is the profile of one computation type.
+type TypeProfile struct {
+	Key TypeKey
+
+	// Points are Pareto-optimal choices sorted by increasing time:
+	// Points[0] is the fastest (maximum frequency); the last point is
+	// the adjusted-energy minimum. Point.Energy is adjusted energy.
+	Points []gpu.Point
+
+	// Raw holds the unadjusted energy (joules) parallel to Points.
+	Raw []float64
+
+	// Curve is the exponential fit of adjusted energy versus time in
+	// seconds over the Pareto range (paper Appendix D). Unset when
+	// Constant.
+	Curve fit.Exp
+
+	// Constant marks a single-speed operation (paper §4.4): Points has
+	// exactly one entry and the optimizer must never change its
+	// duration.
+	Constant bool
+}
+
+// MinTime returns the fastest achievable time.
+func (tp *TypeProfile) MinTime() float64 { return tp.Points[0].Time }
+
+// MaxTime returns the slowest time Perseus will plan: the adjusted-energy
+// minimum. Slowing past it wastes energy (paper §3.1).
+func (tp *TypeProfile) MaxTime() float64 { return tp.Points[len(tp.Points)-1].Time }
+
+// ForDuration returns the Pareto point realizing a planned duration: the
+// slowest choice whose time does not exceed sec (paper §4.3 — a planned
+// computation may finish early but must never run late). If sec is below
+// the fastest time, the fastest point is returned.
+func (tp *TypeProfile) ForDuration(sec float64) (gpu.Point, float64) {
+	// Points are time-ascending; find the last with Time <= sec.
+	idx := sort.Search(len(tp.Points), func(i int) bool { return tp.Points[i].Time > sec }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return tp.Points[idx], tp.Raw[idx]
+}
+
+// AtOrAbove returns the slowest Pareto point whose frequency is at least f
+// — the choice a frequency- or power-capped GPU settles at. Below the
+// slowest Pareto frequency, the slowest point is returned (running slower
+// would waste both time and energy, so the profile excludes it).
+func (tp *TypeProfile) AtOrAbove(f gpu.Frequency) (gpu.Point, float64) {
+	// Points are time-ascending, hence frequency-descending.
+	for i := len(tp.Points) - 1; i >= 0; i-- {
+		if tp.Points[i].Freq >= f {
+			return tp.Points[i], tp.Raw[i]
+		}
+	}
+	return tp.Points[0], tp.Raw[0]
+}
+
+// Profile is the complete profile of one pipeline's computation types on
+// one GPU model.
+type Profile struct {
+	GPU *gpu.Model
+
+	// PBlocking is the measured communication-blocking power in watts.
+	PBlocking float64
+
+	// Types maps each computation type to its profile.
+	Types map[TypeKey]*TypeProfile
+}
+
+// For returns the profile for an op's type.
+func (p *Profile) For(op sched.Op) (*TypeProfile, error) {
+	key := TypeKey{Virtual: op.Virtual, Kind: op.Kind}
+	if op.Kind == sched.Recompute {
+		// Recomputation replays the forward of the same virtual stage.
+		key.Kind = sched.Forward
+	}
+	tp, ok := p.Types[key]
+	if !ok {
+		return nil, fmt.Errorf("profile: no profile for %v", key)
+	}
+	return tp, nil
+}
+
+// MeasurePBlocking measures P_blocking the way paper §5 does: one device
+// blocks on P2P communication while a peer sleeps, and the blocking
+// device's power is read. One measurement per GPU model suffices.
+func MeasurePBlocking(g *gpu.Model) float64 {
+	const window = 1.0 // seconds
+	blocker := gpu.NewDevice(g, "pblock-probe")
+	blocker.Block(window)
+	return blocker.EnergyCounter() / window
+}
+
+// Workload describes one pipeline whose computation types are profiled.
+type Workload struct {
+	Model *model.Model
+	GPU   *gpu.Model
+
+	// Stages is the number of physical pipeline stages (N).
+	Stages int
+
+	// Chunks is the number of model chunks per stage for interleaved
+	// schedules; 1 otherwise. Layers are partitioned over
+	// Stages·Chunks virtual stages.
+	Chunks int
+
+	// Partition holds virtual-stage boundaries over the model's layers
+	// (Stages·Chunks+1 entries, paper Table 7 format).
+	Partition []int
+
+	// MicrobatchSize is the per-microbatch sample count; computation
+	// cost scales linearly with it.
+	MicrobatchSize int
+
+	// TensorParallel is the tensor-parallel degree: each virtual stage's
+	// work is split equally across this many GPUs, dividing per-GPU cost
+	// (paper §4.4: operator parallelism splits operations in equal
+	// sizes, so one GPU per stage is profiled and the schedule
+	// replicated).
+	TensorParallel int
+}
+
+func (w Workload) virtualStages() int {
+	c := w.Chunks
+	if c == 0 {
+		c = 1
+	}
+	return w.Stages * c
+}
+
+// StageRefTimes returns each virtual stage's forward reference time in
+// seconds at maximum frequency.
+func (w Workload) StageRefTimes() ([]float64, error) {
+	v := w.virtualStages()
+	if len(w.Partition) != v+1 {
+		return nil, fmt.Errorf("profile: partition has %d boundaries, want %d", len(w.Partition), v+1)
+	}
+	costs, err := w.Model.StageCosts(w.Partition)
+	if err != nil {
+		return nil, err
+	}
+	tp := w.TensorParallel
+	if tp == 0 {
+		tp = 1
+	}
+	mb := w.MicrobatchSize
+	if mb <= 0 {
+		return nil, fmt.Errorf("profile: non-positive microbatch size %d", mb)
+	}
+	refs := make([]float64, v)
+	for i, c := range costs {
+		refs[i] = c * float64(mb) / float64(tp) / w.GPU.EffFLOPS
+	}
+	return refs, nil
+}
+
+// FromWorkload builds the full profile analytically: for each virtual
+// stage, forward and backward computations are swept over every supported
+// frequency, strictly-suboptimal frequencies pruned, and the exponential
+// relaxation fitted.
+func FromWorkload(w Workload) (*Profile, error) {
+	refs, err := w.StageRefTimes()
+	if err != nil {
+		return nil, err
+	}
+	return FromStageTimes(w.GPU, refs, w.Model.BwdFactor)
+}
+
+// FromStageTimes builds a profile from per-virtual-stage forward reference
+// times (seconds at maximum frequency) and a backward/forward cost ratio.
+// It is the entry point for emulation workloads whose stage times come
+// from layer-level profiles rather than the model zoo (paper §6.3).
+func FromStageTimes(g *gpu.Model, refFwd []float64, bwdFactor float64) (*Profile, error) {
+	if len(refFwd) == 0 {
+		return nil, fmt.Errorf("profile: no stages")
+	}
+	if bwdFactor <= 0 {
+		return nil, fmt.Errorf("profile: non-positive backward factor %v", bwdFactor)
+	}
+	pb := MeasurePBlocking(g)
+	p := &Profile{GPU: g, PBlocking: pb, Types: map[TypeKey]*TypeProfile{}}
+	for v, ref := range refFwd {
+		if ref <= 0 {
+			return nil, fmt.Errorf("profile: stage %d has non-positive reference time %v", v, ref)
+		}
+		fwd, err := buildType(TypeKey{v, sched.Forward}, g, ref, g.MemBoundFwd, pb)
+		if err != nil {
+			return nil, err
+		}
+		bwd, err := buildType(TypeKey{v, sched.Backward}, g, ref*bwdFactor, g.MemBoundBwd, pb)
+		if err != nil {
+			return nil, err
+		}
+		p.Types[fwd.Key] = fwd
+		p.Types[bwd.Key] = bwd
+	}
+	return p, nil
+}
+
+func buildType(key TypeKey, g *gpu.Model, ref, memBound, pb float64) (*TypeProfile, error) {
+	pts := g.ParetoPoints(ref, memBound, pb)
+	tp := &TypeProfile{Key: key, Points: pts, Raw: make([]float64, len(pts))}
+	for i, pt := range pts {
+		tp.Raw[i] = pt.Energy + pb*pt.Time
+	}
+	var ts, es []float64
+	for _, pt := range pts {
+		ts = append(ts, pt.Time)
+		es = append(es, pt.Energy)
+	}
+	curve, err := fit.FitExp(ts, es)
+	if err != nil {
+		return nil, fmt.Errorf("profile: fitting %v: %w", key, err)
+	}
+	tp.Curve = curve
+	return tp, nil
+}
+
+// AddConstant registers a constant-time operation such as data loading
+// (paper §4.4): a single (time, energy) choice the optimizer treats as a
+// node with one frequency option.
+func (p *Profile) AddConstant(virtual int, sec, joules float64) {
+	key := TypeKey{Virtual: virtual, Kind: sched.Constant}
+	adj := joules - p.PBlocking*sec
+	p.Types[key] = &TypeProfile{
+		Key:      key,
+		Points:   []gpu.Point{{Freq: 0, Time: sec, Energy: adj}},
+		Raw:      []float64{joules},
+		Constant: true,
+	}
+}
+
+// Measurement is one raw observation from the client's online profiler:
+// a computation of the given type ran at freq for sec seconds consuming
+// joules (unadjusted).
+type Measurement struct {
+	Virtual int
+	Kind    sched.Kind
+	Freq    gpu.Frequency
+	Time    float64
+	Energy  float64
+}
+
+// Assemble builds a profile from raw online measurements (paper §5):
+// repeated observations per (type, frequency) are averaged, the sweep is
+// pruned to its Pareto-optimal front on adjusted energy, and the
+// exponential relaxation is fitted. pBlocking is the separately measured
+// blocking power.
+func Assemble(g *gpu.Model, pBlocking float64, ms []Measurement) (*Profile, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("profile: no measurements")
+	}
+	type cell struct {
+		t, e float64
+		n    int
+	}
+	agg := map[TypeKey]map[gpu.Frequency]*cell{}
+	for _, m := range ms {
+		key := TypeKey{m.Virtual, m.Kind}
+		if agg[key] == nil {
+			agg[key] = map[gpu.Frequency]*cell{}
+		}
+		c := agg[key][m.Freq]
+		if c == nil {
+			c = &cell{}
+			agg[key][m.Freq] = c
+		}
+		c.t += m.Time
+		c.e += m.Energy
+		c.n++
+	}
+	p := &Profile{GPU: g, PBlocking: pBlocking, Types: map[TypeKey]*TypeProfile{}}
+	for key, freqs := range agg {
+		var pts []gpu.Point
+		raws := map[gpu.Frequency]float64{}
+		for f, c := range freqs {
+			t := c.t / float64(c.n)
+			e := c.e / float64(c.n)
+			pts = append(pts, gpu.Point{Freq: f, Time: t, Energy: e - pBlocking*t})
+			raws[f] = e
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+		// Pareto-prune on adjusted energy.
+		pruned := pts[:0]
+		minE := math.Inf(1)
+		for _, pt := range pts {
+			if pt.Energy < minE {
+				pruned = append(pruned, pt)
+				minE = pt.Energy
+			}
+		}
+		if len(pruned) < 3 {
+			return nil, fmt.Errorf("profile: type %v has only %d Pareto points; profile more frequencies", key, len(pruned))
+		}
+		tp := &TypeProfile{Key: key, Points: append([]gpu.Point(nil), pruned...)}
+		var ts, es []float64
+		for _, pt := range tp.Points {
+			tp.Raw = append(tp.Raw, raws[pt.Freq])
+			ts = append(ts, pt.Time)
+			es = append(es, pt.Energy)
+		}
+		curve, err := fit.FitExp(ts, es)
+		if err != nil {
+			return nil, fmt.Errorf("profile: fitting %v: %w", key, err)
+		}
+		tp.Curve = curve
+		p.Types[key] = tp
+	}
+	return p, nil
+}

@@ -1,0 +1,298 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perseus/internal/gpu"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+	"perseus/internal/sched"
+)
+
+func testWorkload(t *testing.T) Workload {
+	t.Helper()
+	m, err := model.GPT3("1.3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.MinImbalance(m.LayerCosts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{
+		Model:          m,
+		GPU:            gpu.A100PCIe,
+		Stages:         4,
+		Chunks:         1,
+		Partition:      part.Boundaries,
+		MicrobatchSize: 4,
+		TensorParallel: 1,
+	}
+}
+
+func TestMeasurePBlocking(t *testing.T) {
+	for _, g := range []*gpu.Model{gpu.A100PCIe, gpu.A40} {
+		if got := MeasurePBlocking(g); math.Abs(got-g.BlockingW) > 1e-9 {
+			t.Errorf("%s: measured P_blocking %v, want %v", g.Name, got, g.BlockingW)
+		}
+	}
+}
+
+func TestFromWorkloadShapes(t *testing.T) {
+	p, err := FromWorkload(testWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Types) != 8 {
+		t.Fatalf("%d type profiles, want 8 (4 stages x fwd/bwd)", len(p.Types))
+	}
+	for key, tp := range p.Types {
+		if len(tp.Points) < 5 {
+			t.Errorf("%v: only %d Pareto points", key, len(tp.Points))
+		}
+		if tp.MinTime() >= tp.MaxTime() {
+			t.Errorf("%v: MinTime %v >= MaxTime %v", key, tp.MinTime(), tp.MaxTime())
+		}
+		// Backward is slower than forward on the same stage.
+		if key.Kind == sched.Backward {
+			fwd := p.Types[TypeKey{key.Virtual, sched.Forward}]
+			if tp.MinTime() <= fwd.MinTime() {
+				t.Errorf("stage %d: backward MinTime %v <= forward %v", key.Virtual, tp.MinTime(), fwd.MinTime())
+			}
+		}
+	}
+}
+
+func TestStageTimesScaleWithMicrobatch(t *testing.T) {
+	w := testWorkload(t)
+	r1, err := w.StageRefTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MicrobatchSize = 8
+	r2, err := w.StageRefTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if math.Abs(r2[i]-2*r1[i]) > 1e-12*r1[i] {
+			t.Errorf("stage %d: doubling microbatch size should double time (%v vs %v)", i, r1[i], r2[i])
+		}
+	}
+	// Tensor parallelism divides per-GPU time (paper §4.4).
+	w.TensorParallel = 2
+	r4, err := w.StageRefTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if math.Abs(r4[i]-r1[i]) > 1e-12*r1[i] {
+			t.Errorf("stage %d: TP=2 with 2x microbatch should equal baseline (%v vs %v)", i, r1[i], r4[i])
+		}
+	}
+}
+
+func TestStageTimesPlausible(t *testing.T) {
+	// GPT-3 1.3B on A100 PCIe, microbatch size 4: per-stage forward
+	// should be in the O(100 ms) regime so that the Figure 1 iteration
+	// (4 stages, 6 microbatches) lands in seconds, as the paper's
+	// timeline shows 3.83 s.
+	w := testWorkload(t)
+	refs, err := w.StageRefTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range refs {
+		if r < 0.02 || r > 1.0 {
+			t.Errorf("stage %d forward ref %v s outside plausible [0.02, 1.0]", i, r)
+		}
+	}
+}
+
+func TestForDuration(t *testing.T) {
+	p, err := FromWorkload(testWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := p.Types[TypeKey{0, sched.Forward}]
+	// Exactly the fastest time: returns the max-frequency point.
+	pt, _ := tp.ForDuration(tp.MinTime())
+	if pt.Freq != p.GPU.FMax {
+		t.Errorf("ForDuration(MinTime) freq = %d, want FMax", pt.Freq)
+	}
+	// Slightly below the fastest: still the fastest point (never slower
+	// than planned is impossible, so clamp to fastest).
+	pt, _ = tp.ForDuration(tp.MinTime() * 0.9)
+	if pt.Freq != p.GPU.FMax {
+		t.Errorf("ForDuration(below MinTime) freq = %d, want FMax", pt.Freq)
+	}
+	// Beyond the slowest: the minimum-energy point.
+	pt, _ = tp.ForDuration(tp.MaxTime() * 2)
+	if pt.Freq != tp.Points[len(tp.Points)-1].Freq {
+		t.Errorf("ForDuration(beyond MaxTime) freq = %d, want min-energy freq", pt.Freq)
+	}
+	// In between: realized time never exceeds the plan.
+	mid := (tp.MinTime() + tp.MaxTime()) / 2
+	pt, _ = tp.ForDuration(mid)
+	if pt.Time > mid {
+		t.Errorf("ForDuration(%v) realized time %v exceeds plan", mid, pt.Time)
+	}
+}
+
+func TestForRecomputeUsesForwardProfile(t *testing.T) {
+	p, err := FromWorkload(testWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := sched.Op{Stage: 1, Virtual: 1, Microbatch: 0, Kind: sched.Recompute}
+	tp, err := p.For(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Key.Kind != sched.Forward || tp.Key.Virtual != 1 {
+		t.Errorf("recompute mapped to %v, want stage 1 forward", tp.Key)
+	}
+}
+
+func TestForUnknownType(t *testing.T) {
+	p, err := FromWorkload(testWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.For(sched.Op{Virtual: 99, Kind: sched.Forward}); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestAddConstant(t *testing.T) {
+	p, err := FromWorkload(testWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddConstant(0, 0.05, 10)
+	tp, err := p.For(sched.Op{Virtual: 0, Kind: sched.Constant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Constant || len(tp.Points) != 1 {
+		t.Fatalf("constant profile malformed: %+v", tp)
+	}
+	if math.Abs(tp.Points[0].Energy-(10-p.PBlocking*0.05)) > 1e-9 {
+		t.Errorf("constant adjusted energy = %v", tp.Points[0].Energy)
+	}
+}
+
+func TestAssembleMatchesAnalytic(t *testing.T) {
+	// Feed Assemble the measurements the analytic path would produce and
+	// check the profiles agree.
+	g := gpu.A100PCIe
+	const ref = 0.1
+	pb := MeasurePBlocking(g)
+	var ms []Measurement
+	for _, f := range g.Frequencies() {
+		tt := g.Time(ref, f, g.MemBoundFwd)
+		e := g.Energy(ref, f, g.MemBoundFwd)
+		// Five repetitions, as the paper's profiler does (§5).
+		for rep := 0; rep < 5; rep++ {
+			ms = append(ms, Measurement{Virtual: 0, Kind: sched.Forward, Freq: f, Time: tt, Energy: e})
+		}
+	}
+	p, err := Assemble(g, pb, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := p.Types[TypeKey{0, sched.Forward}]
+	want := g.ParetoPoints(ref, g.MemBoundFwd, pb)
+	if len(tp.Points) != len(want) {
+		t.Fatalf("assembled %d Pareto points, want %d", len(tp.Points), len(want))
+	}
+	for i := range want {
+		if tp.Points[i].Freq != want[i].Freq {
+			t.Errorf("point %d freq %d, want %d", i, tp.Points[i].Freq, want[i].Freq)
+		}
+		if math.Abs(tp.Points[i].Energy-want[i].Energy) > 1e-6 {
+			t.Errorf("point %d energy %v, want %v", i, tp.Points[i].Energy, want[i].Energy)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	if _, err := Assemble(gpu.A40, 60, nil); err == nil {
+		t.Error("empty measurements should error")
+	}
+	// Too few distinct frequencies to fit.
+	ms := []Measurement{
+		{Virtual: 0, Kind: sched.Forward, Freq: 1410, Time: 1, Energy: 300},
+		{Virtual: 0, Kind: sched.Forward, Freq: 1200, Time: 1.1, Energy: 280},
+	}
+	if _, err := Assemble(gpu.A100PCIe, 75, ms); err == nil {
+		t.Error("2-frequency profile should error")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	w := testWorkload(t)
+	w.Partition = []int{0, 25}
+	if _, err := FromWorkload(w); err == nil {
+		t.Error("wrong boundary count should error")
+	}
+	w = testWorkload(t)
+	w.MicrobatchSize = 0
+	if _, err := FromWorkload(w); err == nil {
+		t.Error("zero microbatch size should error")
+	}
+	if _, err := FromStageTimes(gpu.A40, nil, 2); err == nil {
+		t.Error("no stages should error")
+	}
+	if _, err := FromStageTimes(gpu.A40, []float64{0.1}, 0); err == nil {
+		t.Error("zero bwd factor should error")
+	}
+	if _, err := FromStageTimes(gpu.A40, []float64{-0.1}, 2); err == nil {
+		t.Error("negative stage time should error")
+	}
+}
+
+func TestAssembleNoisyMeasurements(t *testing.T) {
+	// The in-vivo profiler sees small run-to-run jitter; assembly must
+	// still produce a valid Pareto profile (paper §5 relies on locked
+	// frequencies being *mostly* stable).
+	g := gpu.A40
+	const ref = 0.08
+	pb := MeasurePBlocking(g)
+	rng := rand.New(rand.NewSource(99))
+	var ms []Measurement
+	for _, f := range g.Frequencies() {
+		for rep := 0; rep < 5; rep++ {
+			jt := 1 + 0.01*rng.NormFloat64()
+			je := 1 + 0.01*rng.NormFloat64()
+			ms = append(ms, Measurement{
+				Virtual: 0, Kind: sched.Forward, Freq: f,
+				Time:   g.Time(ref, f, g.MemBoundFwd) * jt,
+				Energy: g.Energy(ref, f, g.MemBoundFwd) * je,
+			})
+		}
+	}
+	p, err := Assemble(g, pb, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := p.Types[TypeKey{0, sched.Forward}]
+	if len(tp.Points) < 5 {
+		t.Fatalf("noisy assembly kept only %d Pareto points", len(tp.Points))
+	}
+	for i := 1; i < len(tp.Points); i++ {
+		if tp.Points[i].Time <= tp.Points[i-1].Time || tp.Points[i].Energy >= tp.Points[i-1].Energy {
+			t.Fatalf("noisy Pareto set not strictly ordered at %d", i)
+		}
+	}
+	// The fit should still track the clean curve within a few percent.
+	clean := g.ParetoPoints(ref, g.MemBoundFwd, pb)
+	for _, pt := range clean[:len(clean)/2] {
+		got := tp.Curve.Eval(pt.Time)
+		if rel := math.Abs(got-pt.Energy) / math.Abs(pt.Energy); rel > 0.08 {
+			t.Errorf("fit at t=%v off by %.1f%%", pt.Time, 100*rel)
+		}
+	}
+}

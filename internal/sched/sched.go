@@ -1,0 +1,307 @@
+// Package sched generates pipeline-parallel training schedules: the
+// per-stage instruction streams and cross-stage dependencies of one
+// training iteration. Supported schedules are 1F1B, GPipe, interleaved
+// 1F1B, and early-recomputation 1F1B — the four families named in paper
+// §4.4 ("Other Pipeline Schedules"). Any of them can be handed to the
+// Perseus optimizer unmodified because they are all expressed as the same
+// computation DAG.
+package sched
+
+import "fmt"
+
+// Kind classifies a pipeline instruction.
+type Kind int
+
+const (
+	// Forward is the forward computation of one microbatch on one stage.
+	Forward Kind = iota
+	// Backward is the backward computation of one microbatch on one stage.
+	Backward
+	// Recompute is the activation-recomputation forward replay that
+	// early-recomputation schedules run just before a backward.
+	Recompute
+	// Constant is a constant-time operation with a single speed choice,
+	// e.g. loading inputs into VRAM (paper §4.4 "Constant-Time
+	// Operations").
+	Constant
+)
+
+// String returns the single-letter mnemonic used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case Forward:
+		return "F"
+	case Backward:
+		return "B"
+	case Recompute:
+		return "R"
+	case Constant:
+		return "C"
+	}
+	return "?"
+}
+
+// Op is one pipeline instruction.
+type Op struct {
+	// Stage is the physical pipeline stage (GPU) executing the op.
+	Stage int
+	// Virtual is the virtual stage for interleaved schedules; equal to
+	// Stage otherwise. Cross-stage dependencies follow virtual stages.
+	Virtual int
+	// Microbatch indexes the microbatch the op processes.
+	Microbatch int
+	// Kind is the instruction type.
+	Kind Kind
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("s%d:%s%d", o.Stage, o.Kind, o.Microbatch+1)
+}
+
+// Schedule is one training iteration's instruction streams plus the
+// cross-stage dependencies between them.
+type Schedule struct {
+	// Name identifies the schedule family, e.g. "1f1b".
+	Name string
+
+	// Stages and Microbatches are the pipeline dimensions (N and M in
+	// the paper).
+	Stages, Microbatches int
+
+	// Chunks is the number of model chunks per stage (interleaved
+	// schedules); 1 otherwise.
+	Chunks int
+
+	// Ops lists every instruction; an op's ID is its index here.
+	Ops []Op
+
+	// PerStage lists op IDs in program order for each physical stage.
+	// Consecutive ops on a stage execute serially on the same GPU.
+	PerStage [][]int
+
+	// Deps lists cross-stage dependency edges (from, to) as op IDs:
+	// forward activations flowing down the pipeline, backward gradients
+	// flowing up, and the forward→backward turnaround on the last
+	// virtual stage.
+	Deps [][2]int
+}
+
+// VirtualStages returns the total number of virtual stages.
+func (s *Schedule) VirtualStages() int { return s.Stages * s.Chunks }
+
+type opKey struct {
+	virtual, microbatch int
+	kind                Kind
+}
+
+// buildDeps derives the cross-stage dependency edges from the op list
+// using the standard pipeline-parallel rules over virtual stages:
+//
+//	F(v, m) ← F(v-1, m)
+//	B(v, m) ← B(v+1, m)
+//	B(V-1, m) ← F(V-1, m)
+//	R(v, m) is a same-stage op ordered by program order only.
+func (s *Schedule) buildDeps() error {
+	idx := make(map[opKey]int, len(s.Ops))
+	for id, op := range s.Ops {
+		k := opKey{op.Virtual, op.Microbatch, op.Kind}
+		if _, dup := idx[k]; dup {
+			return fmt.Errorf("sched: duplicate op %v", op)
+		}
+		idx[k] = id
+	}
+	vmax := s.VirtualStages() - 1
+	for id, op := range s.Ops {
+		switch op.Kind {
+		case Forward:
+			if op.Virtual > 0 {
+				from, ok := idx[opKey{op.Virtual - 1, op.Microbatch, Forward}]
+				if !ok {
+					return fmt.Errorf("sched: missing producer for %v", op)
+				}
+				s.Deps = append(s.Deps, [2]int{from, id})
+			}
+		case Backward:
+			if op.Virtual < vmax {
+				from, ok := idx[opKey{op.Virtual + 1, op.Microbatch, Backward}]
+				if !ok {
+					return fmt.Errorf("sched: missing producer for %v", op)
+				}
+				s.Deps = append(s.Deps, [2]int{from, id})
+			} else {
+				from, ok := idx[opKey{op.Virtual, op.Microbatch, Forward}]
+				if !ok {
+					return fmt.Errorf("sched: missing forward for %v", op)
+				}
+				s.Deps = append(s.Deps, [2]int{from, id})
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) push(stage int, op Op) {
+	s.Ops = append(s.Ops, op)
+	s.PerStage[stage] = append(s.PerStage[stage], len(s.Ops)-1)
+}
+
+func validateDims(n, m int) error {
+	if n <= 0 || m <= 0 {
+		return fmt.Errorf("sched: need positive stages and microbatches, got %d, %d", n, m)
+	}
+	return nil
+}
+
+// OneFOneB builds the 1F1B schedule (Narayanan et al., paper §2.2 Figure 1):
+// each stage runs min(N-s-1, M) warm-up forwards, alternates one forward
+// and one backward in steady state, and drains with the remaining
+// backwards.
+func OneFOneB(n, m int) (*Schedule, error) {
+	if err := validateDims(n, m); err != nil {
+		return nil, err
+	}
+	s := &Schedule{Name: "1f1b", Stages: n, Microbatches: m, Chunks: 1,
+		PerStage: make([][]int, n)}
+	for st := 0; st < n; st++ {
+		warmup := n - st - 1
+		if warmup > m {
+			warmup = m
+		}
+		for i := 0; i < warmup; i++ {
+			s.push(st, Op{Stage: st, Virtual: st, Microbatch: i, Kind: Forward})
+		}
+		for i := 0; i < m-warmup; i++ {
+			s.push(st, Op{Stage: st, Virtual: st, Microbatch: warmup + i, Kind: Forward})
+			s.push(st, Op{Stage: st, Virtual: st, Microbatch: i, Kind: Backward})
+		}
+		for i := m - warmup; i < m; i++ {
+			s.push(st, Op{Stage: st, Virtual: st, Microbatch: i, Kind: Backward})
+		}
+	}
+	if err := s.buildDeps(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// GPipe builds the GPipe schedule (Huang et al.): every stage runs all M
+// forwards, then all M backwards in reverse microbatch order.
+func GPipe(n, m int) (*Schedule, error) {
+	if err := validateDims(n, m); err != nil {
+		return nil, err
+	}
+	s := &Schedule{Name: "gpipe", Stages: n, Microbatches: m, Chunks: 1,
+		PerStage: make([][]int, n)}
+	for st := 0; st < n; st++ {
+		for i := 0; i < m; i++ {
+			s.push(st, Op{Stage: st, Virtual: st, Microbatch: i, Kind: Forward})
+		}
+		for i := m - 1; i >= 0; i-- {
+			s.push(st, Op{Stage: st, Virtual: st, Microbatch: i, Kind: Backward})
+		}
+	}
+	if err := s.buildDeps(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Interleaved1F1B builds the interleaved 1F1B schedule (Narayanan et al.,
+// Megatron-LM): each physical stage hosts `chunks` model chunks, so
+// virtual stage v = chunk·N + s runs on physical stage s. The number of
+// microbatches must be a multiple of the number of stages.
+func Interleaved1F1B(n, m, chunks int) (*Schedule, error) {
+	if err := validateDims(n, m); err != nil {
+		return nil, err
+	}
+	if chunks <= 0 {
+		return nil, fmt.Errorf("sched: need positive chunks, got %d", chunks)
+	}
+	if chunks == 1 {
+		return OneFOneB(n, m)
+	}
+	if m%n != 0 {
+		return nil, fmt.Errorf("sched: interleaved 1F1B requires microbatches (%d) divisible by stages (%d)", m, n)
+	}
+	s := &Schedule{Name: "interleaved-1f1b", Stages: n, Microbatches: m, Chunks: chunks,
+		PerStage: make([][]int, n)}
+	total := m * chunks
+	// Virtual microbatch index k on a device walks chunk-major within
+	// groups of n·chunks (Megatron's get_model_chunk_id).
+	fwdOp := func(st, k int) Op {
+		group := k / (n * chunks)
+		within := k % (n * chunks)
+		chunk := within / n
+		mb := group*n + within%n
+		return Op{Stage: st, Virtual: chunk*n + st, Microbatch: mb, Kind: Forward}
+	}
+	bwdOp := func(st, k int) Op {
+		group := k / (n * chunks)
+		within := k % (n * chunks)
+		chunk := chunks - 1 - within/n
+		mb := group*n + within%n
+		return Op{Stage: st, Virtual: chunk*n + st, Microbatch: mb, Kind: Backward}
+	}
+	for st := 0; st < n; st++ {
+		warmup := (n-st-1)*2 + (chunks-1)*n
+		if warmup > total {
+			warmup = total
+		}
+		for k := 0; k < warmup; k++ {
+			s.push(st, fwdOp(st, k))
+		}
+		for i := 0; i < total-warmup; i++ {
+			s.push(st, fwdOp(st, warmup+i))
+			s.push(st, bwdOp(st, i))
+		}
+		for i := total - warmup; i < total; i++ {
+			s.push(st, bwdOp(st, i))
+		}
+	}
+	if err := s.buildDeps(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EarlyRecompute1F1B builds a 1F1B schedule with explicit activation
+// recomputation: each backward is preceded by a Recompute op on the same
+// stage that replays the forward (paper §4.4 cites early recomputation
+// 1F1B; Merak enables activation recomputation, §5).
+func EarlyRecompute1F1B(n, m int) (*Schedule, error) {
+	base, err := OneFOneB(n, m)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{Name: "early-recompute-1f1b", Stages: n, Microbatches: m, Chunks: 1,
+		PerStage: make([][]int, n)}
+	for st, ids := range base.PerStage {
+		for _, id := range ids {
+			op := base.Ops[id]
+			if op.Kind == Backward {
+				s.push(st, Op{Stage: st, Virtual: st, Microbatch: op.Microbatch, Kind: Recompute})
+			}
+			s.push(st, op)
+		}
+	}
+	if err := s.buildDeps(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ByName builds the named schedule. Chunks is only used by
+// "interleaved-1f1b".
+func ByName(name string, n, m, chunks int) (*Schedule, error) {
+	switch name {
+	case "1f1b":
+		return OneFOneB(n, m)
+	case "gpipe":
+		return GPipe(n, m)
+	case "interleaved-1f1b":
+		return Interleaved1F1B(n, m, chunks)
+	case "early-recompute-1f1b":
+		return EarlyRecompute1F1B(n, m)
+	}
+	return nil, fmt.Errorf("sched: unknown schedule %q", name)
+}

@@ -1,0 +1,258 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneFOneBShape(t *testing.T) {
+	s, err := OneFOneB(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 4*6*2 {
+		t.Fatalf("op count %d, want 48", len(s.Ops))
+	}
+	// Stage 0 with N=4, M=6 (paper Figure 1a, row S1):
+	// F1 F2 F3 F4 B1 F5 B2 F6 B3 B4 B5 B6.
+	want := []string{"s0:F1", "s0:F2", "s0:F3", "s0:F4", "s0:B1", "s0:F5", "s0:B2", "s0:F6", "s0:B3", "s0:B4", "s0:B5", "s0:B6"}
+	got := make([]string, 0, len(s.PerStage[0]))
+	for _, id := range s.PerStage[0] {
+		got = append(got, s.Ops[id].String())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stage 0 has %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage 0 op %d = %s, want %s (stream %v)", i, got[i], want[i], got)
+		}
+	}
+	// Last stage alternates strictly: F1 B1 F2 B2 ...
+	for i, id := range s.PerStage[3] {
+		op := s.Ops[id]
+		wantKind := Forward
+		if i%2 == 1 {
+			wantKind = Backward
+		}
+		if op.Kind != wantKind || op.Microbatch != i/2 {
+			t.Fatalf("stage 3 op %d = %v", i, op)
+		}
+	}
+}
+
+func TestOneFOneBFewMicrobatches(t *testing.T) {
+	// M < N: warmup truncates to M.
+	s, err := OneFOneB(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 16 {
+		t.Fatalf("op count %d, want 16", len(s.Ops))
+	}
+	checkComplete(t, s)
+}
+
+func TestGPipeShape(t *testing.T) {
+	s, err := GPipe(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st := 0; st < 3; st++ {
+		ids := s.PerStage[st]
+		if len(ids) != 8 {
+			t.Fatalf("stage %d has %d ops", st, len(ids))
+		}
+		for i := 0; i < 4; i++ {
+			if op := s.Ops[ids[i]]; op.Kind != Forward || op.Microbatch != i {
+				t.Fatalf("stage %d op %d = %v", st, i, op)
+			}
+			if op := s.Ops[ids[4+i]]; op.Kind != Backward || op.Microbatch != 3-i {
+				t.Fatalf("stage %d op %d = %v", st, 4+i, op)
+			}
+		}
+	}
+	checkComplete(t, s)
+}
+
+func TestInterleavedShape(t *testing.T) {
+	s, err := Interleaved1F1B(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VirtualStages() != 4 {
+		t.Fatalf("virtual stages = %d, want 4", s.VirtualStages())
+	}
+	if len(s.Ops) != 2*4*2*2 {
+		t.Fatalf("op count %d, want 32", len(s.Ops))
+	}
+	checkComplete(t, s)
+	// Every virtual stage must appear on the right physical stage.
+	for _, op := range s.Ops {
+		if op.Virtual%s.Stages != op.Stage {
+			t.Fatalf("op %+v: virtual stage on wrong GPU", op)
+		}
+	}
+}
+
+func TestInterleavedRequiresDivisibility(t *testing.T) {
+	if _, err := Interleaved1F1B(4, 6, 2); err == nil {
+		t.Fatal("want error: 6 microbatches not divisible by 4 stages")
+	}
+}
+
+func TestInterleavedOneChunkIs1F1B(t *testing.T) {
+	s, err := Interleaved1F1B(4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "1f1b" {
+		t.Fatalf("chunks=1 should degrade to 1f1b, got %s", s.Name)
+	}
+}
+
+func TestEarlyRecompute(t *testing.T) {
+	s, err := EarlyRecompute1F1B(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each backward gains one recompute: 2*3 forwards + 2*3 backwards +
+	// 2*3 recomputes.
+	if len(s.Ops) != 18 {
+		t.Fatalf("op count %d, want 18", len(s.Ops))
+	}
+	// On each stage, every Backward is immediately preceded by a
+	// Recompute of the same microbatch.
+	for st, ids := range s.PerStage {
+		for i, id := range ids {
+			op := s.Ops[id]
+			if op.Kind != Backward {
+				continue
+			}
+			if i == 0 {
+				t.Fatalf("stage %d starts with backward", st)
+			}
+			prev := s.Ops[ids[i-1]]
+			if prev.Kind != Recompute || prev.Microbatch != op.Microbatch {
+				t.Fatalf("stage %d: %v not preceded by its recompute (got %v)", st, op, prev)
+			}
+		}
+	}
+	checkComplete(t, s)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"1f1b", "gpipe", "interleaved-1f1b", "early-recompute-1f1b"} {
+		s, err := ByName(name, 2, 4, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("%s: nil schedule", name)
+		}
+	}
+	if _, err := ByName("zero-bubble", 2, 4, 1); err == nil {
+		t.Fatal("unknown schedule should error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := OneFOneB(0, 4); err == nil {
+		t.Error("zero stages should error")
+	}
+	if _, err := GPipe(2, 0); err == nil {
+		t.Error("zero microbatches should error")
+	}
+	if _, err := Interleaved1F1B(2, 4, 0); err == nil {
+		t.Error("zero chunks should error")
+	}
+}
+
+// checkComplete verifies the schedule contains exactly one forward and one
+// backward per (virtual stage, microbatch) and that every cross dependency
+// references existing ops.
+func checkComplete(t *testing.T, s *Schedule) {
+	t.Helper()
+	type key struct {
+		v, m int
+		k    Kind
+	}
+	seen := map[key]int{}
+	for _, op := range s.Ops {
+		seen[key{op.Virtual, op.Microbatch, op.Kind}]++
+	}
+	for v := 0; v < s.VirtualStages(); v++ {
+		for m := 0; m < s.Microbatches; m++ {
+			if c := seen[key{v, m, Forward}]; c != 1 {
+				t.Fatalf("virtual stage %d mb %d: %d forwards", v, m, c)
+			}
+			if c := seen[key{v, m, Backward}]; c != 1 {
+				t.Fatalf("virtual stage %d mb %d: %d backwards", v, m, c)
+			}
+		}
+	}
+	// Program order covers every op exactly once.
+	covered := make([]bool, len(s.Ops))
+	for _, ids := range s.PerStage {
+		for _, id := range ids {
+			if covered[id] {
+				t.Fatalf("op %d appears twice in program order", id)
+			}
+			covered[id] = true
+		}
+	}
+	for id, c := range covered {
+		if !c {
+			t.Fatalf("op %d not in any stage's program order", id)
+		}
+	}
+	for _, e := range s.Deps {
+		if e[0] < 0 || e[0] >= len(s.Ops) || e[1] < 0 || e[1] >= len(s.Ops) {
+			t.Fatalf("dependency %v out of range", e)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Forward.String() != "F" || Backward.String() != "B" || Recompute.String() != "R" || Constant.String() != "C" {
+		t.Error("kind mnemonics wrong")
+	}
+	if Kind(99).String() != "?" {
+		t.Error("unknown kind should be ?")
+	}
+}
+
+// TestPropertyInterleavedValid checks random interleaved configurations
+// produce complete, well-formed schedules.
+func TestPropertyInterleavedValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		m := n * (1 + rng.Intn(4))
+		chunks := 2 + rng.Intn(2)
+		s, err := Interleaved1F1B(n, m, chunks)
+		if err != nil {
+			return false
+		}
+		type key struct {
+			v, mb int
+			k     Kind
+		}
+		seen := map[key]bool{}
+		for _, op := range s.Ops {
+			if op.Virtual%n != op.Stage {
+				return false
+			}
+			k := key{op.Virtual, op.Microbatch, op.Kind}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return len(s.Ops) == 2*n*chunks*m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

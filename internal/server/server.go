@@ -1,0 +1,424 @@
+// Package server implements the Perseus server (paper §3.2, Figure 4): a
+// framework- and accelerator-agnostic, cluster-wide singleton that
+// receives each job's computation DAG and online profiling results,
+// asynchronously characterizes the time-energy frontier, caches energy
+// schedules in a lookup table, and serves the schedule for
+// T_opt = min(T*, T') — updating it when the training infrastructure
+// reports a straggler via set_straggler (Table 2).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"perseus/internal/dag"
+	"perseus/internal/frontier"
+	"perseus/internal/gpu"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+)
+
+// JobRequest registers a training job: its pipeline schedule (from which
+// the server reconstructs the computation DAG) and accelerator type.
+type JobRequest struct {
+	Schedule     string  `json:"schedule"` // "1f1b", "gpipe", ...
+	Stages       int     `json:"stages"`
+	Microbatches int     `json:"microbatches"`
+	Chunks       int     `json:"chunks,omitempty"`
+	GPU          string  `json:"gpu"`            // gpu preset name
+	Unit         float64 `json:"unit,omitempty"` // optimizer τ seconds
+}
+
+// JobResponse returns the job handle.
+type JobResponse struct {
+	JobID string `json:"job_id"`
+}
+
+// MeasurementJSON is one profiler observation (client → server).
+type MeasurementJSON struct {
+	Virtual int     `json:"virtual"`
+	Kind    string  `json:"kind"` // "forward" | "backward"
+	Freq    int     `json:"freq_mhz"`
+	Time    float64 `json:"time_s"`
+	Energy  float64 `json:"energy_j"`
+}
+
+// ProfileUpload carries a job's complete online profile.
+type ProfileUpload struct {
+	PBlocking    float64           `json:"p_blocking_w"`
+	Measurements []MeasurementJSON `json:"measurements"`
+}
+
+// StragglerNotice is the set_straggler payload (paper Table 2): the
+// infrastructure anticipates accelerator id becoming Degree times slower
+// after Delay seconds. Degree 1 communicates a recovery.
+type StragglerNotice struct {
+	ID     string  `json:"id"`
+	Delay  float64 `json:"delay_s"`
+	Degree float64 `json:"degree"`
+}
+
+// ScheduleResponse is the energy schedule for the current T_opt.
+type ScheduleResponse struct {
+	Ready bool `json:"ready"`
+	// Time is the planned iteration time of the deployed schedule.
+	Time float64 `json:"time_s"`
+	// Tmin and TStar bound the frontier.
+	Tmin  float64 `json:"tmin_s"`
+	TStar float64 `json:"tstar_s"`
+	// Freqs is the per-op frequency plan, indexed by schedule op id.
+	Freqs []int `json:"freqs_mhz"`
+	// Version increments whenever the deployed schedule changes, so
+	// clients can poll cheaply.
+	Version int `json:"version"`
+}
+
+// FrontierResponse lists the characterized frontier.
+type FrontierResponse struct {
+	Ready  bool      `json:"ready"`
+	Time   []float64 `json:"time_s"`
+	Energy []float64 `json:"energy_j"`
+}
+
+type job struct {
+	id    string
+	req   JobRequest
+	gpu   *gpu.Model
+	sched *sched.Schedule
+
+	mu             sync.Mutex
+	characterizing bool
+	charErr        error
+	front          *frontier.Frontier
+	tPrime         float64 // anticipated straggler iteration time; 0 = none
+	version        int
+	pending        *time.Timer   // armed delayed straggler switch, if any
+	done           chan struct{} // closed when characterization finishes
+}
+
+// Server is the Perseus server. Create with New and expose via Handler.
+type Server struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	next int
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{jobs: map[string]*job{}}
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /jobs                      register a job
+//	POST /jobs/{id}/profile        upload profiling results
+//	GET  /jobs/{id}/schedule       fetch the deployed energy schedule
+//	POST /jobs/{id}/straggler      set_straggler notification
+//	GET  /jobs/{id}/frontier       fetch the characterized frontier
+//	GET  /jobs/{id}/table          fetch the full energy-schedule lookup table
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.Register(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, JobResponse{JobID: j})
+}
+
+// Register creates a job and returns its id (the non-HTTP entry point).
+func (s *Server) Register(req JobRequest) (string, error) {
+	g, err := gpu.ByName(req.GPU)
+	if err != nil {
+		return "", err
+	}
+	if req.Chunks == 0 {
+		req.Chunks = 1
+	}
+	sc, err := sched.ByName(req.Schedule, req.Stages, req.Microbatches, req.Chunks)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := fmt.Sprintf("job-%d", s.next)
+	s.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, done: make(chan struct{})}
+	return id, nil
+}
+
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 {
+		http.NotFound(w, r)
+		return
+	}
+	j, ok := s.job(parts[0])
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	switch parts[1] {
+	case "profile":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var up ProfileUpload
+		if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.UploadProfile(j.id, up); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	case "schedule":
+		resp, err := s.Schedule(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	case "straggler":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var n StragglerNotice
+		if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.SetStraggler(j.id, n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case "frontier":
+		writeJSON(w, s.FrontierOf(j.id))
+	case "table":
+		lt, err := s.Table(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, lt)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// UploadProfile stores a job's profiling results and kicks off
+// asynchronous frontier characterization (paper §3.2 step 2): training
+// continues while the server optimizes.
+func (s *Server) UploadProfile(id string, up ProfileUpload) error {
+	j, ok := s.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	var ms []profile.Measurement
+	for _, m := range up.Measurements {
+		kind, err := parseKind(m.Kind)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, profile.Measurement{
+			Virtual: m.Virtual, Kind: kind,
+			Freq: gpu.Frequency(m.Freq), Time: m.Time, Energy: m.Energy,
+		})
+	}
+	prof, err := profile.Assemble(j.gpu, up.PBlocking, ms)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.characterizing || j.front != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("server: job %s already profiled", id)
+	}
+	j.characterizing = true
+	j.mu.Unlock()
+
+	go func() {
+		graph, err := dag.Build(j.sched, func(op sched.Op) int64 { return 1 })
+		var front *frontier.Frontier
+		if err == nil {
+			front, err = frontier.Characterize(graph, prof, frontier.Options{Unit: j.req.Unit})
+		}
+		j.mu.Lock()
+		j.front, j.charErr = front, err
+		j.characterizing = false
+		j.version++
+		j.mu.Unlock()
+		close(j.done)
+	}()
+	return nil
+}
+
+// WaitCharacterized blocks until the job's frontier is ready (test hook
+// and CLI convenience).
+func (s *Server) WaitCharacterized(id string) error {
+	j, ok := s.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.charErr
+}
+
+// SetStraggler records a straggler notification and moves the deployed
+// schedule to T_opt = min(T*, T') (paper §3.2 steps 4-5). Degree <= 1
+// clears the straggler. A positive Delay defers the switch: the
+// infrastructure anticipates the straggler Delay seconds ahead (Table 2),
+// so the server arms a timer and flips the deployed schedule when it
+// fires.
+func (s *Server) SetStraggler(id string, n StragglerNotice) error {
+	j, ok := s.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	if n.Degree <= 0 {
+		return fmt.Errorf("server: straggler degree must be positive, got %v", n.Degree)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.front == nil {
+		return fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	apply := func() {
+		if n.Degree <= 1 {
+			j.tPrime = 0
+		} else {
+			j.tPrime = j.front.Tmin() * n.Degree
+		}
+		j.version++
+	}
+	if n.Delay <= 0 {
+		apply()
+		return nil
+	}
+	if j.pending != nil {
+		j.pending.Stop()
+	}
+	j.pending = time.AfterFunc(time.Duration(n.Delay*float64(time.Second)), func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		apply()
+	})
+	return nil
+}
+
+// Schedule returns the currently deployed energy schedule: the Tmin
+// schedule in normal operation, or the T_opt schedule under a straggler.
+func (s *Server) Schedule(id string) (ScheduleResponse, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return ScheduleResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.charErr != nil {
+		return ScheduleResponse{}, j.charErr
+	}
+	if j.front == nil {
+		return ScheduleResponse{Ready: false}, nil
+	}
+	t := j.tPrime
+	if t <= 0 {
+		t = j.front.Tmin()
+	}
+	pt := j.front.Lookup(t)
+	plan := pt.Plan()
+	freqs := make([]int, len(plan))
+	for i, f := range plan {
+		freqs[i] = int(f)
+	}
+	return ScheduleResponse{
+		Ready:   true,
+		Time:    pt.Time,
+		Tmin:    j.front.Tmin(),
+		TStar:   j.front.TStar(),
+		Freqs:   freqs,
+		Version: j.version,
+	}, nil
+}
+
+// Table returns the job's serializable energy-schedule lookup table
+// (paper §3.2), for persistence or external consumption.
+func (s *Server) Table(id string) (*frontier.LookupTable, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.front == nil {
+		return nil, fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	return j.front.Table(), nil
+}
+
+// FrontierOf returns the characterized frontier's (time, energy) points.
+func (s *Server) FrontierOf(id string) FrontierResponse {
+	j, ok := s.job(id)
+	if !ok {
+		return FrontierResponse{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.front == nil {
+		return FrontierResponse{}
+	}
+	resp := FrontierResponse{Ready: true}
+	for _, pt := range j.front.Points() {
+		resp.Time = append(resp.Time, pt.Time)
+		resp.Energy = append(resp.Energy, pt.Energy)
+	}
+	return resp
+}
+
+func parseKind(s string) (sched.Kind, error) {
+	switch strings.ToLower(s) {
+	case "forward", "f":
+		return sched.Forward, nil
+	case "backward", "b":
+		return sched.Backward, nil
+	}
+	return 0, fmt.Errorf("server: unknown computation kind %q (want forward or backward)", s)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

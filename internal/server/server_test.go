@@ -1,0 +1,348 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"perseus/internal/frontier"
+	"perseus/internal/gpu"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+	"perseus/internal/profile"
+)
+
+// buildUpload produces a realistic profile upload for a workload.
+func buildUpload(t *testing.T, g *gpu.Model, stages, mbSize int) ProfileUpload {
+	t.Helper()
+	m, err := model.GPT3("1.3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.MinImbalance(m.LayerCosts(), stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := profile.Workload{
+		Model: m, GPU: g, Stages: stages, Chunks: 1,
+		Partition: part.Boundaries, MicrobatchSize: mbSize, TensorParallel: 1,
+	}
+	refs, err := w.StageRefTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := ProfileUpload{PBlocking: profile.MeasurePBlocking(g)}
+	for v, ref := range refs {
+		for _, f := range g.Frequencies() {
+			up.Measurements = append(up.Measurements,
+				MeasurementJSON{Virtual: v, Kind: "forward", Freq: int(f),
+					Time: g.Time(ref, f, g.MemBoundFwd), Energy: g.Energy(ref, f, g.MemBoundFwd)},
+				MeasurementJSON{Virtual: v, Kind: "backward", Freq: int(f),
+					Time: g.Time(2*ref, f, g.MemBoundBwd), Energy: g.Energy(2*ref, f, g.MemBoundBwd)})
+		}
+	}
+	return up
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// 1. Register the job.
+	resp := postJSON(t, ts.URL+"/jobs", JobRequest{
+		Schedule: "1f1b", Stages: 2, Microbatches: 4, GPU: "A100-PCIe", Unit: 5e-3,
+	})
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jr.JobID == "" {
+		t.Fatal("empty job id")
+	}
+
+	// 2. Before profiling, the schedule is not ready.
+	var sr ScheduleResponse
+	get(t, ts.URL+"/jobs/"+jr.JobID+"/schedule", &sr)
+	if sr.Ready {
+		t.Fatal("schedule ready before profiling")
+	}
+
+	// 3. Upload the profile; characterization starts asynchronously.
+	up := buildUpload(t, gpu.A100PCIe, 2, 4)
+	r := postJSON(t, ts.URL+"/jobs/"+jr.JobID+"/profile", up)
+	r.Body.Close()
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("profile upload status %d", r.StatusCode)
+	}
+	if err := srv.WaitCharacterized(jr.JobID); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. The deployed schedule is the Tmin schedule.
+	get(t, ts.URL+"/jobs/"+jr.JobID+"/schedule", &sr)
+	if !sr.Ready {
+		t.Fatal("schedule not ready after characterization")
+	}
+	if len(sr.Freqs) != 2*4*2 {
+		t.Fatalf("plan has %d frequencies, want 16", len(sr.Freqs))
+	}
+	if sr.Time > sr.Tmin+1e-9 {
+		t.Errorf("deployed time %v should be Tmin %v without stragglers", sr.Time, sr.Tmin)
+	}
+	baseVersion := sr.Version
+
+	// 5. A straggler notification moves the schedule to T_opt.
+	r = postJSON(t, ts.URL+"/jobs/"+jr.JobID+"/straggler",
+		StragglerNotice{ID: "p1s0", Delay: 0, Degree: 1.2})
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("straggler status %d", r.StatusCode)
+	}
+	var sr2 ScheduleResponse
+	get(t, ts.URL+"/jobs/"+jr.JobID+"/schedule", &sr2)
+	if sr2.Version <= baseVersion {
+		t.Error("version did not advance after straggler")
+	}
+	if sr2.Time <= sr.Time {
+		t.Errorf("straggler schedule time %v should exceed normal %v", sr2.Time, sr.Time)
+	}
+	want := 1.2 * sr.Tmin
+	if sr2.TStar < want && sr2.Time != 0 && sr2.Time > sr2.TStar+1e-9 {
+		t.Errorf("schedule time %v exceeds T* %v", sr2.Time, sr2.TStar)
+	}
+	if sr2.Time > want+1e-9 && sr2.Time > sr2.TStar+1e-9 {
+		t.Errorf("schedule time %v exceeds T_opt=min(T*, %v)", sr2.Time, want)
+	}
+
+	// 6. A recovery (degree 1) returns to the Tmin schedule.
+	r = postJSON(t, ts.URL+"/jobs/"+jr.JobID+"/straggler",
+		StragglerNotice{ID: "p1s0", Degree: 1})
+	r.Body.Close()
+	var sr3 ScheduleResponse
+	get(t, ts.URL+"/jobs/"+jr.JobID+"/schedule", &sr3)
+	if sr3.Time != sr.Time {
+		t.Errorf("after recovery, time %v != original %v", sr3.Time, sr.Time)
+	}
+
+	// 7. The frontier endpoint lists monotone points.
+	var fr FrontierResponse
+	get(t, ts.URL+"/jobs/"+jr.JobID+"/frontier", &fr)
+	if !fr.Ready || len(fr.Time) < 5 {
+		t.Fatalf("frontier not ready or too small: %+v", fr.Ready)
+	}
+	for i := 1; i < len(fr.Time); i++ {
+		if fr.Time[i] <= fr.Time[i-1] {
+			t.Fatalf("frontier times not increasing at %d", i)
+		}
+	}
+}
+
+func get(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	srv := New()
+	if _, err := srv.Register(JobRequest{Schedule: "nope", Stages: 2, Microbatches: 2, GPU: "A40"}); err == nil {
+		t.Error("unknown schedule should fail")
+	}
+	if _, err := srv.Register(JobRequest{Schedule: "1f1b", Stages: 2, Microbatches: 2, GPU: "H100"}); err == nil {
+		t.Error("unknown GPU should fail")
+	}
+}
+
+func TestStragglerBeforeCharacterization(t *testing.T) {
+	srv := New()
+	id, err := srv.Register(JobRequest{Schedule: "1f1b", Stages: 2, Microbatches: 2, GPU: "A40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetStraggler(id, StragglerNotice{Degree: 1.5}); err == nil {
+		t.Error("straggler before characterization should fail")
+	}
+	if err := srv.SetStraggler("job-99", StragglerNotice{Degree: 1.5}); err == nil {
+		t.Error("unknown job should fail")
+	}
+}
+
+func TestDoubleProfileRejected(t *testing.T) {
+	srv := New()
+	id, err := srv.Register(JobRequest{Schedule: "1f1b", Stages: 2, Microbatches: 2, GPU: "A100-PCIe", Unit: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := buildUpload(t, gpu.A100PCIe, 2, 4)
+	if err := srv.UploadProfile(id, up); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.UploadProfile(id, up); err == nil {
+		t.Error("second profile upload should be rejected")
+	}
+	if err := srv.WaitCharacterized(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadKind(t *testing.T) {
+	srv := New()
+	id, err := srv.Register(JobRequest{Schedule: "1f1b", Stages: 2, Microbatches: 2, GPU: "A40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = srv.UploadProfile(id, ProfileUpload{
+		PBlocking:    60,
+		Measurements: []MeasurementJSON{{Virtual: 0, Kind: "sideways", Freq: 1000, Time: 1, Energy: 1}},
+	})
+	if err == nil {
+		t.Error("bad kind should be rejected")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /jobs status %d", resp.StatusCode)
+	}
+	// Unknown job.
+	resp, err = http.Get(ts.URL + "/jobs/job-77/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status %d", resp.StatusCode)
+	}
+	// Malformed body.
+	r, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", r.StatusCode)
+	}
+}
+
+func TestDelayedStraggler(t *testing.T) {
+	srv := New()
+	id, err := srv.Register(JobRequest{Schedule: "1f1b", Stages: 2, Microbatches: 3, GPU: "A100-PCIe", Unit: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.UploadProfile(id, buildUpload(t, gpu.A100PCIe, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitCharacterized(id); err != nil {
+		t.Fatal(err)
+	}
+	before, err := srv.Schedule(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anticipated 30 ms ahead: the deployed schedule must not change yet.
+	if err := srv.SetStraggler(id, StragglerNotice{ID: "x", Delay: 0.03, Degree: 1.3}); err != nil {
+		t.Fatal(err)
+	}
+	now, err := srv.Schedule(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now.Version != before.Version {
+		t.Fatal("delayed straggler applied immediately")
+	}
+	// After the delay, the schedule flips.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		later, err := srv.Schedule(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if later.Version > before.Version {
+			if later.Time <= before.Time {
+				t.Fatalf("delayed straggler schedule %v not slower than %v", later.Time, before.Time)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delayed straggler never applied")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTableEndpoint(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	id, err := srv.Register(JobRequest{Schedule: "1f1b", Stages: 2, Microbatches: 3, GPU: "A100-PCIe", Unit: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before characterization: conflict.
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("table before characterization: status %d", resp.StatusCode)
+	}
+	if err := srv.UploadProfile(id, buildUpload(t, gpu.A100PCIe, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitCharacterized(id); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/jobs/" + id + "/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lt, err := frontier.LoadTable(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lt.Points) < 5 {
+		t.Fatalf("served table has %d points", len(lt.Points))
+	}
+	if len(lt.Points[0].Freqs) != 2*3*2 {
+		t.Fatalf("served plan has %d frequencies", len(lt.Points[0].Freqs))
+	}
+}

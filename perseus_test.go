@@ -1,0 +1,166 @@
+package perseus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perseus/internal/frontier"
+)
+
+func characterizeQuick(t *testing.T) *System {
+	t.Helper()
+	sys, err := Characterize(Workload{
+		Model: "gpt3-1.3b", GPU: "A100-PCIe",
+		Stages: 4, MicrobatchSize: 4, Microbatches: 8, TargetSteps: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := characterizeQuick(t)
+	if sys.Tmin() <= 0 || sys.TStar() <= sys.Tmin() {
+		t.Fatalf("bad frontier bounds: Tmin=%v T*=%v", sys.Tmin(), sys.TStar())
+	}
+	pts := sys.Frontier()
+	if len(pts) < 10 {
+		t.Fatalf("frontier has %d points", len(pts))
+	}
+	res, err := sys.Simulate(sys.PlanFor(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving, slowdown := sys.Savings(res)
+	if saving <= 0.03 {
+		t.Errorf("intrinsic saving %.3f too small", saving)
+	}
+	if slowdown > 0.03 {
+		t.Errorf("slowdown %.3f not negligible", slowdown)
+	}
+}
+
+func TestFacadeStragglerScenario(t *testing.T) {
+	sys := characterizeQuick(t)
+	base := sys.Baseline()
+	fast := sys.PlanFor(0)
+	tPrime := base.IterTime * 1.25
+	slow := sys.PlanFor(tPrime)
+	res, err := sys.SimulatePerPipeline(func(p int) Plan {
+		if p == 0 {
+			return fast
+		}
+		return slow
+	}, []Straggler{{Pipeline: 0, Factor: 1.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime > base.IterTime*1.25*1.01 {
+		t.Errorf("iteration %v exceeds straggler bound %v", res.IterTime, base.IterTime*1.25)
+	}
+	saving, _ := sys.Savings(res)
+	// The baseline here also waits for the straggler, so compare against
+	// the simulated all-max-with-straggler case instead.
+	maxRes, err := sys.Simulate(sys.MaxFrequencyPlan(), []Straggler{{Pipeline: 0, Factor: 1.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy >= maxRes.Energy {
+		t.Errorf("straggler-aware plan saved nothing: %v vs %v", res.Energy, maxRes.Energy)
+	}
+	_ = saving
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	sys := characterizeQuick(t)
+	ep, err := sys.EnvPipePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving, _ := sys.Savings(res)
+	if saving <= 0 {
+		t.Error("EnvPipe saved nothing")
+	}
+	for _, name := range []string{"zeus-global", "zeus-per-stage"} {
+		pts, err := sys.BaselineFrontier(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) < 3 {
+			t.Errorf("%s: %d points", name, len(pts))
+		}
+	}
+	if _, err := sys.BaselineFrontier("alexnet"); err == nil {
+		t.Error("unknown baseline should fail")
+	}
+}
+
+func TestFacadeTimeline(t *testing.T) {
+	sys := characterizeQuick(t)
+	var buf bytes.Buffer
+	if err := sys.RenderTimeline(&buf, sys.PlanFor(0), 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "S1") || !strings.Contains(out, "S4") {
+		t.Errorf("timeline missing stage rows:\n%s", out)
+	}
+	if !strings.Contains(out, "F") || !strings.Contains(out, "B") {
+		t.Errorf("timeline missing op markers:\n%s", out)
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if len(ModelNames()) != 16 {
+		t.Errorf("ModelNames: %d, want 16", len(ModelNames()))
+	}
+	if len(GPUNames()) != 4 {
+		t.Errorf("GPUNames: %d, want 4", len(GPUNames()))
+	}
+	if NewServerHandler() == nil {
+		t.Error("nil server handler")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := Characterize(Workload{Model: "nope", GPU: "A40", Stages: 2, MicrobatchSize: 1, Microbatches: 2}); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if _, err := Characterize(Workload{Model: "gpt3-1.3b", GPU: "H200", Stages: 2, MicrobatchSize: 1, Microbatches: 2}); err == nil {
+		t.Error("unknown GPU should fail")
+	}
+}
+
+func TestFacadeLookupMonotone(t *testing.T) {
+	sys := characterizeQuick(t)
+	prev := 0.0
+	for _, f := range []float64{0.5, 1.0, 1.1, 1.2, 1.5, 3.0} {
+		pt := sys.LookupPoint(sys.Tmin() * f)
+		if pt.Time < prev {
+			t.Errorf("lookup not monotone at factor %v", f)
+		}
+		prev = pt.Time
+	}
+}
+
+func TestFacadeSaveLookupTable(t *testing.T) {
+	sys := characterizeQuick(t)
+	var buf bytes.Buffer
+	if err := sys.SaveLookupTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := frontier.LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Tmin() != sys.Tmin() || lt.TStar() != sys.TStar() {
+		t.Errorf("saved table bounds (%v, %v) != system (%v, %v)",
+			lt.Tmin(), lt.TStar(), sys.Tmin(), sys.TStar())
+	}
+}
