@@ -1,0 +1,65 @@
+// Fleet: share a facility power envelope across two training jobs.
+// Each job's characterized frontier gives the marginal cost of slowing
+// it down; the fleet allocator descends the merged frontiers so the cap
+// is met at minimum total throughput loss — extrinsic energy bloat,
+// generalized from one straggling pipeline to a whole datacenter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perseus/internal/experiments"
+	"perseus/internal/fleet"
+	"perseus/internal/gpu"
+)
+
+func main() {
+	cfgs := []experiments.WorkloadConfig{
+		{Display: "gpt3-1.3b", Model: "gpt3-1.3b", Stages: 4, MicrobatchSize: 4, Microbatches: 16},
+		{Display: "bert-1.3b", Model: "bert-1.3b", Stages: 4, MicrobatchSize: 8, Microbatches: 16},
+	}
+	var jobs []fleet.Job
+	for _, cfg := range cfgs {
+		sys, err := experiments.BuildSystem(cfg, gpu.A100PCIe, experiments.Quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, fleet.Job{ID: cfg.Display, Table: sys.Frontier.Table()})
+	}
+
+	uncapped := fleet.Allocate(jobs, 0)
+	fmt.Printf("uncapped: %.0f W, both jobs at Tmin\n\n", uncapped.PowerW)
+
+	fmt.Println("cap (W)  loss (%)  per-job iteration times (s)")
+	for _, frac := range []float64{1.0, 0.95, 0.9, 0.85, 0.8} {
+		capW := frac * uncapped.PowerW
+		alloc := fleet.Allocate(jobs, capW)
+		fmt.Printf("%7.0f  %8.2f ", capW, 100*alloc.Loss)
+		for _, ja := range alloc.Jobs {
+			fmt.Printf("  %s=%.3f", ja.ID, ja.Time)
+		}
+		if !alloc.Feasible {
+			fmt.Print("  (infeasible: fleet at minimum power)")
+		}
+		fmt.Println()
+	}
+
+	// A straggler on one job raises its free floor: the other job gets
+	// the released power back.
+	capW := 0.9 * uncapped.PowerW
+	if err := fleetWithStraggler(jobs, capW); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fleetWithStraggler(jobs []fleet.Job, capW float64) error {
+	fmt.Printf("\nwith a 1.3x straggler on %s under a %.0f W cap:\n", jobs[0].ID, capW)
+	jobs[0].TPrime = 1.3 * jobs[0].Table.Tmin()
+	alloc := fleet.Allocate(jobs, capW)
+	for _, ja := range alloc.Jobs {
+		fmt.Printf("  %s: %.3fs (floor %.3fs, %.0f W)\n", ja.ID, ja.Time, ja.FloorTime, ja.PowerW)
+	}
+	fmt.Printf("  fleet loss %.2f%% — the straggler's freed power spares the healthy job\n", 100*alloc.Loss)
+	return nil
+}

@@ -1,0 +1,3 @@
+module perseus
+
+go 1.24

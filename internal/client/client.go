@@ -209,6 +209,8 @@ type JobRequest struct {
 	Chunks       int     `json:"chunks,omitempty"`
 	GPU          string  `json:"gpu"`
 	Unit         float64 `json:"unit,omitempty"`
+	DataParallel int     `json:"data_parallel,omitempty"`
+	Weight       float64 `json:"weight,omitempty"`
 }
 
 // UploadProfile sends profiling results.
@@ -277,4 +279,49 @@ func (c *ServerClient) SetStraggler(jobID, accelID string, delay, degree float64
 		Degree float64 `json:"degree"`
 	}{accelID, delay, degree}
 	return c.post("/jobs/"+jobID+"/straggler", payload, nil)
+}
+
+// JobAllocation mirrors the server's per-job fleet allocation.
+type JobAllocation struct {
+	JobID     string  `json:"job_id"`
+	Ready     bool    `json:"ready"`
+	Time      float64 `json:"time_s"`
+	PowerW    float64 `json:"power_w"`
+	FloorTime float64 `json:"floor_s"`
+	Loss      float64 `json:"loss"`
+}
+
+// FleetStatus mirrors the server's fleet-wide allocation view.
+type FleetStatus struct {
+	CapW     float64         `json:"cap_w"`
+	PowerW   float64         `json:"power_w"`
+	Loss     float64         `json:"loss"`
+	Feasible bool            `json:"feasible"`
+	Jobs     []JobAllocation `json:"jobs"`
+}
+
+// SetFleetCap sets the facility power cap across every job the server
+// manages (0 uncaps) and returns the resulting allocation.
+func (c *ServerClient) SetFleetCap(capW float64) (FleetStatus, error) {
+	payload := struct {
+		CapW float64 `json:"cap_w"`
+	}{capW}
+	var st FleetStatus
+	err := c.post("/fleet/cap", payload, &st)
+	return st, err
+}
+
+// FetchFleetStatus returns the fleet-wide allocation under the current
+// cap.
+func (c *ServerClient) FetchFleetStatus() (FleetStatus, error) {
+	var st FleetStatus
+	err := c.get("/fleet/status", &st)
+	return st, err
+}
+
+// FetchAllocation returns one job's fleet allocation.
+func (c *ServerClient) FetchAllocation(jobID string) (JobAllocation, error) {
+	var ja JobAllocation
+	err := c.get("/jobs/"+jobID+"/allocation", &ja)
+	return ja, err
 }

@@ -1,0 +1,189 @@
+// Package fleet is the datacenter-scale layer above per-job Perseus: a
+// multi-job energy orchestrator that trades iteration time across N
+// concurrent training jobs under a shared facility power envelope.
+//
+// Perseus (the rest of this repository) characterizes one job's
+// iteration time-energy Pareto frontier and serves the schedule for
+// T_opt = min(T*, T') — removing that job's intrinsic and extrinsic
+// bloat. Real clusters run many jobs at once, and the highest-leverage
+// datacenter knob is a fleet power cap: once every job exposes its
+// frontier, a global allocator can pick each job's operating point so
+// the fleet meets the cap at minimum total throughput loss. This
+// generalizes extrinsic bloat from one pipeline held up by a straggler
+// to a whole datacenter held down by a power envelope.
+//
+// The package has three parts: a fleet state model (this file), a
+// marginal-cost waterfilling allocator over merged frontiers (alloc.go),
+// and an event-driven multi-job simulator that replays scenario traces
+// of arrivals, departures, stragglers, and cap changes (sim.go).
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"perseus/internal/frontier"
+)
+
+// Job is one registered training job in the fleet state model.
+type Job struct {
+	// ID names the job; unique within a Fleet.
+	ID string
+
+	// Table is the job's characterized time-energy frontier.
+	Table *frontier.LookupTable
+
+	// Pipelines is the number of data-parallel pipeline replicas, each
+	// executing the deployed plan; it scales the job's power draw.
+	// Zero means 1.
+	Pipelines int
+
+	// Weight scales the job's throughput loss in the fleet objective:
+	// an allocator slows a weight-2 job half as eagerly as a weight-1
+	// job for the same watts. Zero means 1.
+	Weight float64
+
+	// TPrime is the anticipated straggler iteration time in seconds;
+	// 0 means no straggler. Per Perseus Eq. 2 the job gains nothing by
+	// running faster than T_opt = min(T*, T'), so the allocator treats
+	// T_opt as the job's free operating floor: slowing down to it costs
+	// the fleet no throughput, and the power it frees can be spent on
+	// other jobs.
+	TPrime float64
+}
+
+func (j *Job) pipelines() int {
+	if j.Pipelines <= 0 {
+		return 1
+	}
+	return j.Pipelines
+}
+
+func (j *Job) weight() float64 {
+	if j.Weight <= 0 {
+		return 1
+	}
+	return j.Weight
+}
+
+// floorIndex returns the index of the job's operating floor: the
+// T_opt = min(T*, T') point under a straggler, the Tmin point otherwise.
+func (j *Job) floorIndex() int {
+	if j.TPrime <= 0 {
+		return 0
+	}
+	return j.Table.LookupIndex(j.TPrime)
+}
+
+// Fleet is the mutable fleet state: registered jobs and the facility
+// power cap. Safe for concurrent use.
+type Fleet struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	ord  []string // registration order, for deterministic allocation output
+	capW float64  // 0 = uncapped
+}
+
+// New returns an empty fleet with no power cap.
+func New() *Fleet {
+	return &Fleet{jobs: map[string]*Job{}}
+}
+
+// Add registers a job. The job's Table must be non-nil and non-empty.
+func (f *Fleet) Add(j Job) error {
+	if j.ID == "" {
+		return fmt.Errorf("fleet: job needs an id")
+	}
+	if j.Table == nil || len(j.Table.Points) == 0 {
+		return fmt.Errorf("fleet: job %s needs a characterized frontier table", j.ID)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.jobs[j.ID]; ok {
+		return fmt.Errorf("fleet: job %s already registered", j.ID)
+	}
+	f.jobs[j.ID] = &j
+	f.ord = append(f.ord, j.ID)
+	return nil
+}
+
+// Remove deregisters a job; removing an unknown id is a no-op.
+func (f *Fleet) Remove(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.jobs[id]; !ok {
+		return
+	}
+	delete(f.jobs, id)
+	for i, jid := range f.ord {
+		if jid == id {
+			f.ord = append(f.ord[:i], f.ord[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetStraggler records a job's anticipated straggler iteration time;
+// tPrime <= 0 clears it (recovery).
+func (f *Fleet) SetStraggler(id string, tPrime float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok {
+		return fmt.Errorf("fleet: unknown job %s", id)
+	}
+	if tPrime <= 0 {
+		j.TPrime = 0
+	} else {
+		j.TPrime = tPrime
+	}
+	return nil
+}
+
+// SetCap sets the fleet power cap in watts; 0 or negative uncaps.
+func (f *Fleet) SetCap(watts float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if watts < 0 {
+		watts = 0
+	}
+	f.capW = watts
+}
+
+// Cap returns the current fleet power cap (0 = uncapped).
+func (f *Fleet) Cap() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.capW
+}
+
+// Len returns the number of registered jobs.
+func (f *Fleet) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.jobs)
+}
+
+// Snapshot returns the registered jobs in registration order.
+func (f *Fleet) Snapshot() []Job {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Job, 0, len(f.ord))
+	for _, id := range f.ord {
+		out = append(out, *f.jobs[id])
+	}
+	return out
+}
+
+// Allocate runs the power-budget allocator over the current fleet state
+// under the current cap.
+func (f *Fleet) Allocate() Allocation {
+	f.mu.Lock()
+	jobs := make([]Job, 0, len(f.ord))
+	for _, id := range f.ord {
+		jobs = append(jobs, *f.jobs[id])
+	}
+	capW := f.capW
+	f.mu.Unlock()
+	return Allocate(jobs, capW)
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestFleetStateModel(t *testing.T) {
+	f := New()
+	if f.Len() != 0 || f.Cap() != 0 {
+		t.Fatal("new fleet not empty and uncapped")
+	}
+	tbl := convexTable(0.01, 80, 95, 3000, 120)
+
+	if err := f.Add(Job{Table: tbl}); err == nil {
+		t.Error("job without id should be rejected")
+	}
+	if err := f.Add(Job{ID: "a"}); err == nil {
+		t.Error("job without table should be rejected")
+	}
+	if err := f.Add(Job{ID: "a", Table: tbl}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(Job{ID: "a", Table: tbl}); err == nil {
+		t.Error("duplicate id should be rejected")
+	}
+	if err := f.Add(Job{ID: "b", Table: convexTable(0.01, 50, 67, 5000, 300), Pipelines: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("fleet has %d jobs, want 2", f.Len())
+	}
+
+	snap := f.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "a" || snap[1].ID != "b" {
+		t.Fatalf("snapshot order %+v, want registration order a,b", snap)
+	}
+
+	if err := f.SetStraggler("nope", 1.0); err == nil {
+		t.Error("straggler on unknown job should fail")
+	}
+	if err := f.SetStraggler("a", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Snapshot()[0].TPrime; got != 0.9 {
+		t.Fatalf("TPrime %v, want 0.9", got)
+	}
+	if err := f.SetStraggler("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Snapshot()[0].TPrime; got != 0 {
+		t.Fatalf("TPrime %v after recovery, want 0", got)
+	}
+
+	f.SetCap(1234)
+	if f.Cap() != 1234 {
+		t.Fatalf("cap %v, want 1234", f.Cap())
+	}
+	alloc := f.Allocate()
+	if alloc.CapW != 1234 || len(alloc.Jobs) != 2 {
+		t.Fatalf("allocation %+v", alloc)
+	}
+	f.SetCap(-5)
+	if f.Cap() != 0 {
+		t.Fatalf("negative cap should uncap, got %v", f.Cap())
+	}
+
+	f.Remove("nope") // no-op
+	f.Remove("a")
+	if f.Len() != 1 {
+		t.Fatalf("fleet has %d jobs after removal, want 1", f.Len())
+	}
+	if snap := f.Snapshot(); len(snap) != 1 || snap[0].ID != "b" {
+		t.Fatalf("snapshot after removal: %+v", snap)
+	}
+}
+
+// TestFleetAllocateUsesCurrentState checks Allocate reflects mutations:
+// a cap set after registration constrains, a straggler moves a floor.
+func TestFleetAllocateUsesCurrentState(t *testing.T) {
+	f := New()
+	if err := f.Add(Job{ID: "a", Table: convexTable(0.01, 80, 95, 3000, 120)}); err != nil {
+		t.Fatal(err)
+	}
+	free := f.Allocate()
+	if !free.Feasible || free.Loss != 0 {
+		t.Fatalf("uncapped allocation %+v", free)
+	}
+	f.SetCap(free.PowerW * 0.96)
+	capped := f.Allocate()
+	if capped.Loss <= 0 {
+		t.Fatalf("capped allocation has no loss: %+v", capped)
+	}
+	if err := f.SetStraggler("a", f.Snapshot()[0].Table.TStar()); err != nil {
+		t.Fatal(err)
+	}
+	slow := f.Allocate()
+	if slow.Loss != 0 {
+		t.Fatalf("straggler at T* should make the cap free, loss %v", slow.Loss)
+	}
+}

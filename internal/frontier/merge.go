@@ -1,0 +1,116 @@
+package frontier
+
+// MergeInput is one characterized job entering a fleet-level merge.
+type MergeInput struct {
+	// Table is the job's characterized frontier.
+	Table *LookupTable
+
+	// PowerScale multiplies the table's per-point average power, e.g.
+	// the number of data-parallel pipeline replicas executing the same
+	// plan. Zero or negative means 1.
+	PowerScale float64
+
+	// LossWeight converts one second of this job's slowdown into units
+	// of fleet loss; merged steps are ordered by watts saved per unit of
+	// loss. Zero or negative means 1 (loss measured in plain seconds).
+	LossWeight float64
+
+	// Start is the point index the job descends from (e.g. the
+	// T_opt = min(T*, T') floor under a straggler). Points before Start
+	// are excluded from the merge.
+	Start int
+}
+
+// MergeStep is one step of a merged fleet descent: table Table moved
+// from point Point-1 to Point, lowering total fleet power to Power.
+type MergeStep struct {
+	// Table indexes the MergeInput whose job slowed down.
+	Table int
+
+	// Point is the job's new operating-point index.
+	Point int
+
+	// Power is the total scaled fleet power after the step, in watts.
+	Power float64
+
+	// Loss is the step's weighted slowdown cost (LossWeight × Δtime).
+	Loss float64
+
+	// Slope is the step's marginal rate: watts saved per unit of loss.
+	Slope float64
+}
+
+// Merge merges N characterized frontiers into a single fleet-level
+// descent: the ordered sequence of one-point slowdowns, steepest
+// watts-saved-per-loss slope first, from every job at its Start point
+// down to every job at its T* point. It returns the starting total
+// power and the steps.
+//
+// Each job's average power strictly decreases along its own frontier,
+// so every step saves power; a fleet allocator meets a power cap by
+// taking the step prefix that first brings Power under the cap. When
+// every frontier is convex (power savings per second of slowdown
+// non-increasing along the table), each job's slope sequence is
+// non-increasing and the greedy prefix is loss-optimal for the power it
+// achieves — the discrete marginal-analysis argument tested in
+// internal/fleet.
+func Merge(inputs []MergeInput) (startPower float64, steps []MergeStep) {
+	type jobState struct {
+		lt     *LookupTable
+		scale  float64
+		weight float64
+		cur    int
+	}
+	js := make([]jobState, len(inputs))
+	for i, in := range inputs {
+		s := jobState{lt: in.Table, scale: in.PowerScale, weight: in.LossWeight, cur: in.Start}
+		if s.scale <= 0 {
+			s.scale = 1
+		}
+		if s.weight <= 0 {
+			s.weight = 1
+		}
+		if s.cur < 0 {
+			s.cur = 0
+		}
+		if n := len(s.lt.Points); n == 0 {
+			s.cur = 0 // empty table: draws no power, never advances
+		} else {
+			if s.cur >= n {
+				s.cur = n - 1
+			}
+			startPower += s.scale * s.lt.AvgPower(s.cur)
+		}
+		js[i] = s
+	}
+
+	power := startPower
+	for {
+		best, bestSlope := -1, 0.0
+		var bestDP, bestLoss float64
+		for i := range js {
+			s := &js[i]
+			if s.cur+1 >= len(s.lt.Points) {
+				continue
+			}
+			dp := s.scale * (s.lt.AvgPower(s.cur) - s.lt.AvgPower(s.cur+1))
+			loss := s.weight * (s.lt.PointTime(s.cur+1) - s.lt.PointTime(s.cur))
+			slope := dp / loss
+			if best < 0 || slope > bestSlope {
+				best, bestSlope, bestDP, bestLoss = i, slope, dp, loss
+			}
+		}
+		if best < 0 {
+			return startPower, steps
+		}
+		js[best].cur++
+		power -= bestDP
+		steps = append(steps, MergeStep{
+			Table: best,
+			Point: js[best].cur,
+			Power: power,
+			Loss:  bestLoss,
+			Slope: bestSlope,
+		})
+	}
+}

@@ -65,18 +65,45 @@ func (f *Frontier) Table() *LookupTable {
 // Lookup returns the energy schedule for an anticipated straggler
 // iteration time tPrime, with the same T_opt = min(T*, T') semantics as
 // Frontier.Lookup (paper Eq. 2). The lookup is a binary search:
-// "instantaneous" per paper §6.5.
+// "instantaneous" per paper §6.5. An empty table (never produced by
+// Table or LoadTable, but possible for hand-built values) returns the
+// zero TablePoint.
 func (lt *LookupTable) Lookup(tPrime float64) TablePoint {
+	if len(lt.Points) == 0 {
+		return TablePoint{}
+	}
+	return lt.Points[lt.LookupIndex(tPrime)]
+}
+
+// PointTime returns the planned iteration time of point i in seconds.
+func (lt *LookupTable) PointTime(i int) float64 { return lt.time(lt.Points[i].TimeUnits) }
+
+// AvgPower returns the average power draw of point i in watts: the
+// point's adjusted computation energy divided by its planned iteration
+// time. Along the table, time strictly rises while energy falls, so
+// average power strictly decreases from the Tmin point to the T* point —
+// this is the knob a fleet-level allocator trades across jobs to meet a
+// datacenter power envelope.
+func (lt *LookupTable) AvgPower(i int) float64 {
+	pt := lt.Points[i]
+	return pt.Energy / lt.time(pt.TimeUnits)
+}
+
+// LookupIndex returns the index of the point Lookup(tPrime) would
+// return, for callers that track operating points by position.
+func (lt *LookupTable) LookupIndex(tPrime float64) int {
+	if len(lt.Points) == 0 {
+		return -1
+	}
 	tstar := lt.time(lt.TStarUnits)
 	topt := math.Min(tPrime, tstar)
 	units := int64(math.Floor(topt/lt.Unit + 1e-9))
 	if units <= lt.Points[0].TimeUnits {
-		return lt.Points[0]
+		return 0
 	}
-	idx := sort.Search(len(lt.Points), func(i int) bool {
+	return sort.Search(len(lt.Points), func(i int) bool {
 		return lt.Points[i].TimeUnits > units
 	}) - 1
-	return lt.Points[idx]
 }
 
 // Tmin returns the fastest cached iteration time in seconds.

@@ -5,6 +5,13 @@
 // schedules in a lookup table, and serves the schedule for
 // T_opt = min(T*, T') — updating it when the training infrastructure
 // reports a straggler via set_straggler (Table 2).
+//
+// On top of the per-job machinery, the server exposes the fleet layer
+// (internal/fleet): a facility power cap set via POST /fleet/cap makes
+// the marginal-cost allocator pick each characterized job's operating
+// point on its own frontier, and the allocated iteration time becomes a
+// floor under that job's deployed schedule — the fleet-level
+// generalization of the extrinsic straggler slowdown.
 package server
 
 import (
@@ -16,6 +23,7 @@ import (
 	"time"
 
 	"perseus/internal/dag"
+	"perseus/internal/fleet"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
 	"perseus/internal/profile"
@@ -31,6 +39,14 @@ type JobRequest struct {
 	Chunks       int     `json:"chunks,omitempty"`
 	GPU          string  `json:"gpu"`            // gpu preset name
 	Unit         float64 `json:"unit,omitempty"` // optimizer τ seconds
+
+	// DataParallel is the number of pipeline replicas; the fleet
+	// allocator scales the job's power draw by it. 0 means 1.
+	DataParallel int `json:"data_parallel,omitempty"`
+
+	// Weight scales the job's throughput loss in the fleet objective
+	// (fleet.Job.Weight). 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // JobResponse returns the job handle.
@@ -94,7 +110,10 @@ type job struct {
 	characterizing bool
 	charErr        error
 	front          *frontier.Frontier
-	tPrime         float64 // anticipated straggler iteration time; 0 = none
+	table          *frontier.LookupTable // cached front.Table() for the fleet
+	tPrime         float64               // anticipated straggler iteration time; 0 = none
+	capTime        float64               // fleet-allocated iteration-time floor; 0 = none
+	alloc          *fleet.JobAlloc       // latest fleet allocation, if any
 	version        int
 	pending        *time.Timer   // armed delayed straggler switch, if any
 	done           chan struct{} // closed when characterization finishes
@@ -104,7 +123,14 @@ type job struct {
 type Server struct {
 	mu   sync.Mutex
 	jobs map[string]*job
+	ord  []string // registration order, for deterministic fleet output
 	next int
+	capW float64 // fleet power cap; 0 = uncapped
+
+	// fleetMu serializes whole fleet recomputations (read cap →
+	// allocate → deploy floors), so concurrent recomputes cannot
+	// interleave their write-backs and deploy floors for a stale cap.
+	fleetMu sync.Mutex
 }
 
 // New returns an empty server.
@@ -120,10 +146,15 @@ func New() *Server {
 //	POST /jobs/{id}/straggler      set_straggler notification
 //	GET  /jobs/{id}/frontier       fetch the characterized frontier
 //	GET  /jobs/{id}/table          fetch the full energy-schedule lookup table
+//	GET  /jobs/{id}/allocation     fetch the job's fleet allocation
+//	POST /fleet/cap                set the fleet power cap
+//	GET  /fleet/status             fetch the fleet-wide allocation
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/fleet/cap", s.handleFleetCap)
+	mux.HandleFunc("/fleet/status", s.handleFleetStatus)
 	return mux
 }
 
@@ -163,6 +194,7 @@ func (s *Server) Register(req JobRequest) (string, error) {
 	s.next++
 	id := fmt.Sprintf("job-%d", s.next)
 	s.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, done: make(chan struct{})}
+	s.ord = append(s.ord, id)
 	return id, nil
 }
 
@@ -232,6 +264,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, lt)
+	case "allocation":
+		resp, err := s.AllocationOf(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
 	default:
 		http.NotFound(w, r)
 	}
@@ -276,10 +315,16 @@ func (s *Server) UploadProfile(id string, up ProfileUpload) error {
 		}
 		j.mu.Lock()
 		j.front, j.charErr = front, err
+		if front != nil {
+			j.table = front.Table()
+		}
 		j.characterizing = false
 		j.version++
 		j.mu.Unlock()
 		close(j.done)
+		// The fleet gained a characterized member: under a cap, power
+		// must be re-divided.
+		s.recomputeFleet()
 	}()
 	return nil
 }
@@ -312,8 +357,8 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 		return fmt.Errorf("server: straggler degree must be positive, got %v", n.Degree)
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.front == nil {
+		j.mu.Unlock()
 		return fmt.Errorf("server: job %s not characterized yet", id)
 	}
 	apply := func() {
@@ -326,6 +371,10 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 	}
 	if n.Delay <= 0 {
 		apply()
+		j.mu.Unlock()
+		// A straggler moves the job's T_opt floor, freeing (or taking)
+		// fleet power; re-divide it.
+		s.recomputeFleet()
 		return nil
 	}
 	if j.pending != nil {
@@ -333,9 +382,11 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 	}
 	j.pending = time.AfterFunc(time.Duration(n.Delay*float64(time.Second)), func() {
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		apply()
+		j.mu.Unlock()
+		s.recomputeFleet()
 	})
+	j.mu.Unlock()
 	return nil
 }
 
@@ -357,6 +408,12 @@ func (s *Server) Schedule(id string) (ScheduleResponse, error) {
 	t := j.tPrime
 	if t <= 0 {
 		t = j.front.Tmin()
+	}
+	// The fleet-allocated iteration time is a floor under the deployed
+	// schedule: a power-capped job may not run faster than its share of
+	// the facility envelope allows.
+	if j.capTime > t {
+		t = j.capTime
 	}
 	pt := j.front.Lookup(t)
 	plan := pt.Plan()
@@ -383,10 +440,10 @@ func (s *Server) Table(id string) (*frontier.LookupTable, error) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.front == nil {
+	if j.table == nil {
 		return nil, fmt.Errorf("server: job %s not characterized yet", id)
 	}
-	return j.front.Table(), nil
+	return j.table, nil
 }
 
 // FrontierOf returns the characterized frontier's (time, energy) points.
@@ -406,6 +463,182 @@ func (s *Server) FrontierOf(id string) FrontierResponse {
 		resp.Energy = append(resp.Energy, pt.Energy)
 	}
 	return resp
+}
+
+// FleetCapRequest sets the facility power cap (watts); 0 uncaps.
+type FleetCapRequest struct {
+	CapW float64 `json:"cap_w"`
+}
+
+// JobAllocationResponse is one job's fleet allocation.
+type JobAllocationResponse struct {
+	JobID string `json:"job_id"`
+
+	// Ready is false until the job is characterized; an unready job
+	// draws no planned power and takes no part in the allocation.
+	Ready bool `json:"ready"`
+
+	// Time is the allocated planned iteration time; the job's deployed
+	// schedule never runs faster while a cap is in force.
+	Time float64 `json:"time_s"`
+
+	// PowerW is the job's allocated power draw (all pipelines).
+	PowerW float64 `json:"power_w"`
+
+	// FloorTime and Loss mirror fleet.JobAlloc.
+	FloorTime float64 `json:"floor_s"`
+	Loss      float64 `json:"loss"`
+}
+
+// FleetStatusResponse is the fleet-wide allocation.
+type FleetStatusResponse struct {
+	CapW     float64                 `json:"cap_w"`
+	PowerW   float64                 `json:"power_w"`
+	Loss     float64                 `json:"loss"`
+	Feasible bool                    `json:"feasible"`
+	Jobs     []JobAllocationResponse `json:"jobs"`
+}
+
+func (s *Server) handleFleetCap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req FleetCapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := s.SetFleetCap(req.CapW)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.FleetStatus())
+}
+
+// SetFleetCap sets the facility power cap and re-divides it across the
+// characterized jobs; capW = 0 uncaps the fleet.
+func (s *Server) SetFleetCap(capW float64) (FleetStatusResponse, error) {
+	if capW < 0 {
+		return FleetStatusResponse{}, fmt.Errorf("server: fleet cap must be non-negative, got %v", capW)
+	}
+	s.mu.Lock()
+	s.capW = capW
+	s.mu.Unlock()
+	return s.recomputeFleet(), nil
+}
+
+// FleetStatus recomputes and returns the fleet-wide allocation under
+// the current cap.
+func (s *Server) FleetStatus() FleetStatusResponse {
+	return s.recomputeFleet()
+}
+
+// AllocationOf returns a job's latest fleet allocation.
+func (s *Server) AllocationOf(id string) (JobAllocationResponse, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return JobAllocationResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.alloc == nil {
+		return JobAllocationResponse{JobID: id}, nil
+	}
+	return JobAllocationResponse{
+		JobID:     id,
+		Ready:     true,
+		Time:      j.alloc.Time,
+		PowerW:    j.alloc.PowerW,
+		FloorTime: j.alloc.FloorTime,
+		Loss:      j.alloc.Loss,
+	}, nil
+}
+
+// recomputeFleet runs the fleet allocator over every characterized job
+// under the current cap, deploys each job's allocated iteration-time
+// floor (bumping its schedule version when it changes), and returns the
+// fleet-wide view. Jobs still characterizing appear with Ready false.
+// The whole recomputation is serialized: the deployed floors always
+// reflect one allocation of the cap current when it ran.
+func (s *Server) recomputeFleet() FleetStatusResponse {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	s.mu.Lock()
+	capW := s.capW
+	jobs := make([]*job, 0, len(s.ord))
+	for _, id := range s.ord {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	var fjobs []fleet.Job
+	var ready []int // indices into jobs, aligned with fjobs
+	for i, j := range jobs {
+		j.mu.Lock()
+		if j.table != nil {
+			fjobs = append(fjobs, fleet.Job{
+				ID:        j.id,
+				Table:     j.table,
+				Pipelines: j.req.DataParallel,
+				Weight:    j.req.Weight,
+				TPrime:    j.tPrime,
+			})
+			ready = append(ready, i)
+		}
+		j.mu.Unlock()
+	}
+	alloc := fleet.Allocate(fjobs, capW)
+
+	st := FleetStatusResponse{
+		CapW:     alloc.CapW,
+		PowerW:   alloc.PowerW,
+		Loss:     alloc.Loss,
+		Feasible: alloc.Feasible,
+	}
+	byID := map[string]JobAllocationResponse{}
+	for k, ja := range alloc.Jobs {
+		j := jobs[ready[k]]
+		// Only an actual cap constrains deployment; uncapped allocations
+		// sit at the job's own floor, which Schedule derives itself.
+		var capTime float64
+		if capW > 0 {
+			capTime = ja.Time
+		}
+		j.mu.Lock()
+		if j.capTime != capTime {
+			j.capTime = capTime
+			j.version++
+		}
+		a := ja
+		j.alloc = &a
+		j.mu.Unlock()
+		byID[j.id] = JobAllocationResponse{
+			JobID:     j.id,
+			Ready:     true,
+			Time:      ja.Time,
+			PowerW:    ja.PowerW,
+			FloorTime: ja.FloorTime,
+			Loss:      ja.Loss,
+		}
+	}
+	for _, j := range jobs {
+		if resp, ok := byID[j.id]; ok {
+			st.Jobs = append(st.Jobs, resp)
+		} else {
+			st.Jobs = append(st.Jobs, JobAllocationResponse{JobID: j.id})
+		}
+	}
+	return st
 }
 
 func parseKind(s string) (sched.Kind, error) {
