@@ -6,11 +6,13 @@
 package perseus
 
 import (
+	"fmt"
 	"io"
 	"strconv"
 	"testing"
 
 	"perseus/internal/experiments"
+	"perseus/internal/fleet"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
 	"perseus/internal/maxflow"
@@ -268,6 +270,74 @@ func BenchmarkAblationTau(b *testing.B) {
 		if _, err := experiments.AblationTau(cfg, gpu.A100PCIe, []float64{20e-3, 5e-3}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchFleet builds a synthetic fleet of convex frontiers (E = a + b/t,
+// the family the allocator's optimality tests use) so the fleet hot
+// path benchmarks without paying for characterization.
+func benchFleet(n int) []fleet.Job {
+	jobs := make([]fleet.Job, n)
+	for i := range jobs {
+		tmin := int64(60 + 17*(i%8))
+		lt := &frontier.LookupTable{Unit: 0.01, TminUnits: tmin, TStarUnits: tmin + 40}
+		for u := tmin; u <= tmin+40; u++ {
+			t := float64(u) * lt.Unit
+			lt.Points = append(lt.Points, frontier.TablePoint{
+				TimeUnits: u,
+				Energy:    2000 + 300*float64(i%5) + (100+25*float64(i%7))/t,
+			})
+		}
+		jobs[i] = fleet.Job{
+			ID:        fmt.Sprintf("job-%d", i),
+			Table:     lt,
+			Pipelines: 1 + i%3,
+			Weight:    1 + float64(i%4)/2,
+		}
+	}
+	return jobs
+}
+
+// BenchmarkFleetAllocate measures the power-budget allocator — the
+// fleet layer's hot path, re-run on every arrival, departure,
+// straggler, and cap or grid-signal change.
+func BenchmarkFleetAllocate(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("jobs-%d", n), func(b *testing.B) {
+			jobs := benchFleet(n)
+			capW := fleet.Allocate(jobs, 0).PowerW * 0.9
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				alloc := fleet.Allocate(jobs, capW)
+				if !alloc.Feasible {
+					b.Fatal("benchmark cap unexpectedly infeasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrontierMerge measures merging N characterized frontiers
+// into the fleet-level descent Allocate consumes.
+func BenchmarkFrontierMerge(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("tables-%d", n), func(b *testing.B) {
+			jobs := benchFleet(n)
+			inputs := make([]frontier.MergeInput, len(jobs))
+			for i, j := range jobs {
+				inputs[i] = frontier.MergeInput{
+					Table:      j.Table,
+					PowerScale: float64(j.Pipelines),
+					LossWeight: j.Weight,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, steps := frontier.Merge(inputs); len(steps) == 0 {
+					b.Fatal("degenerate merge")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,102 @@
+// Command perseus-grid replays the bundled 24-hour diurnal grid trace
+// through the temporal planner (internal/grid): one training job with
+// deadline slack is scheduled over the day's carbon-intensity and price
+// curve, and the resulting carbon/cost/time table is compared against
+// the two signal-blind baselines — always-T_min (sprint, then stop) and
+// static min-energy (every iteration at T*).
+//
+// Usage:
+//
+//	perseus-grid                      # bundled trace, quick scale
+//	perseus-grid -util 0.7            # tighter deadline (70% of T* capacity)
+//	perseus-grid -objective cost      # minimize $ instead of gCO2
+//	perseus-grid -signal trace.csv    # replay your own trace (CSV or JSON)
+//	perseus-grid -gpu A40 -scale full # paper-fidelity frontier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"perseus/internal/experiments"
+	"perseus/internal/gpu"
+	"perseus/internal/grid"
+)
+
+func main() {
+	gpuName := flag.String("gpu", "A100-PCIe", "GPU preset")
+	scale := flag.String("scale", "quick", "quick | full (paper parameters; slow)")
+	util := flag.Float64("util", 0.55, "target as a fraction of the deadline's T* capacity (deadline slack knob)")
+	objective := flag.String("objective", "carbon", "objective for the featured plan: carbon | cost | energy")
+	signalPath := flag.String("signal", "", "replay a custom trace (.csv or .json) instead of the bundled diurnal one")
+	flag.Parse()
+
+	g, err := gpu.ByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	obj, err := grid.ParseObjective(*objective)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sig := grid.Diurnal24h()
+	if *signalPath != "" {
+		f, err := os.Open(*signalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(*signalPath, ".csv") {
+			sig, err = grid.ParseCSV(f)
+		} else {
+			sig, err = grid.ParseJSON(f)
+		}
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := experiments.WorkloadConfig{
+		Display: "GPT-3 1.3B", Model: "gpt3-1.3b", Stages: 4,
+		MicrobatchSize: 4, Microbatches: 16,
+	}
+	fmt.Printf("characterizing %s on %s...\n", cfg.Display, g.Name)
+	sys, err := experiments.BuildSystem(cfg, g, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt := sys.Frontier.Table()
+	target := *util * sig.Horizon() / lt.TStar()
+	fmt.Printf("trace %s: %d intervals over %.0f h; target %.0f iterations (%.0f%% of T* capacity)\n\n",
+		sig.Name, len(sig.Intervals), sig.Horizon()/3600, target, 100**util)
+
+	strategies, err := experiments.GridComparison(lt, sig, target, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	featured, err := grid.Optimize(lt, sig, grid.Options{Target: target, Objective: obj})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range []*experiments.Table{
+		experiments.GridPlanTable(lt, featured),
+		experiments.GridComparisonTable(sig, strategies),
+	} {
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

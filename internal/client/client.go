@@ -15,9 +15,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"perseus/internal/gpu"
+	"perseus/internal/grid"
 	"perseus/internal/profile"
 	"perseus/internal/sched"
 )
@@ -324,4 +327,66 @@ func (c *ServerClient) FetchAllocation(jobID string) (JobAllocation, error) {
 	var ja JobAllocation
 	err := c.get("/jobs/"+jobID+"/allocation", &ja)
 	return ja, err
+}
+
+// GridSignalAck mirrors the server's signal-installation summary.
+type GridSignalAck struct {
+	Name      string  `json:"name"`
+	Intervals int     `json:"intervals"`
+	HorizonS  float64 `json:"horizon_s"`
+	Objective string  `json:"objective"`
+}
+
+// UploadGridSignal installs a grid trace (carbon intensity, price, and
+// facility caps over time) on the server, with an optional default
+// planning objective ("" keeps carbon).
+func (c *ServerClient) UploadGridSignal(sig grid.Signal, objective string) (GridSignalAck, error) {
+	payload := struct {
+		Signal    grid.Signal `json:"signal"`
+		Objective string      `json:"objective,omitempty"`
+	}{sig, objective}
+	var ack GridSignalAck
+	err := c.post("/grid/signal", payload, &ack)
+	return ack, err
+}
+
+// FetchGridSignal returns the installed grid trace.
+func (c *ServerClient) FetchGridSignal() (grid.Signal, error) {
+	var sig grid.Signal
+	err := c.get("/grid/signal", &sig)
+	return sig, err
+}
+
+// FetchGridPlan returns the job's temporal schedule over the installed
+// signal: complete iterations by the deadline (seconds in signal time,
+// 0 = signal horizon) minimizing the objective ("" = server default).
+func (c *ServerClient) FetchGridPlan(jobID string, iterations, deadline float64, objective string) (grid.Plan, error) {
+	q := url.Values{}
+	// Query-encode the floats: fmt's %v renders 1e12 as "1e+12", whose
+	// bare '+' would decode server-side as a space.
+	q.Set("iterations", strconv.FormatFloat(iterations, 'g', -1, 64))
+	q.Set("deadline", strconv.FormatFloat(deadline, 'g', -1, 64))
+	if objective != "" {
+		q.Set("objective", objective)
+	}
+	var plan grid.Plan
+	err := c.get("/grid/plan/"+jobID+"?"+q.Encode(), &plan)
+	return plan, err
+}
+
+// Emissions mirrors the server's per-job cumulative emissions account.
+type Emissions struct {
+	JobID   string  `json:"job_id"`
+	Ready   bool    `json:"ready"`
+	SinceS  float64 `json:"since_s"`
+	EnergyJ float64 `json:"energy_j"`
+	CarbonG float64 `json:"carbon_g"`
+	CostUSD float64 `json:"cost_usd"`
+}
+
+// FetchEmissions returns a job's cumulative emissions accounting.
+func (c *ServerClient) FetchEmissions(jobID string) (Emissions, error) {
+	var e Emissions
+	err := c.get("/jobs/"+jobID+"/emissions", &e)
+	return e, err
 }

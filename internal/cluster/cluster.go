@@ -123,6 +123,18 @@ type Result struct {
 	PerPipeline []PipelineResult
 }
 
+// TotalPowerW returns the whole cluster's average power draw over the
+// iteration — Energy over iteration time, summed across every
+// pipeline's GPUs (unlike AvgPowerW, which is per GPU). This is the
+// rate segment-level accounting integrates: energy, carbon, and cost
+// over a constant-state interval are TotalPowerW × duration × rate.
+func (r *Result) TotalPowerW() float64 {
+	if r.IterTime <= 0 {
+		return 0
+	}
+	return r.Energy / r.IterTime
+}
+
 // OpSpan is one computation's realized execution interval, for timeline
 // rendering (paper Figures 1 and 10).
 type OpSpan struct {

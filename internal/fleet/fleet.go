@@ -20,6 +20,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"perseus/internal/frontier"
@@ -140,14 +141,18 @@ func (f *Fleet) SetStraggler(id string, tPrime float64) error {
 	return nil
 }
 
-// SetCap sets the fleet power cap in watts; 0 or negative uncaps.
-func (f *Fleet) SetCap(watts float64) {
+// SetCap sets the fleet power cap in watts; 0 uncaps. NaN, infinite,
+// or negative watts are rejected and leave the cap unchanged — a
+// malformed cap silently clamped to "uncapped" would quietly lift the
+// facility envelope.
+func (f *Fleet) SetCap(watts float64) error {
+	if math.IsNaN(watts) || math.IsInf(watts, 0) || watts < 0 {
+		return fmt.Errorf("fleet: power cap must be a finite non-negative number of watts, got %v", watts)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if watts < 0 {
-		watts = 0
-	}
 	f.capW = watts
+	return nil
 }
 
 // Cap returns the current fleet power cap (0 = uncapped).

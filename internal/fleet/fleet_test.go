@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"testing"
 )
 
@@ -51,7 +52,9 @@ func TestFleetStateModel(t *testing.T) {
 		t.Fatalf("TPrime %v after recovery, want 0", got)
 	}
 
-	f.SetCap(1234)
+	if err := f.SetCap(1234); err != nil {
+		t.Fatal(err)
+	}
 	if f.Cap() != 1234 {
 		t.Fatalf("cap %v, want 1234", f.Cap())
 	}
@@ -59,9 +62,20 @@ func TestFleetStateModel(t *testing.T) {
 	if alloc.CapW != 1234 || len(alloc.Jobs) != 2 {
 		t.Fatalf("allocation %+v", alloc)
 	}
-	f.SetCap(-5)
+	// Malformed caps are rejected and leave the cap in force unchanged.
+	for _, bad := range []float64{-5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := f.SetCap(bad); err == nil {
+			t.Errorf("SetCap(%v) should be rejected", bad)
+		}
+	}
+	if f.Cap() != 1234 {
+		t.Fatalf("rejected cap mutated state: cap %v, want 1234", f.Cap())
+	}
+	if err := f.SetCap(0); err != nil {
+		t.Fatalf("uncapping should succeed: %v", err)
+	}
 	if f.Cap() != 0 {
-		t.Fatalf("negative cap should uncap, got %v", f.Cap())
+		t.Fatalf("cap %v after uncap, want 0", f.Cap())
 	}
 
 	f.Remove("nope") // no-op
@@ -85,7 +99,9 @@ func TestFleetAllocateUsesCurrentState(t *testing.T) {
 	if !free.Feasible || free.Loss != 0 {
 		t.Fatalf("uncapped allocation %+v", free)
 	}
-	f.SetCap(free.PowerW * 0.96)
+	if err := f.SetCap(free.PowerW * 0.96); err != nil {
+		t.Fatal(err)
+	}
 	capped := f.Allocate()
 	if capped.Loss <= 0 {
 		t.Fatalf("capped allocation has no loss: %+v", capped)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"perseus/internal/cluster"
+	"perseus/internal/grid"
 )
 
 // SimJob couples a fleet job with the cluster description needed to
@@ -86,6 +87,15 @@ type Scenario struct {
 
 	// Events are the trace entries; Replay sorts them by time.
 	Events []Event
+
+	// Signal optionally drives the fleet from a grid trace
+	// (internal/grid): Replay inserts a re-allocation boundary at every
+	// signal interval edge, an interval's facility cap (CapW > 0)
+	// overrides the event-set cap while it is in force, and every
+	// segment's energy is accounted into carbon and cost at the
+	// interval's rates. A trace shorter than the horizon repeats
+	// cyclically (a 24 h trace describes every day).
+	Signal *grid.Signal
 }
 
 // SegmentJob is one job's state during a segment.
@@ -114,6 +124,11 @@ type SegmentJob struct {
 	Iterations float64
 	EnergyJ    float64
 
+	// CarbonG and CostUSD account the job's segment energy at the
+	// scenario signal's rates (zero without a signal).
+	CarbonG float64
+	CostUSD float64
+
 	// StragglerFactor is the active slowdown degree (1 = healthy).
 	StragglerFactor float64
 }
@@ -132,6 +147,15 @@ type Segment struct {
 	AllocPowerW float64
 	PowerW      float64
 
+	// CarbonGPerKWh and PriceUSDPerKWh echo the signal interval in
+	// force (zero without a signal); CarbonG and CostUSD account the
+	// segment's simulated energy at those rates. A segment never spans
+	// a signal interval edge.
+	CarbonGPerKWh  float64
+	PriceUSDPerKWh float64
+	CarbonG        float64
+	CostUSD        float64
+
 	// Jobs holds the active jobs' states in arrival order.
 	Jobs []SegmentJob
 }
@@ -142,6 +166,8 @@ type JobTotal struct {
 	ActiveS    float64
 	Iterations float64
 	EnergyJ    float64
+	CarbonG    float64
+	CostUSD    float64
 }
 
 // Series is the replayed scenario: per-segment fleet state plus
@@ -155,6 +181,11 @@ type Series struct {
 	// EnergyJ is the fleet's total simulated energy.
 	EnergyJ float64
 
+	// CarbonG and CostUSD are the fleet's total accounted emissions and
+	// electricity cost under the scenario signal (zero without one).
+	CarbonG float64
+	CostUSD float64
+
 	// PeakPowerW is the maximum simulated fleet power over segments.
 	PeakPowerW float64
 }
@@ -164,10 +195,18 @@ type Series struct {
 // straggler onset and recovery, cap changes — re-running the
 // power-budget allocator at every state change, and simulates each
 // constant-state segment with cluster.Simulate at the allocated
-// operating points.
+// operating points. A scenario Signal adds signal-driven state changes
+// on top: interval edges become segment boundaries, interval caps
+// override the event-set cap, and each segment's energy is accounted
+// into carbon and cost at the interval's rates.
 func Replay(sc Scenario) (*Series, error) {
 	if sc.Horizon <= 0 {
 		return nil, fmt.Errorf("fleet: scenario horizon must be positive, got %v", sc.Horizon)
+	}
+	if sc.Signal != nil {
+		if err := sc.Signal.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	events := append([]Event(nil), sc.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
@@ -178,7 +217,10 @@ func Replay(sc Scenario) (*Series, error) {
 	}
 
 	f := New()
-	f.SetCap(sc.CapW)
+	if err := f.SetCap(sc.CapW); err != nil {
+		return nil, err
+	}
+	evCap := sc.CapW // the event-set cap, under any signal override
 	sims := map[string]*SimJob{}
 	factors := map[string]float64{}
 	totals := map[string]*JobTotal{}
@@ -219,11 +261,22 @@ func Replay(sc Scenario) (*Series, error) {
 			factors[e.JobID] = e.Factor
 			return f.SetStraggler(e.JobID, sj.Table.Tmin()*e.Factor)
 		case EventSetCap:
-			f.SetCap(e.CapW)
+			if err := f.SetCap(e.CapW); err != nil {
+				return err
+			}
+			evCap = e.CapW
 		default:
 			return fmt.Errorf("fleet: unknown event kind %d at %v", int(e.Kind), e.At)
 		}
 		return nil
+	}
+
+	// Signal interval edges are re-allocation boundaries too, so every
+	// segment lies within one interval and one set of rates.
+	var bounds []float64
+	bi := 0
+	if sc.Signal != nil {
+		bounds = sc.Signal.Boundaries(sc.Horizon)
 	}
 
 	series := &Series{}
@@ -236,6 +289,9 @@ func Replay(sc Scenario) (*Series, error) {
 			}
 			i++
 		}
+		for bi < len(bounds) && bounds[bi] <= now {
+			bi++
+		}
 		if now >= sc.Horizon {
 			break
 		}
@@ -243,18 +299,46 @@ func Replay(sc Scenario) (*Series, error) {
 		if i < len(events) && events[i].At < next {
 			next = events[i].At
 		}
+		if bi < len(bounds) && bounds[bi] < next {
+			next = bounds[bi]
+		}
 		if next > now {
+			// The signal's interval cap, while in force, overrides the
+			// event-set cap.
+			var carbonRate, priceRate float64 // per kWh
+			if sc.Signal != nil {
+				capW := evCap
+				if iv, ok := sc.Signal.AtCyclic(now); ok {
+					carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+					if iv.CapW > 0 {
+						capW = iv.CapW
+					}
+				}
+				if err := f.SetCap(capW); err != nil {
+					return nil, err
+				}
+			}
 			seg, err := simulateSegment(f, sims, factors, now, next)
 			if err != nil {
 				return nil, err
 			}
-			for _, sjob := range seg.Jobs {
+			seg.CarbonGPerKWh, seg.PriceUSDPerKWh = carbonRate, priceRate
+			for k := range seg.Jobs {
+				sjob := &seg.Jobs[k]
+				sjob.CarbonG = sjob.EnergyJ / grid.JoulesPerKWh * carbonRate
+				sjob.CostUSD = sjob.EnergyJ / grid.JoulesPerKWh * priceRate
 				tot := totals[sjob.ID]
 				tot.ActiveS += next - now
 				tot.Iterations += sjob.Iterations
 				tot.EnergyJ += sjob.EnergyJ
+				tot.CarbonG += sjob.CarbonG
+				tot.CostUSD += sjob.CostUSD
+				seg.CarbonG += sjob.CarbonG
+				seg.CostUSD += sjob.CostUSD
 			}
 			series.EnergyJ += seg.PowerW * (next - now)
+			series.CarbonG += seg.CarbonG
+			series.CostUSD += seg.CostUSD
 			if seg.PowerW > series.PeakPowerW {
 				series.PeakPowerW = seg.PowerW
 			}
@@ -304,7 +388,7 @@ func simulateSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float
 		if err != nil {
 			return Segment{}, fmt.Errorf("fleet: simulating job %s: %w", ja.ID, err)
 		}
-		powerW := res.Energy / res.IterTime
+		powerW := res.TotalPowerW()
 		sjob := SegmentJob{
 			ID:              ja.ID,
 			Point:           ja.Point,

@@ -8,6 +8,7 @@ import (
 	"perseus/internal/dag"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
+	"perseus/internal/grid"
 	"perseus/internal/model"
 	"perseus/internal/partition"
 	"perseus/internal/profile"
@@ -147,6 +148,108 @@ func TestReplayScenario(t *testing.T) {
 	}
 }
 
+// TestReplaySignal drives the fleet from a grid trace: interval edges
+// become segment boundaries, the interval cap throttles the fleet while
+// in force, and segment energy is accounted into carbon and cost at the
+// interval rates.
+func TestReplaySignal(t *testing.T) {
+	a := buildSimJob(t, "gpt-a", 2, 4)
+	b := buildSimJob(t, "gpt-b", 2, 3)
+	uncapped := Allocate([]Job{a.Job, b.Job}, 0).PowerW
+
+	sig := &grid.Signal{Intervals: []grid.Interval{
+		{StartS: 0, EndS: 100, CarbonGPerKWh: 500, PriceUSDPerKWh: 0.2},
+		{StartS: 100, EndS: 200, CarbonGPerKWh: 200, PriceUSDPerKWh: 0.05, CapW: 0.92 * uncapped},
+		{StartS: 200, EndS: 300, CarbonGPerKWh: 400, PriceUSDPerKWh: 0.1},
+	}}
+	series, err := Replay(Scenario{
+		Horizon: 450, // 1.5 cycles: the trace repeats
+		Signal:  sig,
+		Events: []Event{
+			{At: 0, Kind: EventArrive, Job: a},
+			{At: 0, Kind: EventArrive, Job: b},
+			{At: 250, Kind: EventSetCap, CapW: 0.97 * uncapped},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Boundaries at interval edges (100, 200, 300, 400 cyclically) plus
+	// the cap event at 250.
+	wantBounds := []float64{0, 100, 200, 250, 300, 400, 450}
+	if len(series.Segments) != len(wantBounds)-1 {
+		t.Fatalf("got %d segments, want %d", len(series.Segments), len(wantBounds)-1)
+	}
+	for i, seg := range series.Segments {
+		if seg.Start != wantBounds[i] || seg.End != wantBounds[i+1] {
+			t.Fatalf("segment %d spans [%v,%v], want [%v,%v]", i, seg.Start, seg.End, wantBounds[i], wantBounds[i+1])
+		}
+	}
+
+	segs := series.Segments
+	// Segment 0: no cap, dirty interval rates echoed.
+	if segs[0].CapW != 0 || segs[0].CarbonGPerKWh != 500 {
+		t.Fatalf("segment 0: cap %v carbon rate %v, want 0 and 500", segs[0].CapW, segs[0].CarbonGPerKWh)
+	}
+	// Segment 1: the interval cap is in force and binds the allocation.
+	if segs[1].CapW != 0.92*uncapped || !segs[1].Feasible {
+		t.Fatalf("segment 1: cap %v feasible %v", segs[1].CapW, segs[1].Feasible)
+	}
+	if segs[1].AllocPowerW > segs[1].CapW+1e-9 {
+		t.Fatalf("segment 1 model power %v exceeds the interval cap %v", segs[1].AllocPowerW, segs[1].CapW)
+	}
+	// Segments 2-3: the uncapped interval restores the event cap (none
+	// until t=250, then 0.97× uncapped).
+	if segs[2].CapW != 0 {
+		t.Fatalf("segment 2 cap %v, want event cap 0", segs[2].CapW)
+	}
+	if segs[3].CapW != 0.97*uncapped {
+		t.Fatalf("segment 3 cap %v, want event cap %v", segs[3].CapW, 0.97*uncapped)
+	}
+	// Segments 4-5 wrap into the trace's second cycle: [300,400) is
+	// interval 0 again (event cap still in force), and [400,450) is
+	// interval 1, whose cap overrides the event cap once more.
+	if segs[4].CapW != 0.97*uncapped || segs[4].CarbonGPerKWh != 500 {
+		t.Fatalf("segment 4 (cyclic): cap %v carbon rate %v", segs[4].CapW, segs[4].CarbonGPerKWh)
+	}
+	if segs[5].CapW != 0.92*uncapped || segs[5].CarbonGPerKWh != 200 {
+		t.Fatalf("segment 5 (cyclic): cap %v carbon rate %v", segs[5].CapW, segs[5].CarbonGPerKWh)
+	}
+
+	// Accounting: each segment's carbon is energy × rate, and the
+	// series totals are the segment sums.
+	var carbon, cost float64
+	for _, seg := range segs {
+		wantC := seg.PowerW * (seg.End - seg.Start) / grid.JoulesPerKWh * seg.CarbonGPerKWh
+		if math.Abs(seg.CarbonG-wantC) > 1e-6*(1+wantC) {
+			t.Fatalf("segment [%v,%v) carbon %v, want %v", seg.Start, seg.End, seg.CarbonG, wantC)
+		}
+		var jobC float64
+		for _, sj := range seg.Jobs {
+			jobC += sj.CarbonG
+		}
+		if math.Abs(jobC-seg.CarbonG) > 1e-6*(1+seg.CarbonG) {
+			t.Fatalf("segment job carbon %v != segment carbon %v", jobC, seg.CarbonG)
+		}
+		carbon += seg.CarbonG
+		cost += seg.CostUSD
+	}
+	if math.Abs(series.CarbonG-carbon) > 1e-9*(1+carbon) || carbon <= 0 {
+		t.Fatalf("series carbon %v, want positive segment sum %v", series.CarbonG, carbon)
+	}
+	if math.Abs(series.CostUSD-cost) > 1e-9*(1+cost) || cost <= 0 {
+		t.Fatalf("series cost %v, want positive segment sum %v", series.CostUSD, cost)
+	}
+	var totC float64
+	for _, tot := range series.Totals {
+		totC += tot.CarbonG
+	}
+	if math.Abs(totC-carbon) > 1e-6*(1+carbon) {
+		t.Fatalf("job totals carbon %v != series carbon %v", totC, carbon)
+	}
+}
+
 func TestReplayErrors(t *testing.T) {
 	a := buildSimJob(t, "a", 2, 3)
 	cases := []struct {
@@ -159,6 +262,9 @@ func TestReplayErrors(t *testing.T) {
 		{"arrival without job", Scenario{Horizon: 10, Events: []Event{{At: 0, Kind: EventArrive}}}},
 		{"unknown departure", Scenario{Horizon: 10, Events: []Event{{At: 0, Kind: EventDepart, JobID: "x"}}}},
 		{"unknown straggler", Scenario{Horizon: 10, Events: []Event{{At: 0, Kind: EventStraggler, JobID: "x", Factor: 2}}}},
+		{"negative scenario cap", Scenario{Horizon: 10, CapW: -1}},
+		{"nan cap event", Scenario{Horizon: 10, Events: []Event{{At: 0, Kind: EventSetCap, CapW: math.NaN()}}}},
+		{"invalid signal", Scenario{Horizon: 10, Signal: &grid.Signal{}}},
 		{"duplicate arrival", Scenario{Horizon: 10, Events: []Event{
 			{At: 0, Kind: EventArrive, Job: a},
 			{At: 1, Kind: EventArrive, Job: a},

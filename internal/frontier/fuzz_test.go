@@ -1,0 +1,113 @@
+package frontier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fuzzMergeInputs derives a random fleet of convex lookup tables
+// (E(t) = a + b/t, the convexity premise of the merge's optimality
+// claim) with random scales, weights, and start points from one seed.
+func fuzzMergeInputs(seed int64) []MergeInput {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(4)
+	inputs := make([]MergeInput, n)
+	for i := range inputs {
+		tmin := int64(30 + rng.Intn(120))
+		span := int64(2 + rng.Intn(20))
+		a := 500 + 5000*rng.Float64()
+		b := 20 + 500*rng.Float64()
+		lt := &LookupTable{Unit: 0.002 + 0.02*rng.Float64(), TminUnits: tmin, TStarUnits: tmin + span}
+		for u := tmin; u <= tmin+span; u++ {
+			t := float64(u) * lt.Unit
+			lt.Points = append(lt.Points, TablePoint{TimeUnits: u, Energy: a + b/t})
+		}
+		inputs[i] = MergeInput{
+			Table:      lt,
+			PowerScale: float64(1 + rng.Intn(3)),
+			LossWeight: 0.5 + rng.Float64(),
+			Start:      rng.Intn(len(lt.Points)),
+		}
+	}
+	return inputs
+}
+
+// FuzzMerge checks the structural invariants of a merged fleet descent
+// on seed-derived random convex fleets:
+//
+//  1. the start power is the sum of the scaled start-point powers;
+//  2. cumulative power is strictly decreasing across steps and never
+//     dips below the sum of the min-point (T*) powers, which the final
+//     step reaches exactly;
+//  3. steps are sorted by non-decreasing marginal cost — the
+//     watts-saved-per-loss slope never increases (each job's slope
+//     sequence is non-increasing under convexity, and the merge always
+//     takes the global steepest next step);
+//  4. every job descends its own frontier one point at a time from its
+//     start to its last point.
+func FuzzMerge(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		inputs := fuzzMergeInputs(seed)
+		startPower, steps := Merge(inputs)
+
+		var wantStart, minSum float64
+		wantSteps := 0
+		for _, in := range inputs {
+			lt := in.Table
+			wantStart += in.PowerScale * lt.AvgPower(in.Start)
+			minSum += in.PowerScale * lt.AvgPower(len(lt.Points)-1)
+			wantSteps += len(lt.Points) - 1 - in.Start
+		}
+		tol := 1e-9 * (1 + math.Abs(wantStart))
+		if math.Abs(startPower-wantStart) > tol {
+			t.Fatalf("start power %v, want sum of start points %v", startPower, wantStart)
+		}
+		if len(steps) != wantSteps {
+			t.Fatalf("got %d steps, want every one-point slowdown: %d", len(steps), wantSteps)
+		}
+
+		cur := make([]int, len(inputs))
+		for i, in := range inputs {
+			cur[i] = in.Start
+		}
+		prevPower := startPower
+		prevSlope := math.Inf(1)
+		for i, st := range steps {
+			if st.Table < 0 || st.Table >= len(inputs) {
+				t.Fatalf("step %d targets table %d of %d", i, st.Table, len(inputs))
+			}
+			if st.Point != cur[st.Table]+1 {
+				t.Fatalf("step %d jumps table %d from point %d to %d", i, st.Table, cur[st.Table], st.Point)
+			}
+			cur[st.Table] = st.Point
+			if st.Power >= prevPower-0 {
+				t.Fatalf("step %d power %v does not decrease from %v", i, st.Power, prevPower)
+			}
+			if st.Power < minSum-tol {
+				t.Fatalf("step %d power %v dips below the min-point sum %v", i, st.Power, minSum)
+			}
+			if st.Slope > prevSlope*(1+1e-9)+1e-9 {
+				t.Fatalf("step %d slope %v exceeds previous %v: steps not sorted by marginal cost", i, st.Slope, prevSlope)
+			}
+			if st.Loss <= 0 || st.Slope <= 0 {
+				t.Fatalf("step %d has non-positive loss %v or slope %v", i, st.Loss, st.Slope)
+			}
+			prevPower, prevSlope = st.Power, st.Slope
+		}
+		if len(steps) > 0 {
+			final := steps[len(steps)-1].Power
+			if math.Abs(final-minSum) > tol {
+				t.Fatalf("final power %v, want min-point sum %v", final, minSum)
+			}
+		}
+		for i, in := range inputs {
+			if cur[i] != len(in.Table.Points)-1 {
+				t.Fatalf("table %d ends at point %d, want last point %d", i, cur[i], len(in.Table.Points)-1)
+			}
+		}
+	})
+}

@@ -89,6 +89,19 @@ func (lt *LookupTable) AvgPower(i int) float64 {
 	return pt.Energy / lt.time(pt.TimeUnits)
 }
 
+// FirstUnderPower returns the index of the fastest point whose average
+// power is at most maxW, or -1 when even the T* point draws more.
+// Average power strictly decreases along the table, so this is the
+// operating floor a per-interval facility cap imposes on a job.
+func (lt *LookupTable) FirstUnderPower(maxW float64) int {
+	n := len(lt.Points)
+	i := sort.Search(n, func(i int) bool { return lt.AvgPower(i) <= maxW })
+	if i == n {
+		return -1
+	}
+	return i
+}
+
 // LookupIndex returns the index of the point Lookup(tPrime) would
 // return, for callers that track operating points by position.
 func (lt *LookupTable) LookupIndex(tPrime float64) int {

@@ -1,0 +1,506 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"perseus/internal/frontier"
+)
+
+// Objective selects what a temporal plan minimizes.
+type Objective string
+
+const (
+	// ObjectiveCarbon minimizes total gCO₂ emitted.
+	ObjectiveCarbon Objective = "carbon"
+
+	// ObjectiveCost minimizes total electricity cost in $.
+	ObjectiveCost Objective = "cost"
+
+	// ObjectiveEnergy minimizes total energy in joules, ignoring the
+	// signal's rates (useful as a signal-blind control).
+	ObjectiveEnergy Objective = "energy"
+)
+
+// ParseObjective maps a string to an Objective ("" means carbon).
+func ParseObjective(s string) (Objective, error) {
+	switch Objective(s) {
+	case "":
+		return ObjectiveCarbon, nil
+	case ObjectiveCarbon, ObjectiveCost, ObjectiveEnergy:
+		return Objective(s), nil
+	}
+	return "", fmt.Errorf("grid: unknown objective %q (want carbon, cost, or energy)", s)
+}
+
+// PerJoule returns the objective's weight of one joule consumed during
+// the interval.
+func (o Objective) PerJoule(iv Interval) float64 {
+	switch o {
+	case ObjectiveCost:
+		return iv.PriceUSDPerKWh / JoulesPerKWh
+	case ObjectiveEnergy:
+		return 1
+	default: // carbon
+		return iv.CarbonGPerKWh / JoulesPerKWh
+	}
+}
+
+// Options parameterizes the temporal planner.
+type Options struct {
+	// Target is the number of iterations to complete; must be positive.
+	Target float64
+
+	// DeadlineS is the completion deadline in seconds from trace start;
+	// 0 means the signal's horizon. It may not exceed the horizon.
+	DeadlineS float64
+
+	// Objective selects what to minimize; "" means carbon.
+	Objective Objective
+
+	// PowerScale multiplies the table's per-point average power, e.g.
+	// the number of data-parallel pipeline replicas. <= 0 means 1.
+	PowerScale float64
+
+	// NoIdle forbids pausing: every interval must run some frontier
+	// point (except intervals whose cap excludes every point). Without
+	// it the planner may idle the job through dirty hours — temporal
+	// load shifting. With it the plan may overshoot Target, since the
+	// slowest point still makes progress.
+	NoIdle bool
+}
+
+// Slice is a run of one frontier point within an interval.
+type Slice struct {
+	// Point indexes the job's lookup table.
+	Point int `json:"point"`
+
+	// Seconds is the time spent at the point within the interval.
+	Seconds float64 `json:"seconds"`
+}
+
+// IntervalPlan is the plan for one signal interval: the point slices to
+// run (at most two — the optimum time-shares adjacent descent states in
+// at most one interval) with the remainder idle.
+type IntervalPlan struct {
+	// Index is the interval's position in the signal.
+	Index int `json:"index"`
+
+	// StartS and EndS bound the interval (the last may be cut by the
+	// deadline).
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+
+	// CarbonGPerKWh and PriceUSDPerKWh echo the interval's rates.
+	CarbonGPerKWh  float64 `json:"carbon_g_per_kwh"`
+	PriceUSDPerKWh float64 `json:"price_usd_per_kwh"`
+
+	// Slices are the planned runs; empty means the job idles throughout.
+	Slices []Slice `json:"slices,omitempty"`
+
+	// IdleS is the planned pause time within the interval.
+	IdleS float64 `json:"idle_s"`
+
+	// Iterations, EnergyJ, CarbonG, and CostUSD are the interval's
+	// planned outcomes.
+	Iterations float64 `json:"iterations"`
+	EnergyJ    float64 `json:"energy_j"`
+	CarbonG    float64 `json:"carbon_g"`
+	CostUSD    float64 `json:"cost_usd"`
+}
+
+// Plan is a temporal frequency-plan schedule: one operating choice per
+// signal interval minimizing the objective subject to the deadline.
+type Plan struct {
+	// Objective is what the plan minimizes.
+	Objective Objective `json:"objective"`
+
+	// Target and DeadlineS echo the planning inputs.
+	Target    float64 `json:"target_iterations"`
+	DeadlineS float64 `json:"deadline_s"`
+
+	// Feasible reports whether the target fits before the deadline.
+	// When it does not, the plan runs every interval at its fastest
+	// allowed point (the best-effort maximum).
+	Feasible bool `json:"feasible"`
+
+	// Iterations, EnergyJ, CarbonG, and CostUSD total the plan.
+	Iterations float64 `json:"iterations"`
+	EnergyJ    float64 `json:"energy_j"`
+	CarbonG    float64 `json:"carbon_g"`
+	CostUSD    float64 `json:"cost_usd"`
+
+	// FinishS is the time the target is reached, assuming each
+	// interval's slices run back-to-back from the interval start; -1
+	// when the plan never reaches it (infeasible). Kept finite so the
+	// plan always survives JSON encoding.
+	FinishS float64 `json:"finish_s"`
+
+	// Intervals holds the per-interval plans in time order.
+	Intervals []IntervalPlan `json:"intervals"`
+}
+
+// planInterval is the solver's working state for one interval.
+type planInterval struct {
+	iv   Interval
+	dur  float64
+	perJ float64 // objective weight per joule
+	lo   int     // fastest allowed point under the interval cap
+	only bool    // idle-only: even the slowest point violates the cap
+	cur  int     // current descent state; -1 = idle
+}
+
+// step is one taken descent step, for the prune and trim passes.
+type step struct {
+	from, to int
+	dw, dc   float64
+}
+
+// solution is the discrete solver outcome before fractional trimming,
+// carrying the normalized inputs it was solved under.
+type solution struct {
+	ivs      []planInterval
+	stacks   [][]step
+	coverage float64
+	cost     float64
+	feasible bool
+	maxCover float64
+	deadline float64
+	scale    float64
+	obj      Objective
+}
+
+// normalize validates the planning inputs shared by Optimize and Fixed
+// and resolves the option defaults: deadline 0 means the signal
+// horizon (and may not exceed it), PowerScale <= 0 means 1, objective
+// "" means carbon.
+func normalize(lt *frontier.LookupTable, sig *Signal, opts Options) (deadline, scale float64, obj Objective, err error) {
+	if lt == nil || len(lt.Points) == 0 {
+		return 0, 0, "", fmt.Errorf("grid: planning needs a characterized frontier table")
+	}
+	if sig == nil {
+		return 0, 0, "", fmt.Errorf("grid: planning needs a signal")
+	}
+	if err := sig.Validate(); err != nil {
+		return 0, 0, "", err
+	}
+	if !(opts.Target > 0) || math.IsInf(opts.Target, 0) {
+		return 0, 0, "", fmt.Errorf("grid: target iterations must be positive and finite, got %v", opts.Target)
+	}
+	obj, err = ParseObjective(string(opts.Objective))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	deadline = opts.DeadlineS
+	if math.IsNaN(deadline) || deadline < 0 {
+		return 0, 0, "", fmt.Errorf("grid: deadline must be non-negative, got %v", deadline)
+	}
+	if deadline == 0 {
+		deadline = sig.Horizon()
+	}
+	if deadline > sig.Horizon() {
+		return 0, 0, "", fmt.Errorf("grid: deadline %v beyond signal horizon %v", deadline, sig.Horizon())
+	}
+	scale = opts.PowerScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return deadline, scale, obj, nil
+}
+
+// Optimize plans a job's temporal schedule over the signal: one
+// frontier operating point (or pause) per interval, minimizing the
+// objective subject to completing opts.Target iterations by the
+// deadline and to each interval's facility power cap.
+//
+// The solver is a greedy convex descent over the merged per-interval
+// steps, the temporal analogue of fleet.Allocate's marginal-cost
+// waterfilling: every interval starts at its cheapest state (idle, or
+// the minimum-energy point under NoIdle), and the planner repeatedly
+// buys iterations at the cheapest marginal objective cost — stepping
+// some interval one point faster — until the target is covered, then
+// prunes redundant steps and trims the single most expensive marginal
+// step fractionally so the plan completes the target exactly.
+//
+// Optimality: per interval, cost is rate × scale × P(t) × d and
+// iterations are d/t, so cost as a function of iterations is the
+// perspective function of the energy curve E(t) — convex whenever E is.
+// The per-interval marginal sequence is then non-decreasing in cost per
+// iteration, the greedy prefix is exactly optimal among per-interval
+// point choices at every attainable coverage breakpoint, and the final
+// fractional trim makes the plan the continuous (time-sharing) optimum.
+// plan_test.go verifies both claims against brute-force enumeration.
+func Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error) {
+	sol, err := solve(lt, sig, opts)
+	if err != nil {
+		return nil, err
+	}
+	scale, obj := sol.scale, sol.obj
+
+	// Trim: the last useful step may overshoot the target; shed the
+	// excess from the taken step with the worst marginal cost per
+	// iteration by time-sharing its endpoints within its interval.
+	// After the prune pass no whole step is redundant, so the excess
+	// always fits inside a single step.
+	trim := map[int]float64{} // interval index -> seconds at step.from
+	if sol.feasible && !opts.NoIdle {
+		excess := sol.coverage - opts.Target
+		if excess > 1e-12 {
+			best, bestSlope := -1, -1.0
+			for k, st := range sol.stacks {
+				if n := len(st); n > 0 && st[n-1].dw > excess {
+					if slope := st[n-1].dc / st[n-1].dw; slope > bestSlope {
+						best, bestSlope = k, slope
+					}
+				}
+			}
+			if best >= 0 {
+				st := sol.stacks[best][len(sol.stacks[best])-1]
+				// Seconds to give back to the step's `from` state.
+				frac := excess / st.dw
+				trim[best] = frac * sol.ivs[best].dur
+			}
+		}
+	}
+
+	plan := &Plan{
+		Objective: obj,
+		Target:    opts.Target,
+		DeadlineS: sol.deadline,
+		Feasible:  sol.feasible,
+		FinishS:   math.Inf(1),
+	}
+	remaining := opts.Target
+	for k := range sol.ivs {
+		pi := &sol.ivs[k]
+		ip := IntervalPlan{
+			Index:          k,
+			StartS:         pi.iv.StartS,
+			EndS:           pi.iv.StartS + pi.dur,
+			CarbonGPerKWh:  pi.iv.CarbonGPerKWh,
+			PriceUSDPerKWh: pi.iv.PriceUSDPerKWh,
+		}
+		if pi.cur >= 0 {
+			fast := pi.dur
+			if back, ok := trim[k]; ok {
+				fast -= back
+				st := sol.stacks[k][len(sol.stacks[k])-1]
+				if st.from >= 0 {
+					ip.Slices = append(ip.Slices, Slice{Point: st.from, Seconds: back})
+				}
+			}
+			ip.Slices = append([]Slice{{Point: pi.cur, Seconds: fast}}, ip.Slices...)
+		}
+		var run float64
+		for _, sl := range ip.Slices {
+			run += sl.Seconds
+			ip.Iterations += sl.Seconds / lt.PointTime(sl.Point)
+			ip.EnergyJ += sl.Seconds * scale * lt.AvgPower(sl.Point)
+		}
+		ip.IdleS = pi.dur - run
+		ip.CarbonG = ip.EnergyJ / JoulesPerKWh * pi.iv.CarbonGPerKWh
+		ip.CostUSD = ip.EnergyJ / JoulesPerKWh * pi.iv.PriceUSDPerKWh
+
+		if math.IsInf(plan.FinishS, 1) && plan.Iterations+ip.Iterations >= opts.Target-1e-9 {
+			// The target lands inside this interval; slices run
+			// back-to-back from its start.
+			need := remaining
+			at := ip.StartS
+			for _, sl := range ip.Slices {
+				rate := 1 / lt.PointTime(sl.Point)
+				if got := sl.Seconds * rate; got < need {
+					need -= got
+					at += sl.Seconds
+				} else {
+					at += need / rate
+					break
+				}
+			}
+			plan.FinishS = at
+		}
+		remaining -= ip.Iterations
+		plan.Iterations += ip.Iterations
+		plan.EnergyJ += ip.EnergyJ
+		plan.CarbonG += ip.CarbonG
+		plan.CostUSD += ip.CostUSD
+		plan.Intervals = append(plan.Intervals, ip)
+	}
+	if math.IsInf(plan.FinishS, 1) {
+		plan.FinishS = -1
+	}
+	return plan, nil
+}
+
+// solve runs the discrete greedy descent with pruning and returns the
+// per-interval states, without the fractional trim. Exposed separately
+// so tests can compare the discrete layer against brute force.
+func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, error) {
+	d, scale, obj, err := normalize(lt, sig, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	win := sig.Truncate(d)
+	n := len(lt.Points)
+	sol := &solution{deadline: d, scale: scale, obj: obj}
+	for _, iv := range win.Intervals {
+		pi := planInterval{iv: iv, dur: iv.Duration(), perJ: obj.PerJoule(iv), cur: -1, lo: 0}
+		if iv.CapW > 0 {
+			pi.lo = lt.FirstUnderPower(iv.CapW / scale)
+			if pi.lo < 0 {
+				pi.only = true // cap excludes every point: forced idle
+			}
+		}
+		if !pi.only {
+			sol.maxCover += pi.dur / lt.PointTime(pi.lo)
+			if opts.NoIdle {
+				pi.cur = n - 1
+				sol.coverage += pi.dur / lt.PointTime(pi.cur)
+				sol.cost += pi.perJ * scale * lt.AvgPower(pi.cur) * pi.dur
+			}
+		}
+		sol.ivs = append(sol.ivs, pi)
+	}
+	sol.stacks = make([][]step, len(sol.ivs))
+	sol.feasible = sol.maxCover >= opts.Target-1e-9
+
+	if !sol.feasible {
+		// Best effort: everything at the fastest allowed point.
+		for k := range sol.ivs {
+			pi := &sol.ivs[k]
+			if pi.only {
+				continue
+			}
+			pi.cur = pi.lo
+		}
+		sol.coverage = sol.maxCover
+		return sol, nil
+	}
+
+	// Greedy descent: cheapest marginal objective cost per iteration
+	// first, until the target is covered.
+	for sol.coverage < opts.Target-1e-9 {
+		best, bestSlope := -1, 0.0
+		var bestStep step
+		for k := range sol.ivs {
+			pi := &sol.ivs[k]
+			if pi.only || pi.cur == pi.lo {
+				continue
+			}
+			var st step
+			if pi.cur < 0 {
+				// First step: wake up at the slowest allowed point.
+				to := n - 1
+				if to < pi.lo {
+					to = pi.lo
+				}
+				st = step{from: -1, to: to,
+					dw: pi.dur / lt.PointTime(to),
+					dc: pi.perJ * scale * lt.AvgPower(to) * pi.dur}
+			} else {
+				to := pi.cur - 1
+				st = step{from: pi.cur, to: to,
+					dw: pi.dur/lt.PointTime(to) - pi.dur/lt.PointTime(pi.cur),
+					dc: pi.perJ * scale * pi.dur * (lt.AvgPower(to) - lt.AvgPower(pi.cur))}
+			}
+			slope := st.dc / st.dw
+			if best < 0 || slope < bestSlope {
+				best, bestSlope, bestStep = k, slope, st
+			}
+		}
+		if best < 0 {
+			break // every interval saturated (NoIdle with coverage < target is impossible here)
+		}
+		sol.ivs[best].cur = bestStep.to
+		sol.coverage += bestStep.dw
+		sol.cost += bestStep.dc
+		sol.stacks[best] = append(sol.stacks[best], bestStep)
+	}
+
+	// Prune: the final step may cover more than the target still
+	// needed, leaving earlier steps redundant. Undo the costliest
+	// undoable step until none fits above the target. Only each
+	// interval's most recent step is undoable, preserving the
+	// per-interval prefix structure.
+	for {
+		best, bestCost := -1, 0.0
+		for k, st := range sol.stacks {
+			n := len(st)
+			if n == 0 {
+				continue
+			}
+			top := st[n-1]
+			if sol.coverage-top.dw >= opts.Target-1e-9 && top.dc > bestCost {
+				best, bestCost = k, top.dc
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st := sol.stacks[best]
+		top := st[len(st)-1]
+		sol.stacks[best] = st[:len(st)-1]
+		sol.ivs[best].cur = top.from
+		sol.coverage -= top.dw
+		sol.cost -= top.dc
+	}
+	return sol, nil
+}
+
+// Fixed plans the signal-blind baseline: run one fixed frontier point
+// continuously from trace start until the target is reached (point 0
+// is the always-T_min baseline; the last point is static min-energy).
+// The returned plan carries the same accounting as Optimize, so the
+// two are directly comparable at equal iterations completed.
+func Fixed(lt *frontier.LookupTable, point int, sig *Signal, opts Options) (*Plan, error) {
+	d, scale, obj, err := normalize(lt, sig, opts)
+	if err != nil {
+		return nil, err
+	}
+	if point < 0 || point >= len(lt.Points) {
+		return nil, fmt.Errorf("grid: fixed baseline point %d out of range", point)
+	}
+	t := lt.PointTime(point)
+	finish := opts.Target * t
+	plan := &Plan{
+		Objective: obj,
+		Target:    opts.Target,
+		DeadlineS: d,
+		Feasible:  finish <= d+1e-9,
+		FinishS:   finish,
+	}
+	if !plan.Feasible {
+		// Same contract as Optimize: the plan never reaches the target
+		// within the deadline, and its intervals (cut at the deadline)
+		// account only the iterations that actually fit.
+		plan.FinishS = -1
+	}
+	power := scale * lt.AvgPower(point)
+	for k, iv := range sig.Truncate(d).Intervals {
+		run := math.Min(iv.EndS, finish) - iv.StartS
+		if run < 0 {
+			run = 0
+		}
+		ip := IntervalPlan{
+			Index:          k,
+			StartS:         iv.StartS,
+			EndS:           math.Min(iv.EndS, d),
+			CarbonGPerKWh:  iv.CarbonGPerKWh,
+			PriceUSDPerKWh: iv.PriceUSDPerKWh,
+		}
+		if run > 0 {
+			ip.Slices = []Slice{{Point: point, Seconds: run}}
+			ip.Iterations = run / t
+			ip.EnergyJ = run * power
+			ip.CarbonG = ip.EnergyJ / JoulesPerKWh * iv.CarbonGPerKWh
+			ip.CostUSD = ip.EnergyJ / JoulesPerKWh * iv.PriceUSDPerKWh
+		}
+		ip.IdleS = ip.EndS - ip.StartS - run
+		plan.Iterations += ip.Iterations
+		plan.EnergyJ += ip.EnergyJ
+		plan.CarbonG += ip.CarbonG
+		plan.CostUSD += ip.CostUSD
+		plan.Intervals = append(plan.Intervals, ip)
+	}
+	return plan, nil
+}

@@ -1,0 +1,449 @@
+package grid
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"perseus/internal/frontier"
+)
+
+// convexTable hand-builds a lookup table whose energy curve is
+// E(t) = a + b/t on a unit grid from tmin to tstar units — the same
+// convex family internal/fleet verifies its allocator on. Per-interval
+// plan cost is the perspective function of E, so convex E makes the
+// planner's per-interval marginal sequence non-decreasing.
+func convexTable(unit float64, tminU, tstarU int64, a, b float64) *frontier.LookupTable {
+	lt := &frontier.LookupTable{Unit: unit, TminUnits: tminU, TStarUnits: tstarU}
+	for u := tminU; u <= tstarU; u++ {
+		t := float64(u) * unit
+		lt.Points = append(lt.Points, frontier.TablePoint{TimeUnits: u, Energy: a + b/t})
+	}
+	return lt
+}
+
+// bruteForce enumerates every per-interval choice — idle or one allowed
+// frontier point, full-interval occupancy — and returns the minimum
+// objective cost covering the target, or ok=false when none does.
+func bruteForce(lt *frontier.LookupTable, sig *Signal, opts Options) (best float64, ok bool) {
+	scale := opts.PowerScale
+	if scale <= 0 {
+		scale = 1
+	}
+	obj := opts.Objective
+	if obj == "" {
+		obj = ObjectiveCarbon
+	}
+	d := opts.DeadlineS
+	if d <= 0 {
+		d = sig.Horizon()
+	}
+	win := sig.Truncate(d)
+	best = math.Inf(1)
+	n := len(lt.Points)
+	var walk func(k int, cover, cost float64)
+	walk = func(k int, cover, cost float64) {
+		if k == len(win.Intervals) {
+			if cover >= opts.Target-1e-9 && cost < best {
+				best, ok = cost, true
+			}
+			return
+		}
+		iv := win.Intervals[k]
+		d := iv.Duration()
+		lo := 0
+		if iv.CapW > 0 {
+			lo = lt.FirstUnderPower(iv.CapW / scale)
+		}
+		if !opts.NoIdle || lo < 0 {
+			walk(k+1, cover, cost) // idle
+		}
+		if lo >= 0 {
+			for p := lo; p < n; p++ {
+				walk(k+1, cover+d/lt.PointTime(p),
+					cost+obj.PerJoule(iv)*scale*lt.AvgPower(p)*d)
+			}
+		}
+	}
+	walk(0, 0, 0)
+	return best, ok
+}
+
+// randomInstance builds a small random signal and convex table.
+func randomInstance(rng *rand.Rand, withCaps bool) (*frontier.LookupTable, *Signal) {
+	tmin := int64(40 + rng.Intn(60))
+	lt := convexTable(0.01, tmin, tmin+int64(3+rng.Intn(3)),
+		1000+4000*rng.Float64(), 50+400*rng.Float64())
+	nIv := 3 + rng.Intn(2)
+	sig := &Signal{}
+	for k := 0; k < nIv; k++ {
+		iv := Interval{
+			StartS:         float64(k) * 600,
+			EndS:           float64(k+1) * 600,
+			CarbonGPerKWh:  100 + 500*rng.Float64(),
+			PriceUSDPerKWh: 0.03 + 0.2*rng.Float64(),
+		}
+		if withCaps && rng.Intn(3) == 0 {
+			// A cap somewhere between the T* and Tmin power draws, or
+			// occasionally below everything (forced idle).
+			span := lt.AvgPower(0) - lt.AvgPower(len(lt.Points)-1)
+			iv.CapW = lt.AvgPower(len(lt.Points)-1) + span*(rng.Float64()*1.4-0.3)
+			if iv.CapW < 0 {
+				iv.CapW = lt.AvgPower(len(lt.Points)-1) * 0.5
+			}
+		}
+		sig.Intervals = append(sig.Intervals, iv)
+	}
+	return lt, sig
+}
+
+// TestPlannerMatchesBruteForce is the acceptance-criteria check: on
+// small randomized instances the discrete greedy descent matches
+// brute-force enumeration over per-interval frontier points exactly at
+// every coverage breakpoint of its own descent (every exactly
+// attainable target), and for arbitrary deadline-feasible targets it is
+// never better than the optimum and worse by less than one step's cost.
+func TestPlannerMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lt, sig := randomInstance(rng, seed%3 == 0)
+		for _, obj := range []Objective{ObjectiveCarbon, ObjectiveCost, ObjectiveEnergy} {
+			base := Options{Objective: obj, PowerScale: float64(1 + rng.Intn(2))}
+
+			// Breakpoint targets: probe the instance's max coverage,
+			// then run the full descent to collect every step.
+			probe := base
+			probe.Target = 1e15
+			pre, err := solve(lt, sig, probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := base
+			full.Target = pre.maxCover
+			sol, err := solve(lt, sig, full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The attainable coverage breakpoints are the prefix sums of
+			// the steps in slope order.
+			var breaks []float64
+			cover := 0.0
+			type sw struct{ slope, dw float64 }
+			var sws []sw
+			for _, st := range sol.stacks {
+				for _, s := range st {
+					sws = append(sws, sw{s.dc / s.dw, s.dw})
+				}
+			}
+			for i := range sws {
+				for j := i + 1; j < len(sws); j++ {
+					if sws[j].slope < sws[i].slope {
+						sws[i], sws[j] = sws[j], sws[i]
+					}
+				}
+			}
+			var maxStepCost float64
+			for _, s := range sws {
+				cover += s.dw
+				breaks = append(breaks, cover)
+				if c := s.slope * s.dw; c > maxStepCost {
+					maxStepCost = c
+				}
+			}
+			if len(breaks) == 0 {
+				t.Fatalf("seed %d: degenerate instance, no steps", seed)
+			}
+
+			for _, target := range breaks {
+				o := base
+				o.Target = target
+				got, err := solve(lt, sig, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, feasible := bruteForce(lt, sig, o)
+				if !feasible || !got.feasible {
+					t.Fatalf("seed %d %s target %.4f: unexpectedly infeasible", seed, obj, target)
+				}
+				if math.Abs(got.cost-want) > 1e-9*(1+want) {
+					t.Fatalf("seed %d %s breakpoint target %.4f: greedy cost %.9f != brute force %.9f",
+						seed, obj, target, got.cost, want)
+				}
+			}
+
+			// Arbitrary targets between 0 and max coverage.
+			for i := 0; i < 12; i++ {
+				o := base
+				o.Target = sol.maxCover * (0.05 + 0.93*rng.Float64())
+				got, err := solve(lt, sig, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, feasible := bruteForce(lt, sig, o)
+				if got.feasible != feasible {
+					t.Fatalf("seed %d %s target %.4f: feasible=%v, brute force %v",
+						seed, obj, o.Target, got.feasible, feasible)
+				}
+				if !feasible {
+					continue
+				}
+				if got.coverage < o.Target-1e-9 {
+					t.Fatalf("seed %d %s: coverage %.6f under target %.6f", seed, obj, got.coverage, o.Target)
+				}
+				if got.cost < want-1e-9*(1+want) {
+					t.Fatalf("seed %d %s target %.4f: greedy %.9f beats brute force %.9f — brute force broken",
+						seed, obj, o.Target, got.cost, want)
+				}
+				if got.cost-want > maxStepCost+1e-9 {
+					t.Fatalf("seed %d %s target %.4f: greedy %.9f exceeds optimum %.9f by more than one step",
+						seed, obj, o.Target, got.cost, want)
+				}
+
+				// The public trimmed plan completes the target exactly and
+				// never costs more than the discrete solution it trims.
+				plan, err := Optimize(lt, sig, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !plan.Feasible {
+					t.Fatalf("seed %d: trimmed plan infeasible where discrete feasible", seed)
+				}
+				if math.Abs(plan.Iterations-o.Target) > 1e-6*(1+o.Target) {
+					t.Fatalf("seed %d %s: trimmed plan completes %.9f iterations, want exactly %.9f",
+						seed, obj, plan.Iterations, o.Target)
+				}
+				cost := planCost(plan)
+				if cost > got.cost+1e-9*(1+got.cost) {
+					t.Fatalf("seed %d %s: trimmed cost %.9f above discrete cost %.9f",
+						seed, obj, cost, got.cost)
+				}
+			}
+		}
+	}
+}
+
+// planCost reads the plan total matching its objective.
+func planCost(p *Plan) float64 {
+	switch p.Objective {
+	case ObjectiveCost:
+		return p.CostUSD
+	case ObjectiveEnergy:
+		return p.EnergyJ
+	default:
+		return p.CarbonG
+	}
+}
+
+// TestBundledTraceBeatsBaselines is the acceptance-criteria demo check:
+// on the bundled 24 h trace, with deadline slack, the grid-aware plan's
+// total carbon is strictly below both the always-T_min and the static
+// min-energy baselines at equal iterations completed.
+func TestBundledTraceBeatsBaselines(t *testing.T) {
+	lt := convexTable(0.01, 80, 110, 3000, 120)
+	sig := Diurnal24h()
+	// Target: the static min-energy baseline needs ~60% of the day, so
+	// there is real slack to shift into the solar valley.
+	target := math.Floor(0.6 * 86400 / lt.TStar())
+	opts := Options{Target: target, Objective: ObjectiveCarbon}
+
+	plan, err := Optimize(lt, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alwaysFast, err := Fixed(lt, 0, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minEnergy, err := Fixed(lt, len(lt.Points)-1, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Plan{plan, alwaysFast, minEnergy} {
+		if !p.Feasible {
+			t.Fatalf("plan unexpectedly infeasible: %+v", p)
+		}
+		if math.Abs(p.Iterations-target) > 1e-6*target {
+			t.Fatalf("unequal iterations: got %.3f, want %.3f", p.Iterations, target)
+		}
+	}
+	if !(plan.CarbonG < alwaysFast.CarbonG) {
+		t.Fatalf("grid-aware carbon %.1f g not strictly below always-Tmin %.1f g",
+			plan.CarbonG, alwaysFast.CarbonG)
+	}
+	if !(plan.CarbonG < minEnergy.CarbonG) {
+		t.Fatalf("grid-aware carbon %.1f g not strictly below static min-energy %.1f g",
+			plan.CarbonG, minEnergy.CarbonG)
+	}
+	if plan.FinishS > plan.DeadlineS+1e-9 {
+		t.Fatalf("plan finishes at %v, after the deadline %v", plan.FinishS, plan.DeadlineS)
+	}
+	// The shift is temporal: the plan must idle somewhere dirty and run
+	// during the midday valley.
+	valley := plan.Intervals[13] // 13:00, carbon minimum neighborhood
+	if valley.Iterations == 0 {
+		t.Fatal("plan does not run during the solar valley")
+	}
+	peak := plan.Intervals[20] // 20:00, evening ramp peak
+	if peak.EnergyJ >= valley.EnergyJ {
+		t.Fatalf("plan spends as much energy at the evening peak (%v J) as in the valley (%v J)",
+			peak.EnergyJ, valley.EnergyJ)
+	}
+}
+
+// TestPlanCapsAndNoIdle exercises the remaining planner behaviors:
+// interval caps bound the chosen points' power, idle-only intervals,
+// NoIdle overshoot, infeasible targets, and cost-objective planning.
+func TestPlanCapsAndNoIdle(t *testing.T) {
+	lt := convexTable(0.01, 80, 100, 3000, 120)
+	minP, maxP := lt.AvgPower(len(lt.Points)-1), lt.AvgPower(0)
+	sig := &Signal{Intervals: []Interval{
+		{StartS: 0, EndS: 600, CarbonGPerKWh: 400, PriceUSDPerKWh: 0.1, CapW: (minP + maxP) / 2},
+		{StartS: 600, EndS: 1200, CarbonGPerKWh: 100, PriceUSDPerKWh: 0.2},
+		{StartS: 1200, EndS: 1800, CarbonGPerKWh: 300, PriceUSDPerKWh: 0.02, CapW: minP * 0.5},
+	}}
+
+	// A target just under max coverage forces fast points where allowed.
+	maxCover := 600/lt.PointTime(lt.FirstUnderPower((minP+maxP)/2)) + 600/lt.Tmin()
+	plan, err := Optimize(lt, sig, Options{Target: maxCover * 0.98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("near-max target should be feasible")
+	}
+	for _, ip := range plan.Intervals {
+		cap := sig.Intervals[ip.Index].CapW
+		for _, sl := range ip.Slices {
+			if cap > 0 && lt.AvgPower(sl.Point) > cap+1e-9 {
+				t.Fatalf("interval %d runs point %d above its cap %v W", ip.Index, sl.Point, cap)
+			}
+		}
+	}
+	// The third interval's cap excludes every point: forced idle.
+	if last := plan.Intervals[2]; len(last.Slices) != 0 || last.Iterations != 0 {
+		t.Fatalf("cap-excluded interval should idle, got %+v", last)
+	}
+
+	// Infeasible: target above max coverage returns best effort.
+	plan, err = Optimize(lt, sig, Options{Target: maxCover * 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("target above max coverage cannot be feasible")
+	}
+	if math.Abs(plan.Iterations-maxCover) > 1e-6*maxCover {
+		t.Fatalf("best effort covers %.4f, want max %.4f", plan.Iterations, maxCover)
+	}
+	if plan.FinishS != -1 {
+		t.Fatalf("infeasible plan finish %v, want -1", plan.FinishS)
+	}
+	// Infeasible plans must survive JSON encoding (the server returns
+	// them over HTTP).
+	if _, err := json.Marshal(plan); err != nil {
+		t.Fatalf("infeasible plan does not marshal: %v", err)
+	}
+
+	// NoIdle: every cap-allowing interval runs, and the plan may
+	// overshoot a tiny target.
+	plan, err = Optimize(lt, sig, Options{Target: 1, NoIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Iterations <= 1 {
+		t.Fatalf("NoIdle with slack should overshoot, got %.3f iterations", plan.Iterations)
+	}
+	for _, ip := range plan.Intervals[:2] {
+		if len(ip.Slices) == 0 || ip.IdleS > 1e-9 {
+			t.Fatalf("NoIdle interval %d idles: %+v", ip.Index, ip)
+		}
+	}
+
+	// Cost objective prefers the cheap third interval... which is
+	// capped out; between the first two it prefers the cheaper first.
+	costPlan, err := Optimize(lt, sig, Options{Target: 5, Objective: ObjectiveCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costPlan.Intervals[1].EnergyJ > 0 && costPlan.Intervals[0].EnergyJ == 0 {
+		t.Fatal("cost objective ran the expensive interval before the cheap one")
+	}
+
+	// Deadline shorter than the horizon truncates the window.
+	short, err := Optimize(lt, sig, Options{Target: 5, DeadlineS: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(short.Intervals); n != 2 || short.Intervals[1].EndS != 700 {
+		t.Fatalf("deadline truncation: %d intervals, last ends %v", n, short.Intervals[n-1].EndS)
+	}
+
+	// Error paths.
+	if _, err := Optimize(lt, sig, Options{Target: -1}); err == nil {
+		t.Fatal("negative target should error")
+	}
+	if _, err := Optimize(lt, sig, Options{Target: 1, DeadlineS: 1e9}); err == nil {
+		t.Fatal("deadline beyond horizon should error")
+	}
+	if _, err := Optimize(lt, sig, Options{Target: 1, DeadlineS: -5}); err == nil {
+		t.Fatal("negative deadline should error")
+	}
+	if _, err := Optimize(lt, sig, Options{Target: 1, DeadlineS: math.NaN()}); err == nil {
+		t.Fatal("NaN deadline should error")
+	}
+	if _, err := Fixed(lt, 0, sig, Options{Target: 1, DeadlineS: 1e9}); err == nil {
+		t.Fatal("Fixed with deadline beyond horizon should error")
+	}
+	if _, err := Optimize(lt, sig, Options{Target: 1, Objective: "vibes"}); err == nil {
+		t.Fatal("unknown objective should error")
+	}
+	if _, err := Optimize(nil, sig, Options{Target: 1}); err == nil {
+		t.Fatal("nil table should error")
+	}
+	if _, err := Optimize(lt, nil, Options{Target: 1}); err == nil {
+		t.Fatal("nil signal should error")
+	}
+	if _, err := Fixed(lt, 99, sig, Options{Target: 1}); err == nil {
+		t.Fatal("out-of-range baseline point should error")
+	}
+}
+
+// TestFixedBaseline pins the always-fast baseline's accounting.
+func TestFixedBaseline(t *testing.T) {
+	lt := convexTable(0.01, 100, 110, 3000, 120) // Tmin = 1 s
+	sig := &Signal{Intervals: []Interval{
+		{StartS: 0, EndS: 100, CarbonGPerKWh: 360},
+		{StartS: 100, EndS: 200, CarbonGPerKWh: 720},
+	}}
+	plan, err := Fixed(lt, 0, sig, Options{Target: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.FinishS != 150 {
+		t.Fatalf("feasible %v finish %v, want true and 150", plan.Feasible, plan.FinishS)
+	}
+	if math.Abs(plan.Iterations-150) > 1e-9 {
+		t.Fatalf("iterations %v, want 150", plan.Iterations)
+	}
+	p := lt.AvgPower(0)
+	wantCarbon := 100*p/JoulesPerKWh*360 + 50*p/JoulesPerKWh*720
+	if math.Abs(plan.CarbonG-wantCarbon) > 1e-9*wantCarbon {
+		t.Fatalf("carbon %v, want %v", plan.CarbonG, wantCarbon)
+	}
+	// A deadline too tight for the point marks the baseline infeasible.
+	tight, err := Fixed(lt, len(lt.Points)-1, sig, Options{Target: 150, DeadlineS: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Feasible {
+		t.Fatal("slow baseline cannot meet the tight deadline")
+	}
+	if tight.FinishS != -1 {
+		t.Fatalf("infeasible baseline finish %v, want -1 (same contract as Optimize)", tight.FinishS)
+	}
+	// Its accounting covers only what fits before the deadline.
+	if tight.Iterations >= 150 {
+		t.Fatalf("infeasible baseline claims %v iterations, target 150 cannot fit", tight.Iterations)
+	}
+}

@@ -17,7 +17,9 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,6 +28,7 @@ import (
 	"perseus/internal/fleet"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
+	"perseus/internal/grid"
 	"perseus/internal/profile"
 	"perseus/internal/sched"
 )
@@ -117,6 +120,14 @@ type job struct {
 	version        int
 	pending        *time.Timer   // armed delayed straggler switch, if any
 	done           chan struct{} // closed when characterization finishes
+
+	// Emissions accounting: the deployed schedule's power draw is
+	// integrated against the grid signal from characterization on.
+	accSince   time.Time // accounting start (characterization time)
+	accAt      time.Time // last accrual
+	energyAccJ float64
+	carbonAccG float64
+	costAccUSD float64
 }
 
 // Server is the Perseus server. Create with New and expose via Handler.
@@ -131,11 +142,21 @@ type Server struct {
 	// allocate → deploy floors), so concurrent recomputes cannot
 	// interleave their write-backs and deploy floors for a stale cap.
 	fleetMu sync.Mutex
+
+	// signal is the current grid trace (nil until uploaded); sigStart
+	// anchors its time 0 to the wall clock, and objective is the
+	// default temporal-planning objective.
+	signal    *grid.Signal
+	sigStart  time.Time
+	objective grid.Objective
+
+	// clock supplies wall-clock time (replaceable in tests).
+	clock func() time.Time
 }
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{jobs: map[string]*job{}}
+	return &Server{jobs: map[string]*job{}, objective: grid.ObjectiveCarbon, clock: time.Now}
 }
 
 // Handler returns the HTTP API:
@@ -147,14 +168,20 @@ func New() *Server {
 //	GET  /jobs/{id}/frontier       fetch the characterized frontier
 //	GET  /jobs/{id}/table          fetch the full energy-schedule lookup table
 //	GET  /jobs/{id}/allocation     fetch the job's fleet allocation
+//	GET  /jobs/{id}/emissions      fetch the job's cumulative emissions
 //	POST /fleet/cap                set the fleet power cap
 //	GET  /fleet/status             fetch the fleet-wide allocation
+//	POST /grid/signal              install a grid signal (carbon/price/cap trace)
+//	GET  /grid/signal              fetch the installed grid signal
+//	GET  /grid/plan/{id}           plan a job's temporal schedule over the signal
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
 	mux.HandleFunc("/fleet/cap", s.handleFleetCap)
 	mux.HandleFunc("/fleet/status", s.handleFleetStatus)
+	mux.HandleFunc("/grid/signal", s.handleGridSignal)
+	mux.HandleFunc("/grid/plan/", s.handleGridPlan)
 	return mux
 }
 
@@ -271,6 +298,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, resp)
+	case "emissions":
+		resp, err := s.Emissions(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
 	default:
 		http.NotFound(w, r)
 	}
@@ -313,10 +347,14 @@ func (s *Server) UploadProfile(id string, up ProfileUpload) error {
 		if err == nil {
 			front, err = frontier.Characterize(graph, prof, frontier.Options{Unit: j.req.Unit})
 		}
+		now := s.clock()
 		j.mu.Lock()
 		j.front, j.charErr = front, err
 		if front != nil {
 			j.table = front.Table()
+			// The job now has a deployed schedule drawing power:
+			// emissions accounting starts here.
+			j.accSince, j.accAt = now, now
 		}
 		j.characterizing = false
 		j.version++
@@ -356,12 +394,16 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 	if n.Degree <= 0 {
 		return fmt.Errorf("server: straggler degree must be positive, got %v", n.Degree)
 	}
+	st := s.gridState()
 	j.mu.Lock()
 	if j.front == nil {
 		j.mu.Unlock()
 		return fmt.Errorf("server: job %s not characterized yet", id)
 	}
-	apply := func() {
+	// The deployed operating point (and so the power draw) is about to
+	// move: settle emissions at the old point first.
+	apply := func(st gridState) {
+		j.accrueLocked(st)
 		if n.Degree <= 1 {
 			j.tPrime = 0
 		} else {
@@ -370,7 +412,7 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 		j.version++
 	}
 	if n.Delay <= 0 {
-		apply()
+		apply(st)
 		j.mu.Unlock()
 		// A straggler moves the job's T_opt floor, freeing (or taking)
 		// fleet power; re-divide it.
@@ -381,8 +423,9 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 		j.pending.Stop()
 	}
 	j.pending = time.AfterFunc(time.Duration(n.Delay*float64(time.Second)), func() {
+		st := s.gridState()
 		j.mu.Lock()
-		apply()
+		apply(st)
 		j.mu.Unlock()
 		s.recomputeFleet()
 	})
@@ -405,17 +448,7 @@ func (s *Server) Schedule(id string) (ScheduleResponse, error) {
 	if j.front == nil {
 		return ScheduleResponse{Ready: false}, nil
 	}
-	t := j.tPrime
-	if t <= 0 {
-		t = j.front.Tmin()
-	}
-	// The fleet-allocated iteration time is a floor under the deployed
-	// schedule: a power-capped job may not run faster than its share of
-	// the facility envelope allows.
-	if j.capTime > t {
-		t = j.capTime
-	}
-	pt := j.front.Lookup(t)
+	pt := j.front.Lookup(j.deployedTimeLocked(j.front.Tmin()))
 	plan := pt.Plan()
 	freqs := make([]int, len(plan))
 	for i, f := range plan {
@@ -526,10 +559,12 @@ func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // SetFleetCap sets the facility power cap and re-divides it across the
-// characterized jobs; capW = 0 uncaps the fleet.
+// characterized jobs; capW = 0 uncaps the fleet. NaN, infinite, or
+// negative watts are rejected (HTTP 400 at the POST /fleet/cap layer) —
+// a malformed cap must not silently lift the facility envelope.
 func (s *Server) SetFleetCap(capW float64) (FleetStatusResponse, error) {
-	if capW < 0 {
-		return FleetStatusResponse{}, fmt.Errorf("server: fleet cap must be non-negative, got %v", capW)
+	if math.IsNaN(capW) || math.IsInf(capW, 0) || capW < 0 {
+		return FleetStatusResponse{}, fmt.Errorf("server: fleet cap must be a finite non-negative number of watts, got %v", capW)
 	}
 	s.mu.Lock()
 	s.capW = capW
@@ -573,6 +608,7 @@ func (s *Server) AllocationOf(id string) (JobAllocationResponse, error) {
 func (s *Server) recomputeFleet() FleetStatusResponse {
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
+	gs := s.gridState()
 	s.mu.Lock()
 	capW := s.capW
 	jobs := make([]*job, 0, len(s.ord))
@@ -616,6 +652,9 @@ func (s *Server) recomputeFleet() FleetStatusResponse {
 		}
 		j.mu.Lock()
 		if j.capTime != capTime {
+			// The fleet floor moves the deployed operating point: settle
+			// emissions at the old point first.
+			j.accrueLocked(gs)
 			j.capTime = capTime
 			j.version++
 		}
@@ -639,6 +678,281 @@ func (s *Server) recomputeFleet() FleetStatusResponse {
 		}
 	}
 	return st
+}
+
+// gridState is a consistent snapshot of the grid signal and clock,
+// taken (under s.mu) before a job's j.mu so accrual never nests the
+// two locks.
+type gridState struct {
+	sig   *grid.Signal
+	start time.Time
+	now   time.Time
+}
+
+func (s *Server) gridState() gridState {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return gridState{sig: s.signal, start: s.sigStart, now: now}
+}
+
+// deployedTimeLocked returns the anticipated iteration time the
+// deployed schedule is selected for: T' under a straggler (Tmin
+// otherwise), floored by the fleet-allocated capTime — a power-capped
+// job may not run faster than its share of the facility envelope
+// allows. Shared by Schedule and the emissions accrual so the two can
+// never charge different operating points. Callers hold j.mu.
+func (j *job) deployedTimeLocked(tmin float64) float64 {
+	t := j.tPrime
+	if t <= 0 {
+		t = tmin
+	}
+	if j.capTime > t {
+		t = j.capTime
+	}
+	return t
+}
+
+// deployedPowerLocked returns the power draw of the job's currently
+// deployed schedule (all pipelines). Callers hold j.mu.
+func (j *job) deployedPowerLocked() float64 {
+	if j.table == nil || len(j.table.Points) == 0 {
+		return 0
+	}
+	t := j.deployedTimeLocked(j.table.Tmin())
+	pipes := j.req.DataParallel
+	if pipes <= 0 {
+		pipes = 1
+	}
+	return float64(pipes) * j.table.AvgPower(j.table.LookupIndex(t))
+}
+
+// accrueLocked integrates the deployed schedule's power draw since the
+// last accrual into the job's emissions accumulators, at the signal's
+// rates (energy only before a signal is installed). Callers hold j.mu
+// and must call it before any change to the deployed operating point,
+// so each span is charged at the power that actually drew it.
+func (j *job) accrueLocked(st gridState) {
+	if j.accAt.IsZero() || !st.now.After(j.accAt) {
+		return
+	}
+	power := j.deployedPowerLocked()
+	var t0, t1 float64
+	if st.sig != nil {
+		t0 = j.accAt.Sub(st.start).Seconds()
+		t1 = st.now.Sub(st.start).Seconds()
+	} else {
+		t1 = st.now.Sub(j.accAt).Seconds()
+	}
+	e, c, usd := grid.Accrue(st.sig, t0, t1, power)
+	j.energyAccJ += e
+	j.carbonAccG += c
+	j.costAccUSD += usd
+	j.accAt = st.now
+}
+
+// GridSignalRequest installs a grid trace and (optionally) the default
+// temporal-planning objective.
+type GridSignalRequest struct {
+	Signal    grid.Signal `json:"signal"`
+	Objective string      `json:"objective,omitempty"`
+}
+
+// GridSignalResponse summarizes the installed signal.
+type GridSignalResponse struct {
+	Name      string  `json:"name"`
+	Intervals int     `json:"intervals"`
+	HorizonS  float64 `json:"horizon_s"`
+	Objective string  `json:"objective"`
+}
+
+// EmissionsResponse is a job's cumulative emissions accounting since
+// characterization: deployed-schedule energy integrated against the
+// grid signal (cyclically beyond its horizon).
+type EmissionsResponse struct {
+	JobID string `json:"job_id"`
+
+	// Ready is false until the job is characterized and drawing power.
+	Ready bool `json:"ready"`
+
+	// SinceS is the accounted wall-clock span in seconds.
+	SinceS float64 `json:"since_s"`
+
+	// EnergyJ, CarbonG, and CostUSD are the cumulative totals. Carbon
+	// and cost stay zero while no signal is installed.
+	EnergyJ float64 `json:"energy_j"`
+	CarbonG float64 `json:"carbon_g"`
+	CostUSD float64 `json:"cost_usd"`
+}
+
+func (s *Server) handleGridSignal(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req GridSignalRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.SetGridSignal(req.Signal, req.Objective)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	case http.MethodGet:
+		s.mu.Lock()
+		sig := s.signal
+		s.mu.Unlock()
+		if sig == nil {
+			http.Error(w, "no grid signal installed", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, sig)
+	default:
+		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+	}
+}
+
+// SetGridSignal validates and installs a grid trace, anchoring its
+// time 0 at the current wall clock, and sets the default planning
+// objective ("" keeps carbon). Emissions accrued so far are settled
+// against the previous signal first.
+func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalResponse, error) {
+	obj, err := grid.ParseObjective(objective)
+	if err != nil {
+		return GridSignalResponse{}, err
+	}
+	if err := sig.Validate(); err != nil {
+		return GridSignalResponse{}, err
+	}
+	// Settle every job's accounting under the old signal before the
+	// rates change.
+	st := s.gridState()
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.ord))
+	for _, id := range s.ord {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.accrueLocked(st)
+		j.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.signal = &sig
+	s.sigStart = st.now
+	s.objective = obj
+	s.mu.Unlock()
+	return GridSignalResponse{
+		Name:      sig.Name,
+		Intervals: len(sig.Intervals),
+		HorizonS:  sig.Horizon(),
+		Objective: string(obj),
+	}, nil
+}
+
+func (s *Server) handleGridPlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/grid/plan/")
+	if id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query()
+	parse := func(key string) (float64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	target, err := parse("iterations")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad iterations: %v", err), http.StatusBadRequest)
+		return
+	}
+	deadline, err := parse("deadline")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad deadline: %v", err), http.StatusBadRequest)
+		return
+	}
+	plan, err := s.GridPlan(id, target, deadline, q.Get("objective"))
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := s.job(id); !ok {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, plan)
+}
+
+// GridPlan plans a job's temporal schedule over the installed signal:
+// complete target iterations by the deadline (seconds in signal time;
+// 0 means the signal horizon) minimizing the objective ("" uses the
+// server default). The job must be characterized and a signal
+// installed.
+func (s *Server) GridPlan(id string, target, deadline float64, objective string) (*grid.Plan, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown job %s", id)
+	}
+	s.mu.Lock()
+	sig := s.signal
+	obj := s.objective
+	s.mu.Unlock()
+	if sig == nil {
+		return nil, fmt.Errorf("server: no grid signal installed")
+	}
+	if objective != "" {
+		var err error
+		if obj, err = grid.ParseObjective(objective); err != nil {
+			return nil, err
+		}
+	}
+	j.mu.Lock()
+	table := j.table
+	pipes := j.req.DataParallel
+	j.mu.Unlock()
+	if table == nil {
+		return nil, fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	if pipes <= 0 {
+		pipes = 1
+	}
+	return grid.Optimize(table, sig, grid.Options{
+		Target:     target,
+		DeadlineS:  deadline,
+		Objective:  obj,
+		PowerScale: float64(pipes),
+	})
+}
+
+// Emissions settles and returns a job's cumulative emissions
+// accounting.
+func (s *Server) Emissions(id string) (EmissionsResponse, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return EmissionsResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	st := s.gridState()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.accrueLocked(st)
+	resp := EmissionsResponse{JobID: id}
+	if !j.accSince.IsZero() {
+		resp.Ready = true
+		resp.SinceS = j.accAt.Sub(j.accSince).Seconds()
+		resp.EnergyJ = j.energyAccJ
+		resp.CarbonG = j.carbonAccG
+		resp.CostUSD = j.costAccUSD
+	}
+	return resp, nil
 }
 
 func parseKind(s string) (sched.Kind, error) {
