@@ -1,0 +1,95 @@
+// Command perseus-region replays the bundled two-region phase-shifted
+// diurnal traces through the multi-region planner (internal/region):
+// one training job with deadline slack is placed — and migrated —
+// across two datacenters whose solar valleys are 12 hours out of
+// phase, and the resulting carbon/cost table is compared against both
+// baselines: pinning the job to its best single region (fixed
+// placement) and choosing one region without ever migrating.
+//
+// Usage:
+//
+//	perseus-region                      # bundled phase-shifted pair, quick scale
+//	perseus-region -util 0.7            # tighter deadline (70% of T* capacity)
+//	perseus-region -objective cost      # minimize $ instead of gCO2
+//	perseus-region -downtime 1800       # 30 min checkpoint transfer pause
+//	perseus-region -migjoules 5e6       # checkpoint transfer energy
+//	perseus-region -gpu A40 -scale full # paper-fidelity frontier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"perseus/internal/experiments"
+	"perseus/internal/gpu"
+	"perseus/internal/grid"
+	"perseus/internal/region"
+)
+
+func main() {
+	gpuName := flag.String("gpu", "A100-PCIe", "GPU preset")
+	scale := flag.String("scale", "quick", "quick | full (paper parameters; slow)")
+	util := flag.Float64("util", 0.6, "target as a fraction of one region's daily T* capacity (deadline slack knob)")
+	objective := flag.String("objective", "carbon", "objective for the featured plan: carbon | cost | energy")
+	downtime := flag.Float64("downtime", 600, "migration checkpoint-transfer downtime in seconds")
+	migJoules := flag.Float64("migjoules", 1e6, "migration checkpoint-transfer energy in joules")
+	flag.Parse()
+
+	g, err := gpu.ByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	obj, err := grid.ParseObjective(*objective)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := experiments.WorkloadConfig{
+		Display: "GPT-3 1.3B", Model: "gpt3-1.3b", Stages: 4,
+		MicrobatchSize: 4, Microbatches: 16,
+	}
+	fmt.Printf("characterizing %s on %s...\n", cfg.Display, g.Name)
+	sys, err := experiments.BuildSystem(cfg, g, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt := sys.Frontier.Table()
+
+	regions := region.PhaseShiftedPair(8)
+	mig := region.MigrationCost{DowntimeS: *downtime, EnergyJ: *migJoules}
+	target := *util * 86400 / lt.TStar()
+	fmt.Printf("regions: %s and %s (solar valleys 12 h out of phase); target %.0f iterations (%.0f%% of one region's T* capacity)\n",
+		regions[0].Name, regions[1].Name, target, 100**util)
+	fmt.Printf("migration cost: %.0f s downtime + %.2f kWh transfer energy\n\n",
+		mig.DowntimeS, mig.EnergyJ/grid.JoulesPerKWh)
+
+	strategies, err := experiments.RegionComparison(lt, regions, target, 0, mig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	featured, err := region.Optimize(regions, []region.Job{
+		{ID: "train", Table: lt, Target: target},
+	}, region.Options{Objective: obj, Migration: mig})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range []*experiments.Table{
+		experiments.RegionPlanTable(regions, featured, 0),
+		experiments.RegionComparisonTable(strategies),
+	} {
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

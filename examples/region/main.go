@@ -1,0 +1,75 @@
+// Region: chase clean power across datacenters.
+//
+// PR 2's temporal planner runs a flexible job in the day's clean hours
+// and idles through the dirty ones — inside a single grid region. But
+// two datacenters whose carbon curves are hours out of phase offer
+// more clean hours than either has alone: with a characterized
+// frontier and deadline slack, the multi-region planner works the west
+// coast's midday solar valley, checkpoints, migrates, and works the
+// east's — paying a fixed pause-cost per move only when the phase
+// offset earns it back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perseus/internal/experiments"
+	"perseus/internal/gpu"
+	"perseus/internal/region"
+)
+
+func main() {
+	sys, err := experiments.BuildSystem(experiments.WorkloadConfig{
+		Display: "gpt3-1.3b", Model: "gpt3-1.3b", Stages: 2,
+		MicrobatchSize: 4, Microbatches: 8,
+	}, gpu.A100PCIe, experiments.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt := sys.Frontier.Table()
+	regions := region.PhaseShiftedPair(8)
+
+	// Finish 60% of one region's daily T* capacity by midnight; a
+	// migration costs a 10-minute checkpoint transfer.
+	target := 0.6 * 86400 / lt.TStar()
+	jobs := []region.Job{{ID: "train", Table: lt, Target: target}}
+	opts := region.Options{Migration: region.MigrationCost{DowntimeS: 600, EnergyJ: 1e6}}
+
+	plan, err := region.Optimize(regions, jobs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noMig, err := region.NoMigration(regions, jobs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bestFixed, err := region.BestFixed(regions, jobs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jp := plan.Jobs[0]
+	fmt.Printf("target: %.0f iterations by hour 24 across %v\n\n", target, plan.Regions)
+	fmt.Println("hour  placement")
+	for _, a := range jp.Assignments {
+		place := "paused"
+		if a.Region >= 0 {
+			place = plan.Regions[a.Region]
+		}
+		if a.Migrate {
+			place += "  <- migrate (checkpoint transfer)"
+		}
+		fmt.Printf("%4.0f  %s\n", a.StartS/3600, place)
+	}
+	fmt.Printf("\n%-28s %10s %12s\n", "strategy", "carbon(kg)", "vs planner")
+	for _, row := range []struct {
+		name string
+		p    *region.Plan
+	}{{"best fixed placement", bestFixed}, {"no-migration", noMig}, {"region planner", plan}} {
+		fmt.Printf("%-28s %10.3f %+11.1f%%\n", row.name, row.p.CarbonG/1e3,
+			100*(row.p.CarbonG-plan.CarbonG)/plan.CarbonG)
+	}
+	fmt.Printf("\nplanner migrated %d time(s), paying %.0f s downtime and %.0f g CO2 in transfer energy\n",
+		jp.Migrations, jp.MigrationDowntimeS, jp.MigrationCarbonG)
+}

@@ -22,6 +22,7 @@ import (
 	"perseus/internal/gpu"
 	"perseus/internal/grid"
 	"perseus/internal/profile"
+	"perseus/internal/region"
 	"perseus/internal/sched"
 )
 
@@ -371,6 +372,87 @@ func (c *ServerClient) FetchGridPlan(jobID string, iterations, deadline float64,
 	}
 	var plan grid.Plan
 	err := c.get("/grid/plan/"+jobID+"?"+q.Encode(), &plan)
+	return plan, err
+}
+
+// RegionInfo mirrors the server's registered-region summary.
+type RegionInfo struct {
+	Name      string  `json:"name"`
+	GPUs      int     `json:"gpus"`
+	CapW      float64 `json:"cap_w"`
+	Intervals int     `json:"intervals"`
+	HorizonS  float64 `json:"horizon_s"`
+}
+
+// RegisterRegion registers a datacenter region — GPU capacity, facility
+// power cap, and its own grid signal — with the server.
+func (c *ServerClient) RegisterRegion(name string, gpus int, capW float64, sig grid.Signal) (RegionInfo, error) {
+	payload := struct {
+		Name   string      `json:"name"`
+		GPUs   int         `json:"gpus,omitempty"`
+		CapW   float64     `json:"cap_w,omitempty"`
+		Signal grid.Signal `json:"signal"`
+	}{name, gpus, capW, sig}
+	var info RegionInfo
+	err := c.post("/regions", payload, &info)
+	return info, err
+}
+
+// FetchRegions lists the registered regions.
+func (c *ServerClient) FetchRegions() ([]RegionInfo, error) {
+	var out []RegionInfo
+	err := c.get("/regions", &out)
+	return out, err
+}
+
+// PlacementEntry mirrors one step of a job's placement history.
+type PlacementEntry struct {
+	Region  string  `json:"region"`
+	AtUnixS float64 `json:"at_unix_s"`
+}
+
+// Placement mirrors the server's per-job placement view.
+type Placement struct {
+	JobID      string           `json:"job_id"`
+	Region     string           `json:"region"`
+	Migrations int              `json:"migrations"`
+	History    []PlacementEntry `json:"history,omitempty"`
+}
+
+// PlaceJob places (or migrates) a job into a registered region; the
+// server settles emissions at the old placement's rates first.
+func (c *ServerClient) PlaceJob(jobID, regionName string) (Placement, error) {
+	payload := struct {
+		Region string `json:"region"`
+	}{regionName}
+	var p Placement
+	err := c.post("/jobs/"+jobID+"/placement", payload, &p)
+	return p, err
+}
+
+// FetchPlacement returns a job's current placement and history.
+func (c *ServerClient) FetchPlacement(jobID string) (Placement, error) {
+	var p Placement
+	err := c.get("/jobs/"+jobID+"/placement", &p)
+	return p, err
+}
+
+// FetchRegionsPlan plans every characterized job's spatio-temporal
+// schedule across the registered regions: target iterations per job by
+// the deadline (0 = longest region trace), minimizing the objective
+// ("" = server default), with migration modeled as the given
+// downtime + transfer energy. The decoded plan mirrors region.Plan.
+func (c *ServerClient) FetchRegionsPlan(iterations, deadline float64, objective string, downtimeS, migrationJ float64) (region.Plan, error) {
+	q := url.Values{}
+	q.Set("iterations", strconv.FormatFloat(iterations, 'g', -1, 64))
+	q.Set("deadline", strconv.FormatFloat(deadline, 'g', -1, 64))
+	q.Set("downtime", strconv.FormatFloat(downtimeS, 'g', -1, 64))
+	q.Set("migration_j", strconv.FormatFloat(migrationJ, 'g', -1, 64))
+	if objective != "" {
+		q.Set("objective", objective)
+	}
+	var plan region.Plan
+	err := c.get("/regions/plan?"+q.Encode(), &plan)
 	return plan, err
 }
 

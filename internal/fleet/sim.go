@@ -36,8 +36,20 @@ const (
 	// (the job's pipeline 0 slows by Factor), Factor <= 1 is recovery.
 	EventStraggler
 
-	// EventSetCap changes the fleet power cap to Event.CapW.
+	// EventSetCap changes the fleet power cap to Event.CapW. In a
+	// multi-region scenario the cap is per datacenter — a facility
+	// envelope is local power infrastructure — so each region's
+	// allocator run (and the unplaced group) gets the full CapW unless
+	// its own signal's interval cap overrides it; it does NOT bound the
+	// summed draw across regions.
 	EventSetCap
+
+	// EventPlace places a job (Event.JobID) into a scenario region
+	// (Event.Region). Placing an already-placed job into a different
+	// region is a migration: the job pauses for the scenario's
+	// migration downtime and is charged the transfer energy at the
+	// destination region's rates.
+	EventPlace
 )
 
 // String renders the kind for traces and tables.
@@ -51,6 +63,8 @@ func (k EventKind) String() string {
 		return "straggler"
 	case EventSetCap:
 		return "set-cap"
+	case EventPlace:
+		return "place"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -75,6 +89,20 @@ type Event struct {
 
 	// CapW is the new fleet power cap in watts (EventSetCap); 0 uncaps.
 	CapW float64
+
+	// Region names the destination scenario region (EventPlace).
+	Region string
+}
+
+// SimRegion is one datacenter in a multi-region scenario: jobs placed
+// there are allocated under its signal's interval caps and accounted
+// at its rates.
+type SimRegion struct {
+	// Name labels the region; EventPlace targets it.
+	Name string
+
+	// Signal is the region's grid trace (cyclic beyond its horizon).
+	Signal *grid.Signal
 }
 
 // Scenario is a replayable multi-job trace.
@@ -96,6 +124,24 @@ type Scenario struct {
 	// interval's rates. A trace shorter than the horizon repeats
 	// cyclically (a 24 h trace describes every day).
 	Signal *grid.Signal
+
+	// Regions optionally makes the scenario multi-region: jobs are
+	// placed (and migrated) across datacenters via EventPlace, each
+	// region's signal drives its own interval caps and rates, and every
+	// region's interval edges become re-allocation boundaries. Jobs not
+	// yet placed run under the scenario Signal (or rate-free without
+	// one). The power-budget allocator runs per region, and caps are
+	// per datacenter: each region's jobs divide that region's interval
+	// cap — or, absent one, the scenario/event cap, which therefore
+	// bounds each datacenter individually rather than the fleet's
+	// summed draw.
+	Regions []SimRegion
+
+	// MigrationDowntimeS is the checkpoint-transfer pause a migrating
+	// job suffers on arrival; MigrationEnergyJ is the transfer energy,
+	// charged at the destination's rates at the migration time.
+	MigrationDowntimeS float64
+	MigrationEnergyJ   float64
 }
 
 // SegmentJob is one job's state during a segment.
@@ -131,6 +177,12 @@ type SegmentJob struct {
 
 	// StragglerFactor is the active slowdown degree (1 = healthy).
 	StragglerFactor float64
+
+	// Region names the job's placement ("" before any placement or in
+	// single-region scenarios); Migrating marks a checkpoint-transfer
+	// pause segment (the job draws no power and makes no progress).
+	Region    string
+	Migrating bool
 }
 
 // Segment is one constant-state interval between scenario events.
@@ -192,13 +244,18 @@ type Series struct {
 
 // Replay runs the event-driven multi-job simulation: it applies the
 // scenario's events in time order — job arrival and departure,
-// straggler onset and recovery, cap changes — re-running the
-// power-budget allocator at every state change, and simulates each
+// straggler onset and recovery, cap changes, placements — re-running
+// the power-budget allocator at every state change, and simulates each
 // constant-state segment with cluster.Simulate at the allocated
 // operating points. A scenario Signal adds signal-driven state changes
 // on top: interval edges become segment boundaries, interval caps
 // override the event-set cap, and each segment's energy is accounted
-// into carbon and cost at the interval's rates.
+// into carbon and cost at the interval's rates. Scenario Regions make
+// the replay multi-region: every region's interval edges become
+// boundaries, the allocator runs per region under each region's cap,
+// jobs are accounted at their region's rates, and migrations insert a
+// checkpoint-transfer pause (plus transfer energy at the destination's
+// rates).
 func Replay(sc Scenario) (*Series, error) {
 	if sc.Horizon <= 0 {
 		return nil, fmt.Errorf("fleet: scenario horizon must be positive, got %v", sc.Horizon)
@@ -207,6 +264,28 @@ func Replay(sc Scenario) (*Series, error) {
 		if err := sc.Signal.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	if !(sc.MigrationDowntimeS >= 0) || !(sc.MigrationEnergyJ >= 0) {
+		return nil, fmt.Errorf("fleet: migration cost must be non-negative, got %v s / %v J",
+			sc.MigrationDowntimeS, sc.MigrationEnergyJ)
+	}
+	regionSigs := map[string]*grid.Signal{}
+	var regionOrder []string
+	for _, r := range sc.Regions {
+		if r.Name == "" {
+			return nil, fmt.Errorf("fleet: scenario region needs a name")
+		}
+		if _, dup := regionSigs[r.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate scenario region %q", r.Name)
+		}
+		if r.Signal == nil {
+			return nil, fmt.Errorf("fleet: scenario region %q needs a signal", r.Name)
+		}
+		if err := r.Signal.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: scenario region %q: %w", r.Name, err)
+		}
+		regionSigs[r.Name] = r.Signal
+		regionOrder = append(regionOrder, r.Name)
 	}
 	events := append([]Event(nil), sc.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
@@ -224,7 +303,10 @@ func Replay(sc Scenario) (*Series, error) {
 	sims := map[string]*SimJob{}
 	factors := map[string]float64{}
 	totals := map[string]*JobTotal{}
-	var order []string // first-arrival order, for stable totals
+	place := map[string]string{}     // job id -> region name
+	migUntil := map[string]float64{} // job id -> migration pause end
+	var order []string               // first-arrival order, for stable totals
+	series := &Series{}
 
 	apply := func(e Event) error {
 		switch e.Kind {
@@ -249,6 +331,8 @@ func Replay(sc Scenario) (*Series, error) {
 			f.Remove(e.JobID)
 			delete(sims, e.JobID)
 			delete(factors, e.JobID)
+			delete(place, e.JobID)
+			delete(migUntil, e.JobID)
 		case EventStraggler:
 			sj, ok := sims[e.JobID]
 			if !ok {
@@ -265,21 +349,61 @@ func Replay(sc Scenario) (*Series, error) {
 				return err
 			}
 			evCap = e.CapW
+		case EventPlace:
+			if len(sc.Regions) == 0 {
+				return fmt.Errorf("fleet: placement event at %v in a scenario without regions", e.At)
+			}
+			if _, ok := sims[e.JobID]; !ok {
+				return fmt.Errorf("fleet: placement of unknown job %s at %v", e.JobID, e.At)
+			}
+			sig, ok := regionSigs[e.Region]
+			if !ok {
+				return fmt.Errorf("fleet: placement of job %s into unknown region %q at %v", e.JobID, e.Region, e.At)
+			}
+			prev, had := place[e.JobID]
+			if had && prev == e.Region {
+				return nil // re-placing in place is a no-op
+			}
+			place[e.JobID] = e.Region
+			if !had {
+				return nil // initial placement is free
+			}
+			// Migration: pause for the checkpoint transfer and charge
+			// the transfer energy at the destination's rates.
+			if sc.MigrationDowntimeS > 0 {
+				migUntil[e.JobID] = e.At + sc.MigrationDowntimeS
+			}
+			if sc.MigrationEnergyJ > 0 {
+				var carbon, price float64
+				if iv, ok := sig.AtCyclic(e.At); ok {
+					carbon, price = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+				}
+				c := sc.MigrationEnergyJ / grid.JoulesPerKWh * carbon
+				usd := sc.MigrationEnergyJ / grid.JoulesPerKWh * price
+				tot := totals[e.JobID]
+				tot.EnergyJ += sc.MigrationEnergyJ
+				tot.CarbonG += c
+				tot.CostUSD += usd
+				series.EnergyJ += sc.MigrationEnergyJ
+				series.CarbonG += c
+				series.CostUSD += usd
+			}
 		default:
 			return fmt.Errorf("fleet: unknown event kind %d at %v", int(e.Kind), e.At)
 		}
 		return nil
 	}
 
-	// Signal interval edges are re-allocation boundaries too, so every
-	// segment lies within one interval and one set of rates.
-	var bounds []float64
-	bi := 0
-	if sc.Signal != nil {
-		bounds = sc.Signal.Boundaries(sc.Horizon)
+	// Signal interval edges — of the scenario signal and of every
+	// region's — are re-allocation boundaries too, so every segment
+	// lies within one interval and one set of rates per region.
+	sigs := []*grid.Signal{sc.Signal}
+	for _, r := range sc.Regions {
+		sigs = append(sigs, r.Signal)
 	}
+	bounds := grid.MergedBoundaries(sigs, sc.Horizon)
+	bi := 0
 
-	series := &Series{}
 	i := 0
 	now := 0.0
 	for {
@@ -302,31 +426,26 @@ func Replay(sc Scenario) (*Series, error) {
 		if bi < len(bounds) && bounds[bi] < next {
 			next = bounds[bi]
 		}
-		if next > now {
-			// The signal's interval cap, while in force, overrides the
-			// event-set cap.
-			var carbonRate, priceRate float64 // per kWh
-			if sc.Signal != nil {
-				capW := evCap
-				if iv, ok := sc.Signal.AtCyclic(now); ok {
-					carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
-					if iv.CapW > 0 {
-						capW = iv.CapW
-					}
-				}
-				if err := f.SetCap(capW); err != nil {
-					return nil, err
-				}
+		// A migration pause ending is a state change too.
+		for _, mu := range migUntil {
+			if mu > now && mu < next {
+				next = mu
 			}
-			seg, err := simulateSegment(f, sims, factors, now, next)
+		}
+		if next > now {
+			var seg Segment
+			var err error
+			if len(sc.Regions) > 0 {
+				seg, err = simulateRegionsSegment(f, sims, factors, place, migUntil,
+					regionOrder, regionSigs, sc.Signal, evCap, now, next)
+			} else {
+				seg, err = simulateSignalSegment(f, sims, factors, sc.Signal, evCap, now, next)
+			}
 			if err != nil {
 				return nil, err
 			}
-			seg.CarbonGPerKWh, seg.PriceUSDPerKWh = carbonRate, priceRate
 			for k := range seg.Jobs {
 				sjob := &seg.Jobs[k]
-				sjob.CarbonG = sjob.EnergyJ / grid.JoulesPerKWh * carbonRate
-				sjob.CostUSD = sjob.EnergyJ / grid.JoulesPerKWh * priceRate
 				tot := totals[sjob.ID]
 				tot.ActiveS += next - now
 				tot.Iterations += sjob.Iterations
@@ -352,56 +471,154 @@ func Replay(sc Scenario) (*Series, error) {
 	return series, nil
 }
 
-// simulateSegment allocates the fleet and simulates each active job's
-// steady state over [start, end).
-func simulateSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float64, start, end float64) (Segment, error) {
+// simulateJob simulates one allocated job's steady state over dur
+// seconds.
+func simulateJob(sj *SimJob, ja JobAlloc, factor, dur float64) (SegmentJob, error) {
+	plan := cluster.Plan(sj.Table.Points[ja.Point].Freqs)
+	var res cluster.Result
+	var err error
+	if factor > 1 {
+		// The straggler pipeline keeps the fastest plan — it is slow
+		// because the hardware throttled it, not by schedule — while
+		// the other replicas deploy the allocated T_opt plan (paper
+		// §3.2 step 5).
+		fastest := cluster.Plan(sj.Table.Points[0].Freqs)
+		res, err = cluster.SimulateMulti(sj.Spec, func(p int) cluster.Plan {
+			if p == 0 {
+				return fastest
+			}
+			return plan
+		}, []cluster.Straggler{{Pipeline: 0, Factor: factor}})
+	} else {
+		res, err = cluster.Simulate(sj.Spec, plan, nil)
+	}
+	if err != nil {
+		return SegmentJob{}, fmt.Errorf("fleet: simulating job %s: %w", ja.ID, err)
+	}
+	powerW := res.TotalPowerW()
+	return SegmentJob{
+		ID:              ja.ID,
+		Point:           ja.Point,
+		PlannedTime:     ja.Time,
+		AllocPowerW:     ja.PowerW,
+		IterTime:        res.IterTime,
+		PowerW:          powerW,
+		Iterations:      dur / res.IterTime,
+		EnergyJ:         powerW * dur,
+		StragglerFactor: factor,
+	}, nil
+}
+
+// simulateSignalSegment is the single-region path: one fleet-wide
+// allocation under the scenario signal's cap override, per-job energy
+// accounted at the signal's rates.
+func simulateSignalSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float64, sig *grid.Signal, evCap, start, end float64) (Segment, error) {
+	var carbonRate, priceRate float64 // per kWh
+	if sig != nil {
+		// The signal's interval cap, while in force, overrides the
+		// event-set cap.
+		capW := evCap
+		if iv, ok := sig.AtCyclic(start); ok {
+			carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+			if iv.CapW > 0 {
+				capW = iv.CapW
+			}
+		}
+		if err := f.SetCap(capW); err != nil {
+			return Segment{}, err
+		}
+	}
 	alloc := f.Allocate()
 	seg := Segment{
-		Start:       start,
-		End:         end,
-		CapW:        alloc.CapW,
-		Feasible:    alloc.Feasible,
-		AllocPowerW: alloc.PowerW,
+		Start:          start,
+		End:            end,
+		CapW:           alloc.CapW,
+		Feasible:       alloc.Feasible,
+		AllocPowerW:    alloc.PowerW,
+		CarbonGPerKWh:  carbonRate,
+		PriceUSDPerKWh: priceRate,
 	}
 	dur := end - start
 	for _, ja := range alloc.Jobs {
-		sj := sims[ja.ID]
-		plan := cluster.Plan(sj.Table.Points[ja.Point].Freqs)
-		factor := factors[ja.ID]
-		var res cluster.Result
-		var err error
-		if factor > 1 {
-			// The straggler pipeline keeps the fastest plan — it is slow
-			// because the hardware throttled it, not by schedule — while
-			// the other replicas deploy the allocated T_opt plan (paper
-			// §3.2 step 5).
-			fastest := cluster.Plan(sj.Table.Points[0].Freqs)
-			res, err = cluster.SimulateMulti(sj.Spec, func(p int) cluster.Plan {
-				if p == 0 {
-					return fastest
-				}
-				return plan
-			}, []cluster.Straggler{{Pipeline: 0, Factor: factor}})
-		} else {
-			res, err = cluster.Simulate(sj.Spec, plan, nil)
-		}
+		sjob, err := simulateJob(sims[ja.ID], ja, factors[ja.ID], dur)
 		if err != nil {
-			return Segment{}, fmt.Errorf("fleet: simulating job %s: %w", ja.ID, err)
+			return Segment{}, err
 		}
-		powerW := res.TotalPowerW()
-		sjob := SegmentJob{
-			ID:              ja.ID,
-			Point:           ja.Point,
-			PlannedTime:     ja.Time,
-			AllocPowerW:     ja.PowerW,
-			IterTime:        res.IterTime,
-			PowerW:          powerW,
-			Iterations:      dur / res.IterTime,
-			EnergyJ:         powerW * dur,
-			StragglerFactor: factor,
-		}
-		seg.PowerW += powerW
+		sjob.CarbonG = sjob.EnergyJ / grid.JoulesPerKWh * carbonRate
+		sjob.CostUSD = sjob.EnergyJ / grid.JoulesPerKWh * priceRate
+		seg.PowerW += sjob.PowerW
 		seg.Jobs = append(seg.Jobs, sjob)
+	}
+	return seg, nil
+}
+
+// simulateRegionsSegment is the multi-region path: the allocator runs
+// once per region over the jobs placed there (each region's interval
+// cap, or the event-set cap, divides among them), unplaced jobs run
+// under the scenario signal, and migrating jobs pause at zero power.
+func simulateRegionsSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float64, place map[string]string, migUntil map[string]float64, regionOrder []string, regionSigs map[string]*grid.Signal, global *grid.Signal, evCap, start, end float64) (Segment, error) {
+	seg := Segment{Start: start, End: end, CapW: evCap, Feasible: true}
+	dur := end - start
+	snap := f.Snapshot()
+
+	groups := map[string][]Job{}
+	migrating := map[string]bool{}
+	for _, j := range snap {
+		if mu, ok := migUntil[j.ID]; ok && start < mu {
+			migrating[j.ID] = true
+			continue
+		}
+		groups[place[j.ID]] = append(groups[place[j.ID]], j)
+	}
+
+	jobsOut := map[string]SegmentJob{}
+	for _, rname := range append([]string{""}, regionOrder...) {
+		grp := groups[rname]
+		if len(grp) == 0 {
+			continue
+		}
+		sig := global
+		if rname != "" {
+			sig = regionSigs[rname]
+		}
+		capW := evCap
+		var carbonRate, priceRate float64
+		if sig != nil {
+			if iv, ok := sig.AtCyclic(start); ok {
+				carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+				if iv.CapW > 0 {
+					capW = iv.CapW
+				}
+			}
+		}
+		alloc := Allocate(grp, capW)
+		if !alloc.Feasible {
+			seg.Feasible = false
+		}
+		seg.AllocPowerW += alloc.PowerW
+		for _, ja := range alloc.Jobs {
+			sjob, err := simulateJob(sims[ja.ID], ja, factors[ja.ID], dur)
+			if err != nil {
+				return Segment{}, err
+			}
+			sjob.Region = rname
+			sjob.CarbonG = sjob.EnergyJ / grid.JoulesPerKWh * carbonRate
+			sjob.CostUSD = sjob.EnergyJ / grid.JoulesPerKWh * priceRate
+			seg.PowerW += sjob.PowerW
+			jobsOut[ja.ID] = sjob
+		}
+	}
+	for id := range migrating {
+		jobsOut[id] = SegmentJob{
+			ID: id, Region: place[id], Migrating: true,
+			StragglerFactor: factors[id],
+		}
+	}
+	// Emit in arrival order for stable output.
+	for _, j := range snap {
+		if sjob, ok := jobsOut[j.ID]; ok {
+			seg.Jobs = append(seg.Jobs, sjob)
+		}
 	}
 	return seg, nil
 }

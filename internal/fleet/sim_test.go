@@ -288,3 +288,192 @@ func TestEventKindString(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayRegions drives a two-region scenario: jobs placed per
+// region are allocated and accounted independently, a migration inserts
+// a checkpoint-transfer pause plus transfer energy at the destination's
+// rates, and per-region interval caps bind only their own region.
+func TestReplayRegions(t *testing.T) {
+	a := buildSimJob(t, "gpt-a", 2, 4)
+	b := buildSimJob(t, "gpt-b", 2, 3)
+	soloA := Allocate([]Job{a.Job}, 0).PowerW
+
+	dirty := &grid.Signal{Name: "dirty", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 600, CarbonGPerKWh: 500, PriceUSDPerKWh: 0.2},
+	}}
+	clean := &grid.Signal{Name: "clean", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 300, CarbonGPerKWh: 100, PriceUSDPerKWh: 0.05},
+		{StartS: 300, EndS: 600, CarbonGPerKWh: 100, PriceUSDPerKWh: 0.05, CapW: 0.9 * soloA},
+	}}
+	series, err := Replay(Scenario{
+		Horizon:            600,
+		Regions:            []SimRegion{{Name: "dirty", Signal: dirty}, {Name: "clean", Signal: clean}},
+		MigrationDowntimeS: 50,
+		MigrationEnergyJ:   grid.JoulesPerKWh, // 1 kWh
+		Events: []Event{
+			{At: 0, Kind: EventArrive, Job: a},
+			{At: 0, Kind: EventPlace, JobID: "gpt-a", Region: "dirty"},
+			{At: 0, Kind: EventArrive, Job: b},
+			{At: 200, Kind: EventPlace, JobID: "gpt-a", Region: "clean"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Boundaries: migration at 200, pause end at 250, clean region's
+	// interval edge at 300.
+	wantBounds := []float64{0, 200, 250, 300, 600}
+	if len(series.Segments) != len(wantBounds)-1 {
+		t.Fatalf("got %d segments (%+v), want %d", len(series.Segments), series.Segments, len(wantBounds)-1)
+	}
+	for i, seg := range series.Segments {
+		if seg.Start != wantBounds[i] || seg.End != wantBounds[i+1] {
+			t.Fatalf("segment %d spans [%v,%v], want [%v,%v]", i, seg.Start, seg.End, wantBounds[i], wantBounds[i+1])
+		}
+	}
+	segs := series.Segments
+
+	// Segment 0: gpt-a in dirty at dirty rates; gpt-b unplaced, no rates.
+	jobA, jobB := segs[0].Jobs[0], segs[0].Jobs[1]
+	if jobB.ID == "gpt-a" {
+		jobA, jobB = jobB, jobA
+	}
+	if jobA.Region != "dirty" || jobA.Migrating {
+		t.Fatalf("segment 0 gpt-a %+v", jobA)
+	}
+	wantC := jobA.EnergyJ / grid.JoulesPerKWh * 500
+	if math.Abs(jobA.CarbonG-wantC) > 1e-6*(1+wantC) {
+		t.Fatalf("segment 0 gpt-a carbon %v, want %v", jobA.CarbonG, wantC)
+	}
+	if jobB.Region != "" || jobB.CarbonG != 0 || jobB.Iterations <= 0 {
+		t.Fatalf("segment 0 unplaced gpt-b %+v", jobB)
+	}
+
+	// Segment 1: gpt-a migrating — zero power, zero progress.
+	var mig SegmentJob
+	for _, sj := range segs[1].Jobs {
+		if sj.ID == "gpt-a" {
+			mig = sj
+		}
+	}
+	if !mig.Migrating || mig.Region != "clean" || mig.PowerW != 0 || mig.Iterations != 0 {
+		t.Fatalf("migration segment job %+v", mig)
+	}
+
+	// Segment 2: gpt-a running in clean at clean rates.
+	var post SegmentJob
+	for _, sj := range segs[2].Jobs {
+		if sj.ID == "gpt-a" {
+			post = sj
+		}
+	}
+	if post.Migrating || post.Region != "clean" || post.Iterations <= 0 {
+		t.Fatalf("post-migration job %+v", post)
+	}
+	wantC = post.EnergyJ / grid.JoulesPerKWh * 100
+	if math.Abs(post.CarbonG-wantC) > 1e-6*(1+wantC) {
+		t.Fatalf("post-migration carbon %v, want %v", post.CarbonG, wantC)
+	}
+
+	// Segment 3: the clean region's interval cap binds gpt-a (the only
+	// job there) below its uncapped draw.
+	var capped SegmentJob
+	for _, sj := range segs[3].Jobs {
+		if sj.ID == "gpt-a" {
+			capped = sj
+		}
+	}
+	if capped.AllocPowerW > 0.9*soloA+1e-9 {
+		t.Fatalf("capped region allocation %v exceeds interval cap %v", capped.AllocPowerW, 0.9*soloA)
+	}
+	if capped.Point == 0 {
+		t.Fatal("interval cap did not move gpt-a off its Tmin point")
+	}
+
+	// Migration transfer energy: 1 kWh at clean rates (100 g/kWh,
+	// $0.05/kWh) lands in gpt-a's totals and the series totals.
+	var totA *JobTotal
+	for i := range series.Totals {
+		if series.Totals[i].ID == "gpt-a" {
+			totA = &series.Totals[i]
+		}
+	}
+	var runC, runE float64
+	for _, seg := range segs {
+		for _, sj := range seg.Jobs {
+			if sj.ID == "gpt-a" {
+				runC += sj.CarbonG
+				runE += sj.EnergyJ
+			}
+		}
+	}
+	if math.Abs(totA.CarbonG-(runC+100)) > 1e-6*(1+runC) {
+		t.Fatalf("gpt-a total carbon %v, want run %v + migration 100", totA.CarbonG, runC)
+	}
+	if math.Abs(totA.EnergyJ-(runE+grid.JoulesPerKWh)) > 1e-6*(1+runE) {
+		t.Fatalf("gpt-a total energy %v, want run %v + migration %v", totA.EnergyJ, runE, grid.JoulesPerKWh)
+	}
+	var segPowerE float64
+	for _, seg := range segs {
+		segPowerE += seg.PowerW * (seg.End - seg.Start)
+	}
+	if math.Abs(series.EnergyJ-(segPowerE+grid.JoulesPerKWh)) > 1e-6*(1+segPowerE) {
+		t.Fatalf("series energy %v, want power integral %v + migration energy", series.EnergyJ, segPowerE)
+	}
+
+	// Re-placing a job in its current region is a free no-op.
+	again, err := Replay(Scenario{
+		Horizon: 100,
+		Regions: []SimRegion{{Name: "dirty", Signal: dirty}},
+		Events: []Event{
+			{At: 0, Kind: EventArrive, Job: buildSimJob(t, "solo", 2, 3)},
+			{At: 0, Kind: EventPlace, JobID: "solo", Region: "dirty"},
+			{At: 50, Kind: EventPlace, JobID: "solo", Region: "dirty"},
+		},
+		MigrationDowntimeS: 30,
+		MigrationEnergyJ:   1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range again.Segments {
+		for _, sj := range seg.Jobs {
+			if sj.Migrating {
+				t.Fatalf("no-op re-placement migrated: %+v", seg)
+			}
+		}
+	}
+}
+
+// TestReplayRegionErrors covers the region-specific validation paths.
+func TestReplayRegionErrors(t *testing.T) {
+	a := buildSimJob(t, "a", 2, 3)
+	sig := &grid.Signal{Intervals: []grid.Interval{{StartS: 0, EndS: 100, CarbonGPerKWh: 100}}}
+	regions := []SimRegion{{Name: "r", Signal: sig}}
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"unnamed region", Scenario{Horizon: 10, Regions: []SimRegion{{Signal: sig}}}},
+		{"duplicate region", Scenario{Horizon: 10, Regions: []SimRegion{{Name: "r", Signal: sig}, {Name: "r", Signal: sig}}}},
+		{"region without signal", Scenario{Horizon: 10, Regions: []SimRegion{{Name: "r"}}}},
+		{"invalid region signal", Scenario{Horizon: 10, Regions: []SimRegion{{Name: "r", Signal: &grid.Signal{}}}}},
+		{"negative migration downtime", Scenario{Horizon: 10, Regions: regions, MigrationDowntimeS: -1}},
+		{"negative migration energy", Scenario{Horizon: 10, Regions: regions, MigrationEnergyJ: -1}},
+		{"place without regions", Scenario{Horizon: 10, Events: []Event{{At: 0, Kind: EventPlace, JobID: "a", Region: "r"}}}},
+		{"place unknown job", Scenario{Horizon: 10, Regions: regions, Events: []Event{{At: 0, Kind: EventPlace, JobID: "x", Region: "r"}}}},
+		{"place unknown region", Scenario{Horizon: 10, Regions: regions, Events: []Event{
+			{At: 0, Kind: EventArrive, Job: a},
+			{At: 0, Kind: EventPlace, JobID: "a", Region: "nope"},
+		}}},
+	}
+	for _, tc := range cases {
+		if _, err := Replay(tc.sc); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if got := EventPlace.String(); got != "place" {
+		t.Errorf("EventPlace.String() = %q", got)
+	}
+}

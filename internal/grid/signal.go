@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 )
 
@@ -166,6 +167,27 @@ func (s *Signal) Boundaries(upTo float64) []float64 {
 	return out
 }
 
+// MergedBoundaries returns the sorted, deduplicated union of every
+// signal's Boundaries(upTo) — the re-allocation grid a multi-signal
+// (multi-region) consumer must respect. Nil signals are skipped.
+func MergedBoundaries(sigs []*Signal, upTo float64) []float64 {
+	set := map[float64]bool{}
+	for _, s := range sigs {
+		if s == nil {
+			continue
+		}
+		for _, b := range s.Boundaries(upTo) {
+			set[b] = true
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	return out
+}
+
 // Accrue integrates a constant power draw against the signal over the
 // wall-clock span [t0, t1) (seconds in signal time, cyclic beyond the
 // horizon) and returns the energy consumed plus its carbon and cost
@@ -189,6 +211,14 @@ func Accrue(sig *Signal, t0, t1, powerW float64) (energyJ, carbonG, costUSD floa
 		end := t + (iv.EndS - math.Mod(t, sig.Horizon()))
 		if end > t1 {
 			end = t1
+		}
+		if end <= t {
+			// Float rounding pinned t on an interval edge (the distance
+			// to the edge underflowed below one ulp of t); nudge past it
+			// so the walk always progresses. The skipped sliver is below
+			// float resolution, so nothing measurable is lost.
+			t = math.Nextafter(t, math.Inf(1))
+			continue
 		}
 		e := powerW * (end - t)
 		carbonG += e / JoulesPerKWh * iv.CarbonGPerKWh

@@ -1,0 +1,748 @@
+package region
+
+import (
+	"fmt"
+	"math"
+
+	"perseus/internal/grid"
+)
+
+// Options parameterizes the multi-region planner.
+type Options struct {
+	// Objective selects what to minimize; "" means carbon.
+	Objective grid.Objective
+
+	// Migration is the fixed pause-cost of moving a job between
+	// regions; the zero value makes moves free.
+	Migration MigrationCost
+
+	// Rounds is the number of Gauss-Seidel improvement rounds after the
+	// first sequential pass: each round re-plans every job against the
+	// others' committed placements. 0 means 2.
+	Rounds int
+}
+
+func (o Options) rounds() int {
+	if o.Rounds <= 0 {
+		return 2
+	}
+	return o.Rounds
+}
+
+// Assignment is one cell of a job's placement sequence.
+type Assignment struct {
+	// Cell indexes Plan.Cells.
+	Cell int `json:"cell"`
+
+	// StartS and EndS bound the cell.
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+
+	// Region indexes Plan.Regions; -1 means the job is paused.
+	Region int `json:"region"`
+
+	// Migrate marks the cell at whose start the job arrives from a
+	// different region (checkpoint transfer downtime and energy are
+	// charged here).
+	Migrate bool `json:"migrate,omitempty"`
+}
+
+// JobPlan is one job's spatio-temporal schedule.
+type JobPlan struct {
+	// JobID names the job.
+	JobID string `json:"job_id"`
+
+	// Assignments is the per-cell placement in time order.
+	Assignments []Assignment `json:"assignments"`
+
+	// Temporal is the job's inner temporal plan over the composite
+	// signal its placement induces (grid.Optimize output; slices index
+	// the job's lookup table).
+	Temporal *grid.Plan `json:"temporal"`
+
+	// Migrations counts region changes; the downtime and transfer
+	// energy totals follow, with the energy priced at each arrival
+	// cell's rates.
+	Migrations         int     `json:"migrations"`
+	MigrationDowntimeS float64 `json:"migration_downtime_s"`
+	MigrationEnergyJ   float64 `json:"migration_energy_j"`
+	MigrationCarbonG   float64 `json:"migration_carbon_g"`
+	MigrationCostUSD   float64 `json:"migration_cost_usd"`
+
+	// EnergyJ, CarbonG, and CostUSD total the job including migration.
+	EnergyJ float64 `json:"energy_j"`
+	CarbonG float64 `json:"carbon_g"`
+	CostUSD float64 `json:"cost_usd"`
+
+	// Feasible reports whether the job completes its target by its
+	// deadline under the placement.
+	Feasible bool `json:"feasible"`
+}
+
+// Plan is a joint multi-region schedule for a set of jobs.
+type Plan struct {
+	// Objective is what the plan minimizes.
+	Objective grid.Objective `json:"objective"`
+
+	// HorizonS is the planning horizon in seconds.
+	HorizonS float64 `json:"horizon_s"`
+
+	// Regions lists the region names; Assignment.Region indexes it.
+	Regions []string `json:"regions"`
+
+	// Cells is the common planning grid (union of all regions' signal
+	// boundaries).
+	Cells []Cell `json:"cells"`
+
+	// Jobs holds the per-job schedules in input order.
+	Jobs []JobPlan `json:"jobs"`
+
+	// EnergyJ, CarbonG, and CostUSD total the plan including migration.
+	EnergyJ float64 `json:"energy_j"`
+	CarbonG float64 `json:"carbon_g"`
+	CostUSD float64 `json:"cost_usd"`
+
+	// Feasible reports whether every job meets its target and deadline.
+	Feasible bool `json:"feasible"`
+}
+
+// Total reads the plan total matching its objective.
+func (p *Plan) Total() float64 {
+	switch p.Objective {
+	case grid.ObjectiveCost:
+		return p.CostUSD
+	case grid.ObjectiveEnergy:
+		return p.EnergyJ
+	default:
+		return p.CarbonG
+	}
+}
+
+// eval is one evaluated placement candidate for one job.
+type eval struct {
+	placement []int
+	plan      *grid.Plan
+	mig       migSummary
+	cellOf    []int
+	cost      float64 // objective incl. migration; only valid when feasible
+	coverage  float64
+	feasible  bool
+}
+
+// better reports whether a strictly improves on b: feasibility first,
+// then objective cost, then (both infeasible) coverage.
+func (a *eval) better(b *eval) bool {
+	if b == nil || b.placement == nil {
+		return true
+	}
+	if a.feasible != b.feasible {
+		return a.feasible
+	}
+	if a.feasible {
+		return a.cost < b.cost-1e-9*(1+math.Abs(b.cost))
+	}
+	if math.Abs(a.coverage-b.coverage) > 1e-9*(1+b.coverage) {
+		return a.coverage > b.coverage
+	}
+	return a.cost < b.cost-1e-9*(1+math.Abs(b.cost))
+}
+
+// usage tracks the capacity and power other jobs consume per
+// (region, cell), so sequential planning respects shared limits.
+type usage struct {
+	gpus  [][]int     // [region][cell]
+	peakW [][]float64 // [region][cell] peak planned power
+}
+
+func newUsage(nRegions, nCells int) *usage {
+	u := &usage{gpus: make([][]int, nRegions), peakW: make([][]float64, nRegions)}
+	for r := range u.gpus {
+		u.gpus[r] = make([]int, nCells)
+		u.peakW[r] = make([]float64, nCells)
+	}
+	return u
+}
+
+// apply commits (sign +1) or releases (sign -1) a job's evaluated
+// placement.
+func (u *usage) apply(j *Job, ev *eval, sign int) {
+	if ev == nil || ev.placement == nil {
+		return
+	}
+	for k, r := range ev.placement {
+		if r >= 0 {
+			u.gpus[r][k] += sign * j.gpus()
+		}
+	}
+	if ev.plan == nil {
+		return
+	}
+	// Peak slice power per cell, via the composite-interval → cell map.
+	for i, ip := range ev.plan.Intervals {
+		k := ev.cellOf[i]
+		r := ev.placement[k]
+		if r < 0 {
+			continue
+		}
+		var peak float64
+		for _, sl := range ip.Slices {
+			if p := j.scale() * j.Table.AvgPower(sl.Point); p > peak {
+				peak = p
+			}
+		}
+		u.peakW[r][k] += float64(sign) * peak
+	}
+}
+
+// planner bundles the immutable planning context.
+type planner struct {
+	regions []Region
+	cells   []Cell
+	horizon float64
+	opts    Options
+	usage   *usage
+}
+
+// allowed reports whether the job fits region r's GPU capacity in cell
+// k given the other jobs' committed placements.
+func (p *planner) allowed(j *Job, r, k int) bool {
+	if p.regions[r].GPUs > 0 && p.usage.gpus[r][k]+j.gpus() > p.regions[r].GPUs {
+		return false
+	}
+	return true
+}
+
+// capOverride returns the cap left for one more job in (r, k): the
+// region's effective cap minus the power other jobs' plans already
+// draw there (0 = uncapped).
+func (p *planner) capOverride(r, k int) float64 {
+	_, _, capW := p.regions[r].rates(p.cells[k])
+	if capW <= 0 {
+		return 0
+	}
+	rem := capW - p.usage.peakW[r][k]
+	if rem < forceIdleCapW {
+		rem = forceIdleCapW
+	}
+	return rem
+}
+
+// evaluate compiles a placement into a composite signal and solves the
+// inner temporal subproblem exactly with grid.Optimize.
+func (p *planner) evaluate(j *Job, placement []int) (*eval, error) {
+	sig, mig, cellOf := compile(p.regions, p.cells, placement, p.opts.Migration, p.capOverride)
+	plan, err := grid.Optimize(j.Table, sig, grid.Options{
+		Target:     j.Target,
+		DeadlineS:  j.DeadlineS,
+		Objective:  p.opts.Objective,
+		PowerScale: j.scale(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ev := &eval{
+		placement: placement,
+		plan:      plan,
+		mig:       mig,
+		cellOf:    cellOf,
+		coverage:  plan.Iterations,
+		feasible:  plan.Feasible,
+		cost:      objectiveTotal(plan) + mig.objective(plan.Objective),
+	}
+	return ev, nil
+}
+
+// kEnd returns the first cell index at or beyond the job's deadline;
+// cells from there on are forced to Paused (they cannot contribute).
+func (p *planner) kEnd(j *Job) int {
+	d := j.DeadlineS
+	if d <= 0 {
+		d = p.horizon
+	}
+	for k, c := range p.cells {
+		if c.StartS >= d {
+			return k
+		}
+	}
+	return len(p.cells)
+}
+
+// starts builds the candidate starting placements: each single region
+// (capacity permitting, Paused where blocked) and the per-cell
+// rate-envelope placement (the allowed region with the lowest
+// objective rate — optimal when migration is free).
+func (p *planner) starts(j *Job) [][]int {
+	kEnd := p.kEnd(j)
+	K := len(p.cells)
+	var out [][]int
+	for r := range p.regions {
+		pl := make([]int, K)
+		for k := range pl {
+			pl[k] = Paused
+			if k < kEnd && p.allowed(j, r, k) {
+				pl[k] = r
+			}
+		}
+		out = append(out, pl)
+	}
+	env := make([]int, K)
+	for k := range env {
+		env[k] = Paused
+		if k >= kEnd {
+			continue
+		}
+		best, bestRate := Paused, math.Inf(1)
+		for r := range p.regions {
+			if !p.allowed(j, r, k) {
+				continue
+			}
+			carbon, price, _ := p.regions[r].rates(p.cells[k])
+			rate := carbon
+			if p.opts.Objective == grid.ObjectiveCost {
+				rate = price
+			}
+			if rate < bestRate {
+				best, bestRate = r, rate
+			}
+		}
+		env[k] = best
+	}
+	out = append(out, env)
+	return out
+}
+
+// planJob finds one job's placement by steepest descent over
+// contiguous segment moves, starting from the best candidate start:
+// every move re-assigns one cell range [i, j] to one region (or to
+// Paused) and is evaluated exactly via the inner temporal planner, so
+// the descent only accepts moves whose full spatio-temporal cost —
+// migration pause-costs included — strictly improves.
+func (p *planner) planJob(j *Job) (*eval, error) {
+	var cur *eval
+	for _, pl := range p.starts(j) {
+		ev, err := p.evaluate(j, pl)
+		if err != nil {
+			return nil, err
+		}
+		if ev.better(cur) {
+			cur = ev
+		}
+	}
+	kEnd := p.kEnd(j)
+	// Each accepted move strictly improves, so this bound only cuts off
+	// pathological slow convergence; observed descents take well under
+	// a tenth of it.
+	const maxMoves = 64
+	for move := 0; move < maxMoves; move++ {
+		var best *eval
+		for i := 0; i < kEnd; i++ {
+			for k := i; k < kEnd; k++ {
+				for t := Paused; t < len(p.regions); t++ {
+					ok, changed := true, false
+					for c := i; c <= k; c++ {
+						if t >= 0 && !p.allowed(j, t, c) {
+							ok = false
+							break
+						}
+						if cur.placement[c] != t {
+							changed = true
+						}
+					}
+					if !ok || !changed {
+						continue
+					}
+					cand := append([]int(nil), cur.placement...)
+					for c := i; c <= k; c++ {
+						cand[c] = t
+					}
+					ev, err := p.evaluate(j, cand)
+					if err != nil {
+						return nil, err
+					}
+					if ev.better(cur) && ev.better(best) {
+						best = ev
+					}
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		cur = best
+	}
+	return cur, nil
+}
+
+// Optimize plans the joint spatio-temporal schedule: for every job a
+// per-cell (region | pause) placement with migration pause-costs, and
+// within it the exact optimal temporal frequency plan, minimizing the
+// total objective subject to each job's target and deadline, each
+// region's GPU capacity, and each region's facility and interval power
+// caps (shared across the jobs placed there).
+//
+// Jobs are planned sequentially in input order against the committed
+// usage of earlier jobs, then refined with opts.Rounds Gauss-Seidel
+// rounds (each job re-planned against all others). Per job the search
+// is steepest descent over contiguous segment moves from the best of
+// the single-region and rate-envelope starts; every candidate is
+// evaluated exactly by grid.Optimize on the placement's composite
+// signal, so temporal shifting, pausing, and migration trade off in
+// one objective. brute_test.go cross-checks the result against
+// exhaustive placement enumeration on small instances.
+func Optimize(regions []Region, jobs []Job, opts Options) (*Plan, error) {
+	return plan(regions, jobs, opts, nil, true)
+}
+
+// Fixed plans the single-datacenter baseline: every job runs in the
+// named region for the whole horizon (pausing only via its temporal
+// plan), with the same capacity and cap accounting as Optimize, so the
+// two are directly comparable at equal iterations completed.
+func Fixed(regions []Region, jobs []Job, name string, opts Options) (*Plan, error) {
+	idx := -1
+	for i := range regions {
+		if regions[i].Name == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("region: unknown region %q", name)
+	}
+	return plan(regions, jobs, opts, func(p *planner, j *Job) ([][]int, error) {
+		return [][]int{p.starts(j)[idx]}, nil
+	}, false)
+}
+
+// BestFixed plans Fixed for every region and returns the best plan
+// (feasible first, then lowest objective) — the strongest baseline
+// that never moves a job after choosing one datacenter for the fleet.
+func BestFixed(regions []Region, jobs []Job, opts Options) (*Plan, error) {
+	var best *Plan
+	for i := range regions {
+		p, err := Fixed(regions, jobs, regions[i].Name, opts)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || (p.Feasible && !best.Feasible) ||
+			(p.Feasible == best.Feasible && p.Total() < best.Total()) {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// NoMigration plans the placement-without-moves baseline: each job
+// independently picks its single best region (sequentially, capacity
+// respected) and stays there — spatial choice without the temporal
+// freedom to chase another region's clean hours.
+func NoMigration(regions []Region, jobs []Job, opts Options) (*Plan, error) {
+	return plan(regions, jobs, opts, func(p *planner, j *Job) ([][]int, error) {
+		return p.starts(j)[:len(p.regions)], nil
+	}, false)
+}
+
+// plan is the shared orchestration: sequential planning with committed
+// usage, optional candidate restriction (baselines), and optional
+// descent + improvement rounds (the full planner).
+func plan(regions []Region, jobs []Job, opts Options, candidates func(*planner, *Job) ([][]int, error), descend bool) (*Plan, error) {
+	if err := validate(regions, jobs, opts); err != nil {
+		return nil, err
+	}
+	obj, err := grid.ParseObjective(string(opts.Objective))
+	if err != nil {
+		return nil, err
+	}
+	opts.Objective = obj
+
+	horizon := 0.0
+	maxSig := 0.0
+	for i := range regions {
+		if h := regions[i].Signal.Horizon(); h > maxSig {
+			maxSig = h
+		}
+	}
+	for i := range jobs {
+		d := jobs[i].DeadlineS
+		if d <= 0 {
+			d = maxSig
+		}
+		if d > horizon {
+			horizon = d
+		}
+	}
+	cells := commonGrid(regions, horizon)
+	p := &planner{regions: regions, cells: cells, horizon: horizon, opts: opts}
+
+	solve := func(i int) (*eval, error) {
+		j := &jobs[i]
+		if descend {
+			return p.planJob(j)
+		}
+		cands, err := candidates(p, j)
+		if err != nil {
+			return nil, err
+		}
+		var best *eval
+		for _, pl := range cands {
+			ev, err := p.evaluate(j, pl)
+			if err != nil {
+				return nil, err
+			}
+			if ev.better(best) {
+				best = ev
+			}
+		}
+		return best, nil
+	}
+
+	// run plans the jobs sequentially in the given order (with fresh
+	// usage), then refines with Gauss-Seidel rounds.
+	run := func(order []int) ([]*eval, error) {
+		p.usage = newUsage(len(regions), len(cells))
+		evals := make([]*eval, len(jobs))
+		for _, i := range order {
+			ev, err := solve(i)
+			if err != nil {
+				return nil, err
+			}
+			evals[i] = ev
+			p.usage.apply(&jobs[i], ev, +1)
+		}
+		if !descend {
+			return evals, nil
+		}
+		gaussSeidel := func() (bool, error) {
+			improved := false
+			for _, i := range order {
+				p.usage.apply(&jobs[i], evals[i], -1)
+				// Re-evaluate the incumbent against the others' current
+				// placements: its stored cost may be stale.
+				cur, err := p.evaluate(&jobs[i], evals[i].placement)
+				if err != nil {
+					return false, err
+				}
+				ev, err := solve(i)
+				if err != nil {
+					return false, err
+				}
+				if ev.better(cur) {
+					cur = ev
+					improved = true
+				}
+				evals[i] = cur
+				p.usage.apply(&jobs[i], evals[i], +1)
+			}
+			return improved, nil
+		}
+		for round := 0; round < opts.rounds(); round++ {
+			gs, err := gaussSeidel()
+			if err != nil {
+				return nil, err
+			}
+			sw, err := p.swapRefine(jobs, evals)
+			if err != nil {
+				return nil, err
+			}
+			if !gs && !sw {
+				break
+			}
+		}
+		return evals, nil
+	}
+
+	// Sequential planning is order-dependent under capacity contention:
+	// the full planner tries every job order on small fleets (rotations
+	// on larger ones) and keeps the best joint outcome; baselines keep
+	// input order, matching their "first come, first placed" story.
+	var best []*eval
+	for _, order := range orders(len(jobs), descend) {
+		evals, err := run(order)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || jointBetter(evals, best) {
+			best = evals
+		}
+	}
+	return assemble(p, jobs, best), nil
+}
+
+// placementFits reports whether a placement fits every cell's GPU
+// capacity against the usage currently committed.
+func (p *planner) placementFits(j *Job, placement []int) bool {
+	for k, r := range placement {
+		if r >= 0 && !p.allowed(j, r, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// swapRefine runs pairwise segment-swap descent: for every job pair
+// and every contiguous cell range, exchange the two jobs' placements
+// over the range and keep the swap when the joint outcome improves.
+// This is the move capacity contention demands — two jobs wanting the
+// same region's clean hours must trade them, which no single-job
+// re-plan can express — and it returns whether anything improved.
+func (p *planner) swapRefine(jobs []Job, evals []*eval) (bool, error) {
+	if len(jobs) < 2 {
+		return false, nil
+	}
+	K := len(p.cells)
+	improved := false
+	for a := 0; a < len(jobs); a++ {
+		for b := a + 1; b < len(jobs); b++ {
+			for i := 0; i < K; i++ {
+				for k := i; k < K; k++ {
+					pa := append([]int(nil), evals[a].placement...)
+					pb := append([]int(nil), evals[b].placement...)
+					changed := false
+					for c := i; c <= k; c++ {
+						if pa[c] != pb[c] {
+							changed = true
+						}
+						pa[c], pb[c] = pb[c], pa[c]
+					}
+					if !changed {
+						continue
+					}
+					p.usage.apply(&jobs[a], evals[a], -1)
+					p.usage.apply(&jobs[b], evals[b], -1)
+					var evA, evB *eval
+					var err error
+					if p.placementFits(&jobs[b], pb) {
+						evB, err = p.evaluate(&jobs[b], pb)
+						if err == nil {
+							p.usage.apply(&jobs[b], evB, +1)
+							if p.placementFits(&jobs[a], pa) {
+								evA, err = p.evaluate(&jobs[a], pa)
+							}
+							p.usage.apply(&jobs[b], evB, -1)
+						}
+					}
+					p.usage.apply(&jobs[a], evals[a], +1)
+					p.usage.apply(&jobs[b], evals[b], +1)
+					if err != nil {
+						return false, err
+					}
+					if evA == nil || evB == nil {
+						continue
+					}
+					if jointBetter([]*eval{evA, evB}, []*eval{evals[a], evals[b]}) {
+						p.usage.apply(&jobs[a], evals[a], -1)
+						p.usage.apply(&jobs[b], evals[b], -1)
+						evals[a], evals[b] = evA, evB
+						p.usage.apply(&jobs[a], evals[a], +1)
+						p.usage.apply(&jobs[b], evals[b], +1)
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	return improved, nil
+}
+
+// orders lists the job orders to try: input order for baselines, all
+// permutations up to 3 jobs (rotations beyond, so the order count
+// stays linear in fleet size) for the planner.
+func orders(n int, descend bool) [][]int {
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	if !descend || n == 1 {
+		return [][]int{id}
+	}
+	if n <= 3 {
+		var out [][]int
+		var permute func(rest, acc []int)
+		permute = func(rest, acc []int) {
+			if len(rest) == 0 {
+				out = append(out, append([]int(nil), acc...))
+				return
+			}
+			for i := range rest {
+				next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+				permute(next, append(acc, rest[i]))
+			}
+		}
+		permute(id, nil)
+		return out
+	}
+	out := make([][]int, n)
+	for s := 0; s < n; s++ {
+		rot := make([]int, n)
+		for i := range rot {
+			rot[i] = id[(i+s)%n]
+		}
+		out[s] = rot
+	}
+	return out
+}
+
+// jointBetter compares two joint outcomes: fewer infeasible jobs wins,
+// then the lower total objective (migration included).
+func jointBetter(a, b []*eval) bool {
+	infeas := func(evs []*eval) (n int, cost float64) {
+		for _, ev := range evs {
+			if !ev.feasible {
+				n++
+			}
+			cost += ev.cost
+		}
+		return n, cost
+	}
+	an, ac := infeas(a)
+	bn, bc := infeas(b)
+	if an != bn {
+		return an < bn
+	}
+	return ac < bc-1e-9*(1+math.Abs(bc))
+}
+
+// assemble turns the per-job evaluations into the public Plan.
+func assemble(p *planner, jobs []Job, evals []*eval) *Plan {
+	out := &Plan{
+		Objective: p.opts.Objective,
+		HorizonS:  p.horizon,
+		Cells:     p.cells,
+		Feasible:  true,
+	}
+	for i := range p.regions {
+		out.Regions = append(out.Regions, p.regions[i].Name)
+	}
+	for i := range jobs {
+		ev := evals[i]
+		arrivals := map[int]bool{}
+		for _, m := range migrations(ev.placement) {
+			arrivals[m] = true
+		}
+		jp := JobPlan{
+			JobID:              jobs[i].ID,
+			Temporal:           ev.plan,
+			Migrations:         ev.mig.count,
+			MigrationDowntimeS: ev.mig.downtimeS,
+			MigrationEnergyJ:   ev.mig.energyJ,
+			MigrationCarbonG:   ev.mig.carbonG,
+			MigrationCostUSD:   ev.mig.costUSD,
+			EnergyJ:            ev.plan.EnergyJ + ev.mig.energyJ,
+			CarbonG:            ev.plan.CarbonG + ev.mig.carbonG,
+			CostUSD:            ev.plan.CostUSD + ev.mig.costUSD,
+			Feasible:           ev.feasible,
+		}
+		for k, c := range p.cells {
+			jp.Assignments = append(jp.Assignments, Assignment{
+				Cell: k, StartS: c.StartS, EndS: c.EndS,
+				Region: ev.placement[k], Migrate: arrivals[k],
+			})
+		}
+		if !ev.feasible {
+			out.Feasible = false
+		}
+		out.EnergyJ += jp.EnergyJ
+		out.CarbonG += jp.CarbonG
+		out.CostUSD += jp.CostUSD
+		out.Jobs = append(out.Jobs, jp)
+	}
+	return out
+}

@@ -30,6 +30,7 @@ import (
 	"perseus/internal/gpu"
 	"perseus/internal/grid"
 	"perseus/internal/profile"
+	"perseus/internal/region"
 	"perseus/internal/sched"
 )
 
@@ -128,6 +129,28 @@ type job struct {
 	energyAccJ float64
 	carbonAccG float64
 	costAccUSD float64
+
+	// Placement: the datacenter region the job currently runs in ("" =
+	// unplaced; emissions then accrue against the global signal) and
+	// the placement history.
+	region     string
+	placements []placementEvent
+}
+
+// placementEvent is one entry of a job's placement history.
+type placementEvent struct {
+	region string
+	at     time.Time
+}
+
+// serverRegion is one registered datacenter region: its capacity, cap,
+// and grid signal, with the signal's time 0 anchored at registration.
+type serverRegion struct {
+	name   string
+	gpus   int
+	capW   float64
+	sig    *grid.Signal
+	anchor time.Time
 }
 
 // Server is the Perseus server. Create with New and expose via Handler.
@@ -150,13 +173,23 @@ type Server struct {
 	sigStart  time.Time
 	objective grid.Objective
 
+	// regions are the registered datacenter regions, by name and in
+	// registration order.
+	regions map[string]*serverRegion
+	regOrd  []string
+
 	// clock supplies wall-clock time (replaceable in tests).
 	clock func() time.Time
 }
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{jobs: map[string]*job{}, objective: grid.ObjectiveCarbon, clock: time.Now}
+	return &Server{
+		jobs:      map[string]*job{},
+		regions:   map[string]*serverRegion{},
+		objective: grid.ObjectiveCarbon,
+		clock:     time.Now,
+	}
 }
 
 // Handler returns the HTTP API:
@@ -174,6 +207,11 @@ func New() *Server {
 //	POST /grid/signal              install a grid signal (carbon/price/cap trace)
 //	GET  /grid/signal              fetch the installed grid signal
 //	GET  /grid/plan/{id}           plan a job's temporal schedule over the signal
+//	POST /regions                  register a datacenter region (capacity + signal)
+//	GET  /regions                  list the registered regions
+//	GET  /regions/plan             plan all jobs' spatio-temporal schedules across regions
+//	POST /jobs/{id}/placement      place (or migrate) a job into a region
+//	GET  /jobs/{id}/placement      fetch a job's placement and history
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
@@ -182,6 +220,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/fleet/status", s.handleFleetStatus)
 	mux.HandleFunc("/grid/signal", s.handleGridSignal)
 	mux.HandleFunc("/grid/plan/", s.handleGridPlan)
+	mux.HandleFunc("/regions", s.handleRegions)
+	mux.HandleFunc("/regions/plan", s.handleRegionsPlan)
 	return mux
 }
 
@@ -305,6 +345,30 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, resp)
+	case "placement":
+		switch r.Method {
+		case http.MethodPost:
+			var req PlacementRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resp, err := s.PlaceJob(j.id, req.Region)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, resp)
+		case http.MethodGet:
+			resp, err := s.PlacementOf(j.id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, resp)
+		default:
+			http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+		}
 	default:
 		http.NotFound(w, r)
 	}
@@ -680,20 +744,27 @@ func (s *Server) recomputeFleet() FleetStatusResponse {
 	return st
 }
 
-// gridState is a consistent snapshot of the grid signal and clock,
-// taken (under s.mu) before a job's j.mu so accrual never nests the
-// two locks.
+// gridState is a consistent snapshot of the grid signal, the region
+// signals, and the clock, taken (under s.mu) before a job's j.mu so
+// accrual never nests the two locks.
 type gridState struct {
-	sig   *grid.Signal
-	start time.Time
-	now   time.Time
+	sig     *grid.Signal
+	start   time.Time
+	now     time.Time
+	regions map[string]*serverRegion
 }
 
 func (s *Server) gridState() gridState {
 	now := s.clock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return gridState{sig: s.signal, start: s.sigStart, now: now}
+	// Copy the map: the snapshot outlives s.mu, and concurrent region
+	// registrations mutate s.regions (entries themselves are immutable).
+	regions := make(map[string]*serverRegion, len(s.regions))
+	for name, r := range s.regions {
+		regions[name] = r
+	}
+	return gridState{sig: s.signal, start: s.sigStart, now: now, regions: regions}
 }
 
 // deployedTimeLocked returns the anticipated iteration time the
@@ -728,23 +799,31 @@ func (j *job) deployedPowerLocked() float64 {
 }
 
 // accrueLocked integrates the deployed schedule's power draw since the
-// last accrual into the job's emissions accumulators, at the signal's
-// rates (energy only before a signal is installed). Callers hold j.mu
-// and must call it before any change to the deployed operating point,
-// so each span is charged at the power that actually drew it.
+// last accrual into the job's emissions accumulators: at the placed
+// region's rates when the job has a placement, at the global signal's
+// otherwise (energy only before either exists). Callers hold j.mu and
+// must call it before any change to the deployed operating point or
+// placement, so each span is charged at the rates that actually
+// applied.
 func (j *job) accrueLocked(st gridState) {
 	if j.accAt.IsZero() || !st.now.After(j.accAt) {
 		return
 	}
 	power := j.deployedPowerLocked()
+	sig, start := st.sig, st.start
+	if j.region != "" {
+		if r, ok := st.regions[j.region]; ok {
+			sig, start = r.sig, r.anchor
+		}
+	}
 	var t0, t1 float64
-	if st.sig != nil {
-		t0 = j.accAt.Sub(st.start).Seconds()
-		t1 = st.now.Sub(st.start).Seconds()
+	if sig != nil {
+		t0 = j.accAt.Sub(start).Seconds()
+		t1 = st.now.Sub(start).Seconds()
 	} else {
 		t1 = st.now.Sub(j.accAt).Seconds()
 	}
-	e, c, usd := grid.Accrue(st.sig, t0, t1, power)
+	e, c, usd := grid.Accrue(sig, t0, t1, power)
 	j.energyAccJ += e
 	j.carbonAccG += c
 	j.costAccUSD += usd
@@ -954,6 +1033,271 @@ func (s *Server) Emissions(id string) (EmissionsResponse, error) {
 	}
 	return resp, nil
 }
+
+// RegionRequest registers a datacenter region: its GPU capacity,
+// facility power cap, and grid signal.
+type RegionRequest struct {
+	Name   string      `json:"name"`
+	GPUs   int         `json:"gpus,omitempty"`
+	CapW   float64     `json:"cap_w,omitempty"`
+	Signal grid.Signal `json:"signal"`
+}
+
+// RegionInfo summarizes one registered region.
+type RegionInfo struct {
+	Name      string  `json:"name"`
+	GPUs      int     `json:"gpus"`
+	CapW      float64 `json:"cap_w"`
+	Intervals int     `json:"intervals"`
+	HorizonS  float64 `json:"horizon_s"`
+}
+
+// PlacementRequest places a job into a region.
+type PlacementRequest struct {
+	Region string `json:"region"`
+}
+
+// PlacementEntry is one step of a job's placement history.
+type PlacementEntry struct {
+	Region  string  `json:"region"`
+	AtUnixS float64 `json:"at_unix_s"`
+}
+
+// PlacementResponse reports a job's current placement.
+type PlacementResponse struct {
+	JobID string `json:"job_id"`
+
+	// Region is the current placement ("" = unplaced).
+	Region string `json:"region"`
+
+	// Migrations counts region changes after the initial placement.
+	Migrations int `json:"migrations"`
+
+	// History lists every placement in time order.
+	History []PlacementEntry `json:"history,omitempty"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req RegionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		info, err := s.RegisterRegion(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, info)
+	case http.MethodGet:
+		writeJSON(w, s.Regions())
+	default:
+		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+	}
+}
+
+// RegisterRegion validates and registers a datacenter region, anchoring
+// its signal's time 0 at the current wall clock.
+func (s *Server) RegisterRegion(req RegionRequest) (RegionInfo, error) {
+	if req.Name == "" {
+		return RegionInfo{}, fmt.Errorf("server: region needs a name")
+	}
+	if req.GPUs < 0 {
+		return RegionInfo{}, fmt.Errorf("server: region %s capacity must be non-negative, got %d", req.Name, req.GPUs)
+	}
+	if math.IsNaN(req.CapW) || math.IsInf(req.CapW, 0) || req.CapW < 0 {
+		return RegionInfo{}, fmt.Errorf("server: region %s cap must be a finite non-negative number of watts, got %v", req.Name, req.CapW)
+	}
+	if err := req.Signal.Validate(); err != nil {
+		return RegionInfo{}, err
+	}
+	now := s.clock()
+	sig := req.Signal
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.regions[req.Name]; ok {
+		return RegionInfo{}, fmt.Errorf("server: region %s already registered", req.Name)
+	}
+	s.regions[req.Name] = &serverRegion{
+		name: req.Name, gpus: req.GPUs, capW: req.CapW, sig: &sig, anchor: now,
+	}
+	s.regOrd = append(s.regOrd, req.Name)
+	return RegionInfo{
+		Name: req.Name, GPUs: req.GPUs, CapW: req.CapW,
+		Intervals: len(sig.Intervals), HorizonS: sig.Horizon(),
+	}, nil
+}
+
+// Regions lists the registered regions in registration order.
+func (s *Server) Regions() []RegionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RegionInfo, 0, len(s.regOrd))
+	for _, name := range s.regOrd {
+		r := s.regions[name]
+		out = append(out, RegionInfo{
+			Name: r.name, GPUs: r.gpus, CapW: r.capW,
+			Intervals: len(r.sig.Intervals), HorizonS: r.sig.Horizon(),
+		})
+	}
+	return out
+}
+
+// PlaceJob places (or migrates) a job into a registered region.
+// Emissions accrued so far are settled at the old placement's rates
+// first, so the migration boundary splits the account exactly.
+func (s *Server) PlaceJob(id, regionName string) (PlacementResponse, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	s.mu.Lock()
+	_, ok = s.regions[regionName]
+	s.mu.Unlock()
+	if !ok {
+		return PlacementResponse{}, fmt.Errorf("server: unknown region %q", regionName)
+	}
+	st := s.gridState()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.region != regionName {
+		j.accrueLocked(st)
+		j.region = regionName
+		j.placements = append(j.placements, placementEvent{region: regionName, at: st.now})
+	}
+	return placementLocked(j), nil
+}
+
+// PlacementOf returns a job's current placement and history.
+func (s *Server) PlacementOf(id string) (PlacementResponse, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return placementLocked(j), nil
+}
+
+// placementLocked renders the placement view. Callers hold j.mu.
+func placementLocked(j *job) PlacementResponse {
+	resp := PlacementResponse{JobID: j.id, Region: j.region}
+	for _, p := range j.placements {
+		resp.History = append(resp.History, PlacementEntry{
+			Region:  p.region,
+			AtUnixS: float64(p.at.UnixNano()) / 1e9,
+		})
+	}
+	if n := len(j.placements); n > 1 {
+		resp.Migrations = n - 1
+	}
+	return resp
+}
+
+func (s *Server) handleRegionsPlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	parse := func(key string) (float64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	var target, deadline, downtime, migEnergy float64
+	var err error
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{
+		{"iterations", &target}, {"deadline", &deadline},
+		{"downtime", &downtime}, {"migration_j", &migEnergy},
+	} {
+		if *f.dst, err = parse(f.key); err != nil {
+			http.Error(w, fmt.Sprintf("bad %s: %v", f.key, err), http.StatusBadRequest)
+			return
+		}
+	}
+	plan, err := s.RegionsPlan(target, deadline, q.Get("objective"), region.MigrationCost{
+		DowntimeS: downtime, EnergyJ: migEnergy,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, plan)
+}
+
+// RegionsPlan plans every characterized job's spatio-temporal schedule
+// across the registered regions (internal/region): complete target
+// iterations per job by the deadline (seconds in signal time; 0 means
+// the longest region trace), minimizing the objective ("" uses the
+// server default), with migration modeled at the given pause-cost.
+// Each job occupies Stages × DataParallel GPUs of a region's capacity.
+func (s *Server) RegionsPlan(target, deadline float64, objective string, mig region.MigrationCost) (*region.Plan, error) {
+	s.mu.Lock()
+	obj := s.objective
+	regs := make([]region.Region, 0, len(s.regOrd))
+	for _, name := range s.regOrd {
+		r := s.regions[name]
+		regs = append(regs, region.Region{
+			Name: r.name, GPUs: r.gpus, Signal: r.sig, CapW: r.capW,
+		})
+	}
+	jobs := make([]*job, 0, len(s.ord))
+	for _, id := range s.ord {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("server: no regions registered")
+	}
+	if objective != "" {
+		var err error
+		if obj, err = grid.ParseObjective(objective); err != nil {
+			return nil, err
+		}
+	}
+	var rjobs []region.Job
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.table != nil {
+			pipes := j.req.DataParallel
+			if pipes <= 0 {
+				pipes = 1
+			}
+			rjobs = append(rjobs, region.Job{
+				ID:         j.id,
+				Table:      j.table,
+				GPUs:       j.req.Stages * pipes,
+				PowerScale: float64(pipes),
+				Target:     target,
+				DeadlineS:  deadline,
+			})
+		}
+		j.mu.Unlock()
+	}
+	if len(rjobs) == 0 {
+		return nil, fmt.Errorf("server: no characterized jobs to plan")
+	}
+	// The joint planner's descent cost grows with jobs × cells²; this
+	// endpoint runs it synchronously in the request, so bound the
+	// problem size rather than pin a CPU for minutes. Larger fleets
+	// should plan offline with internal/region directly.
+	if len(rjobs) > maxPlanJobs {
+		return nil, fmt.Errorf("server: %d characterized jobs exceed the synchronous planning limit of %d; plan offline with internal/region", len(rjobs), maxPlanJobs)
+	}
+	return region.Optimize(regs, rjobs, region.Options{Objective: obj, Migration: mig})
+}
+
+// maxPlanJobs bounds the fleet size GET /regions/plan will plan
+// synchronously.
+const maxPlanJobs = 6
 
 func parseKind(s string) (sched.Kind, error) {
 	switch strings.ToLower(s) {
