@@ -15,7 +15,9 @@ import (
 	"perseus/internal/fleet"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
+	"perseus/internal/grid"
 	"perseus/internal/maxflow"
+	"perseus/internal/region"
 )
 
 // benchScale keeps each experiment iteration around a second.
@@ -335,6 +337,59 @@ func BenchmarkFrontierMerge(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, steps := frontier.Merge(inputs); len(steps) == 0 {
 					b.Fatal("degenerate merge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGridOptimize measures the temporal planner — the inner
+// solver every region placement evaluation and every forecast re-plan
+// runs, so its cost multiplies through both outer layers.
+func BenchmarkGridOptimize(b *testing.B) {
+	lt := benchFleet(1)[0].Table
+	for _, n := range []int{24, 96, 288} {
+		b.Run(fmt.Sprintf("intervals-%d", n), func(b *testing.B) {
+			sig := grid.Generate(grid.GenOptions{Intervals: n, IntervalS: 86400 / float64(n), Jitter: 0.1, Seed: 3})
+			target := 0.55 * sig.Horizon() / lt.TStar()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := grid.Optimize(lt, sig, grid.Options{Target: target})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !plan.Feasible {
+					b.Fatal("benchmark target unexpectedly infeasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegionPlan measures the joint spatio-temporal planner on
+// the bundled phase-shifted pair — the synchronous cost behind GET
+// /regions/plan and each multi-region re-plan.
+func BenchmarkRegionPlan(b *testing.B) {
+	for _, nJobs := range []int{1, 2} {
+		b.Run(fmt.Sprintf("jobs-%d", nJobs), func(b *testing.B) {
+			regions := region.PhaseShiftedPair(8 * nJobs)
+			fl := benchFleet(nJobs)
+			jobs := make([]region.Job, nJobs)
+			for i, fj := range fl {
+				jobs[i] = region.Job{
+					ID: fj.ID, Table: fj.Table, GPUs: 8,
+					Target: 0.4 * regions[0].Signal.Horizon() / fj.Table.TStar(),
+				}
+			}
+			opts := region.Options{Migration: region.MigrationCost{DowntimeS: 600, EnergyJ: 5e6}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := region.Optimize(regions, jobs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !plan.Feasible {
+					b.Fatal("benchmark plan unexpectedly infeasible")
 				}
 			}
 		})

@@ -1,0 +1,108 @@
+// Command perseus-forecast measures what forecast uncertainty costs —
+// and what rolling-horizon re-planning buys back. It characterizes a
+// training job's time-energy frontier, replays the bundled 24-hour
+// diurnal trace through a seeded noisy-revision forecast stream, and
+// compares the perfect-foresight oracle, plan-once-on-the-first-
+// forecast, MPC re-planning (point and robust-quantile), and a
+// seasonal-naive model forecasting from revealed history alone. With
+// -regions it adds the multi-region analogue over the phase-shifted
+// pair, where every re-plan pays to migrate away from the job's
+// current region.
+//
+// Usage:
+//
+//	perseus-forecast                       # bundled trace, quick scale
+//	perseus-forecast -seed 5 -sigma 0.2    # harsher revision stream
+//	perseus-forecast -util 0.7             # tighter deadline slack
+//	perseus-forecast -regions              # add the multi-region comparison
+//	perseus-forecast -drift                # show predicted-vs-realized drift
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"perseus/internal/experiments"
+	"perseus/internal/forecast"
+	"perseus/internal/gpu"
+	"perseus/internal/grid"
+	"perseus/internal/region"
+)
+
+func main() {
+	gpuName := flag.String("gpu", "A100-PCIe", "GPU preset")
+	scale := flag.String("scale", "quick", "quick | full (paper parameters; slow)")
+	util := flag.Float64("util", 0.55, "target as a fraction of the deadline's T* capacity (deadline slack knob)")
+	seed := flag.Int64("seed", 1, "noisy-revision stream seed")
+	sigma := flag.Float64("sigma", 0.12, "per-step relative forecast innovation")
+	regions := flag.Bool("regions", false, "also run the multi-region comparison (coarsened phase-shifted pair)")
+	drift := flag.Bool("drift", false, "also show the MPC run's predicted-vs-realized drift table")
+	flag.Parse()
+
+	g, err := gpu.ByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	cfg := experiments.WorkloadConfig{
+		Display: "GPT-3 1.3B", Model: "gpt3-1.3b", Stages: 4,
+		MicrobatchSize: 4, Microbatches: 16,
+	}
+	fmt.Printf("characterizing %s on %s...\n", cfg.Display, g.Name)
+	sys, err := experiments.BuildSystem(cfg, g, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt := sys.Frontier.Table()
+
+	truth := grid.Diurnal24h()
+	scenario := experiments.ForecastScenario{
+		Truth:  truth,
+		Seed:   *seed,
+		Sigma:  *sigma,
+		Target: math.Floor(*util * truth.Horizon() / lt.TStar()),
+	}
+	fmt.Printf("trace %s: %d intervals over %.0f h; target %.0f iterations; revisions seed %d, sigma %.0f%%/step\n\n",
+		truth.Name, len(truth.Intervals), truth.Horizon()/3600, scenario.Target, *seed, 100**sigma)
+
+	strategies, err := experiments.ForecastComparison(lt, scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.ForecastComparisonTable(scenario, strategies).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *drift {
+		if err := experiments.ForecastDriftTable(strategies[2].Outcome).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *regions {
+		pair := region.PhaseShiftedPair(0)
+		for i := range pair {
+			pair[i].Signal = forecast.Coarsen(pair[i].Signal, 6)
+		}
+		target := math.Floor(0.5 * pair[0].Signal.Horizon() / lt.TStar())
+		mig := region.MigrationCost{DowntimeS: 600, EnergyJ: 5e6}
+		rs, err := experiments.RegionForecastComparison(lt, pair, target, mig, *seed, *sigma)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.RegionForecastComparisonTable(rs).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"time"
 
+	"perseus/internal/forecast"
 	"perseus/internal/gpu"
 	"perseus/internal/grid"
 	"perseus/internal/profile"
@@ -456,14 +457,19 @@ func (c *ServerClient) FetchRegionsPlan(iterations, deadline float64, objective 
 	return plan, err
 }
 
-// Emissions mirrors the server's per-job cumulative emissions account.
+// Emissions mirrors the server's per-job cumulative emissions account,
+// including the forecast-predicted accrual and its drift from the
+// realized one.
 type Emissions struct {
-	JobID   string  `json:"job_id"`
-	Ready   bool    `json:"ready"`
-	SinceS  float64 `json:"since_s"`
-	EnergyJ float64 `json:"energy_j"`
-	CarbonG float64 `json:"carbon_g"`
-	CostUSD float64 `json:"cost_usd"`
+	JobID        string  `json:"job_id"`
+	Ready        bool    `json:"ready"`
+	SinceS       float64 `json:"since_s"`
+	EnergyJ      float64 `json:"energy_j"`
+	CarbonG      float64 `json:"carbon_g"`
+	CostUSD      float64 `json:"cost_usd"`
+	PredCarbonG  float64 `json:"pred_carbon_g"`
+	PredCostUSD  float64 `json:"pred_cost_usd"`
+	DriftCarbonG float64 `json:"drift_carbon_g"`
 }
 
 // FetchEmissions returns a job's cumulative emissions accounting.
@@ -471,4 +477,99 @@ func (c *ServerClient) FetchEmissions(jobID string) (Emissions, error) {
 	var e Emissions
 	err := c.get("/jobs/"+jobID+"/emissions", &e)
 	return e, err
+}
+
+// ForecastAck mirrors the server's issued-forecast summary. The
+// embedded Forecast carries the point-forecast signal plus carbon and
+// price uncertainty bands.
+type ForecastAck struct {
+	Model     string             `json:"model"`
+	Level     float64            `json:"level"`
+	Quantile  float64            `json:"quantile"`
+	IssuedS   float64            `json:"issued_s"`
+	HorizonS  float64            `json:"horizon_s"`
+	Intervals int                `json:"intervals"`
+	Forecast  *forecast.Forecast `json:"forecast"`
+}
+
+// InstallForecast installs a forecast model (persistence, seasonal, or
+// smoothed) over the installed grid signal and returns the forecast
+// issued from the history revealed so far. level is the uncertainty-
+// band quantile (0 = 0.9); quantile is the default robust planning
+// quantile re-plans use (0 = plan on the point forecast); horizonS
+// extends coverage (0 = one signal cycle beyond now).
+func (c *ServerClient) InstallForecast(model string, level, quantile, horizonS float64) (ForecastAck, error) {
+	payload := struct {
+		Model    string  `json:"model"`
+		Level    float64 `json:"level,omitempty"`
+		Quantile float64 `json:"quantile,omitempty"`
+		HorizonS float64 `json:"horizon_s,omitempty"`
+	}{model, level, quantile, horizonS}
+	var ack ForecastAck
+	err := c.post("/grid/forecast", payload, &ack)
+	return ack, err
+}
+
+// FetchForecast returns the latest issued forecast.
+func (c *ServerClient) FetchForecast() (ForecastAck, error) {
+	var ack ForecastAck
+	err := c.get("/grid/forecast", &ack)
+	return ack, err
+}
+
+// ReplanInterval mirrors one frozen span of a rolling-horizon
+// schedule.
+type ReplanInterval struct {
+	StartS      float64      `json:"start_s"`
+	EndS        float64      `json:"end_s"`
+	Slices      []grid.Slice `json:"slices,omitempty"`
+	IdleS       float64      `json:"idle_s"`
+	Iterations  float64      `json:"iterations"`
+	EnergyJ     float64      `json:"energy_j"`
+	CarbonG     float64      `json:"carbon_g"`
+	CostUSD     float64      `json:"cost_usd"`
+	PredCarbonG float64      `json:"pred_carbon_g"`
+	PredCostUSD float64      `json:"pred_cost_usd"`
+}
+
+// Replan mirrors the server's rolling-horizon schedule state: the
+// frozen executed prefix plus the freshly re-planned remainder.
+type Replan struct {
+	JobID               string           `json:"job_id"`
+	Target              float64          `json:"target_iterations"`
+	DeadlineS           float64          `json:"deadline_s"`
+	Objective           string           `json:"objective"`
+	Quantile            float64          `json:"quantile"`
+	Plans               int              `json:"plans"`
+	DoneIterations      float64          `json:"done_iterations"`
+	RemainingIterations float64          `json:"remaining_iterations"`
+	Feasible            bool             `json:"feasible"`
+	Frozen              []ReplanInterval `json:"frozen,omitempty"`
+	EnergyJ             float64          `json:"energy_j"`
+	CarbonG             float64          `json:"carbon_g"`
+	CostUSD             float64          `json:"cost_usd"`
+	PredCarbonG         float64          `json:"pred_carbon_g"`
+	PredCostUSD         float64          `json:"pred_cost_usd"`
+	Remaining           *grid.Plan       `json:"remaining,omitempty"`
+	RemainingOffsetS    float64          `json:"remaining_offset_s"`
+}
+
+// FetchReplan rolls the job's forecast-driven schedule forward on the
+// server: freeze what has executed since the last call, re-plan the
+// remainder against a freshly issued forecast. deadline 0 means the
+// forecast horizon; quantile 0 uses the installed default, values
+// above 0.5 plan against the pessimistic band.
+func (c *ServerClient) FetchReplan(jobID string, iterations, deadline float64, objective string, quantile float64) (Replan, error) {
+	q := url.Values{}
+	q.Set("iterations", strconv.FormatFloat(iterations, 'g', -1, 64))
+	q.Set("deadline", strconv.FormatFloat(deadline, 'g', -1, 64))
+	if objective != "" {
+		q.Set("objective", objective)
+	}
+	if quantile != 0 {
+		q.Set("quantile", strconv.FormatFloat(quantile, 'g', -1, 64))
+	}
+	var resp Replan
+	err := c.get("/grid/replan/"+jobID+"?"+q.Encode(), &resp)
+	return resp, err
 }

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"perseus/internal/forecast"
+	"perseus/internal/grid"
+	"perseus/internal/region"
+)
+
+func forecastTestScenario() ForecastScenario {
+	truth := grid.Diurnal24h()
+	lt := regionTestTable()
+	return ForecastScenario{
+		Truth:  truth,
+		Seed:   1,
+		Sigma:  0.12,
+		Target: math.Floor(0.55 * truth.Horizon() / lt.TStar()),
+	}
+}
+
+// TestForecastComparison is the acceptance check for the bundled
+// noisy-revision scenarios: MPC re-planning achieves strictly lower
+// realized carbon than plan-once-on-the-first-forecast at equal
+// iterations completed, its regret vs the perfect-foresight oracle is
+// reported, and seeded runs are deterministic.
+func TestForecastComparison(t *testing.T) {
+	lt := regionTestTable()
+	sc := forecastTestScenario()
+	for seed := int64(1); seed <= 3; seed++ {
+		sc.Seed = seed
+		strategies, err := ForecastComparison(lt, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strategies) != 5 {
+			t.Fatalf("got %d strategies", len(strategies))
+		}
+		oracle, once, mpc := strategies[0].Outcome, strategies[1].Outcome, strategies[2].Outcome
+		for _, st := range strategies {
+			if !st.Outcome.Feasible {
+				t.Fatalf("seed %d: %s infeasible", seed, st.Name)
+			}
+			if math.Abs(st.Outcome.Iterations-sc.Target) > 1e-6*(1+sc.Target) {
+				t.Fatalf("seed %d: %s completes %v iterations, want %v", seed, st.Name, st.Outcome.Iterations, sc.Target)
+			}
+		}
+		if !(mpc.CarbonG < once.CarbonG) {
+			t.Fatalf("seed %d: MPC carbon %v not strictly below plan-once %v", seed, mpc.CarbonG, once.CarbonG)
+		}
+		if mpc.CarbonG < oracle.CarbonG-1e-6*(1+oracle.CarbonG) {
+			t.Fatalf("seed %d: MPC beats the oracle — oracle broken", seed)
+		}
+
+		// Determinism: the same scenario replays identically.
+		again, err := ForecastComparison(lt, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range strategies {
+			if strategies[i].Outcome.CarbonG != again[i].Outcome.CarbonG {
+				t.Fatalf("seed %d: %s not deterministic", seed, strategies[i].Name)
+			}
+		}
+	}
+}
+
+func TestForecastComparisonTableRenders(t *testing.T) {
+	lt := regionTestTable()
+	sc := forecastTestScenario()
+	strategies, err := ForecastComparison(lt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ForecastComparisonTable(sc, strategies).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"oracle", "plan-once", "MPC re-planning", "Regret vs oracle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The oracle row's regret column is "-"; the MPC row carries a
+	// signed percentage.
+	if !strings.Contains(out, "+") {
+		t.Fatalf("no signed regret rendered:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := ForecastDriftTable(strategies[2].Outcome).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Drift") {
+		t.Fatalf("drift table missing drift column:\n%s", buf.String())
+	}
+}
+
+func TestRegionForecastComparison(t *testing.T) {
+	lt := regionTestTable()
+	pair := region.PhaseShiftedPair(0)
+	for i := range pair {
+		pair[i].Signal = forecast.Coarsen(pair[i].Signal, 6)
+	}
+	target := math.Floor(0.5 * pair[0].Signal.Horizon() / lt.TStar())
+	mig := region.MigrationCost{DowntimeS: 600, EnergyJ: 5e6}
+	strategies, err := RegionForecastComparison(lt, pair, target, mig, 2, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strategies) != 3 {
+		t.Fatalf("got %d strategies", len(strategies))
+	}
+	for _, st := range strategies {
+		if !st.Outcome.Feasible {
+			t.Fatalf("%s infeasible", st.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RegionForecastComparisonTable(strategies).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Migrations") {
+		t.Fatalf("region table missing migrations:\n%s", buf.String())
+	}
+}

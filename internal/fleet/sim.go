@@ -103,6 +103,12 @@ type SimRegion struct {
 
 	// Signal is the region's grid trace (cyclic beyond its horizon).
 	Signal *grid.Signal
+
+	// Truth optionally separates forecast from reality for this region,
+	// exactly like Scenario.Truth: when set, Signal is what the
+	// operator sees (driving caps and predicted accounting) while
+	// realized carbon and cost accrue at Truth's rates.
+	Truth *grid.Signal
 }
 
 // Scenario is a replayable multi-job trace.
@@ -142,6 +148,17 @@ type Scenario struct {
 	// charged at the destination's rates at the migration time.
 	MigrationDowntimeS float64
 	MigrationEnergyJ   float64
+
+	// Truth optionally makes the replay forecast-driven: when set,
+	// Signal plays the role of the operator's revealed/forecast trace —
+	// it still drives re-allocation boundaries, interval cap overrides,
+	// and the *predicted* carbon/cost accounting — while realized
+	// carbon and cost accrue at Truth's rates. The simulator itself
+	// never reads Truth for a decision; only the accounting does, so a
+	// replay sees exactly what a forecast-fed operator would. Truth's
+	// own interval edges also become segment boundaries, keeping every
+	// segment within one set of realized rates.
+	Truth *grid.Signal
 }
 
 // SegmentJob is one job's state during a segment.
@@ -171,9 +188,13 @@ type SegmentJob struct {
 	EnergyJ    float64
 
 	// CarbonG and CostUSD account the job's segment energy at the
-	// scenario signal's rates (zero without a signal).
-	CarbonG float64
-	CostUSD float64
+	// scenario signal's rates (zero without a signal); in a
+	// forecast-driven replay they are realized at the truth's rates
+	// while PredCarbonG and PredCostUSD carry the forecast's view.
+	CarbonG     float64
+	CostUSD     float64
+	PredCarbonG float64
+	PredCostUSD float64
 
 	// StragglerFactor is the active slowdown degree (1 = healthy).
 	StragglerFactor float64
@@ -201,12 +222,16 @@ type Segment struct {
 
 	// CarbonGPerKWh and PriceUSDPerKWh echo the signal interval in
 	// force (zero without a signal); CarbonG and CostUSD account the
-	// segment's simulated energy at those rates. A segment never spans
-	// a signal interval edge.
+	// segment's simulated energy at those rates — at the truth's rates
+	// in a forecast-driven replay, with PredCarbonG and PredCostUSD
+	// carrying the forecast's view. A segment never spans a signal (or
+	// truth) interval edge.
 	CarbonGPerKWh  float64
 	PriceUSDPerKWh float64
 	CarbonG        float64
 	CostUSD        float64
+	PredCarbonG    float64
+	PredCostUSD    float64
 
 	// Jobs holds the active jobs' states in arrival order.
 	Jobs []SegmentJob
@@ -214,12 +239,14 @@ type Segment struct {
 
 // JobTotal accumulates one job's whole-scenario outcome.
 type JobTotal struct {
-	ID         string
-	ActiveS    float64
-	Iterations float64
-	EnergyJ    float64
-	CarbonG    float64
-	CostUSD    float64
+	ID          string
+	ActiveS     float64
+	Iterations  float64
+	EnergyJ     float64
+	CarbonG     float64
+	CostUSD     float64
+	PredCarbonG float64
+	PredCostUSD float64
 }
 
 // Series is the replayed scenario: per-segment fleet state plus
@@ -234,9 +261,13 @@ type Series struct {
 	EnergyJ float64
 
 	// CarbonG and CostUSD are the fleet's total accounted emissions and
-	// electricity cost under the scenario signal (zero without one).
-	CarbonG float64
-	CostUSD float64
+	// electricity cost under the scenario signal (zero without one) —
+	// realized at the truth's rates in a forecast-driven replay, with
+	// PredCarbonG and PredCostUSD totaling what the forecast predicted.
+	CarbonG     float64
+	CostUSD     float64
+	PredCarbonG float64
+	PredCostUSD float64
 
 	// PeakPowerW is the maximum simulated fleet power over segments.
 	PeakPowerW float64
@@ -265,11 +296,20 @@ func Replay(sc Scenario) (*Series, error) {
 			return nil, err
 		}
 	}
+	if sc.Truth != nil {
+		if sc.Signal == nil {
+			return nil, fmt.Errorf("fleet: scenario truth needs a signal (the forecast the replay sees)")
+		}
+		if err := sc.Truth.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: scenario truth: %w", err)
+		}
+	}
 	if !(sc.MigrationDowntimeS >= 0) || !(sc.MigrationEnergyJ >= 0) {
 		return nil, fmt.Errorf("fleet: migration cost must be non-negative, got %v s / %v J",
 			sc.MigrationDowntimeS, sc.MigrationEnergyJ)
 	}
 	regionSigs := map[string]*grid.Signal{}
+	regionTruths := map[string]*grid.Signal{}
 	var regionOrder []string
 	for _, r := range sc.Regions {
 		if r.Name == "" {
@@ -283,6 +323,12 @@ func Replay(sc Scenario) (*Series, error) {
 		}
 		if err := r.Signal.Validate(); err != nil {
 			return nil, fmt.Errorf("fleet: scenario region %q: %w", r.Name, err)
+		}
+		if r.Truth != nil {
+			if err := r.Truth.Validate(); err != nil {
+				return nil, fmt.Errorf("fleet: scenario region %q truth: %w", r.Name, err)
+			}
+			regionTruths[r.Name] = r.Truth
 		}
 		regionSigs[r.Name] = r.Signal
 		regionOrder = append(regionOrder, r.Name)
@@ -369,14 +415,29 @@ func Replay(sc Scenario) (*Series, error) {
 				return nil // initial placement is free
 			}
 			// Migration: pause for the checkpoint transfer and charge
-			// the transfer energy at the destination's rates.
+			// the transfer energy at the destination's rates — realized
+			// at the truth's when the region is forecast-driven, with
+			// the forecast's view accounted as predicted.
 			if sc.MigrationDowntimeS > 0 {
 				migUntil[e.JobID] = e.At + sc.MigrationDowntimeS
 			}
 			if sc.MigrationEnergyJ > 0 {
-				var carbon, price float64
-				if iv, ok := sig.AtCyclic(e.At); ok {
-					carbon, price = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+				rateOf := func(s *grid.Signal) (carbon, price float64) {
+					if s == nil {
+						return 0, 0
+					}
+					if iv, ok := s.AtCyclic(e.At); ok {
+						return iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+					}
+					return 0, 0
+				}
+				carbon, price := rateOf(sig)
+				var predC, predUSD float64
+				if truth, ok := regionTruths[e.Region]; ok {
+					// Realized at truth, predicted at the forecast signal.
+					predC = sc.MigrationEnergyJ / grid.JoulesPerKWh * carbon
+					predUSD = sc.MigrationEnergyJ / grid.JoulesPerKWh * price
+					carbon, price = rateOf(truth)
 				}
 				c := sc.MigrationEnergyJ / grid.JoulesPerKWh * carbon
 				usd := sc.MigrationEnergyJ / grid.JoulesPerKWh * price
@@ -384,9 +445,13 @@ func Replay(sc Scenario) (*Series, error) {
 				tot.EnergyJ += sc.MigrationEnergyJ
 				tot.CarbonG += c
 				tot.CostUSD += usd
+				tot.PredCarbonG += predC
+				tot.PredCostUSD += predUSD
 				series.EnergyJ += sc.MigrationEnergyJ
 				series.CarbonG += c
 				series.CostUSD += usd
+				series.PredCarbonG += predC
+				series.PredCostUSD += predUSD
 			}
 		default:
 			return fmt.Errorf("fleet: unknown event kind %d at %v", int(e.Kind), e.At)
@@ -394,12 +459,13 @@ func Replay(sc Scenario) (*Series, error) {
 		return nil
 	}
 
-	// Signal interval edges — of the scenario signal and of every
-	// region's — are re-allocation boundaries too, so every segment
-	// lies within one interval and one set of rates per region.
-	sigs := []*grid.Signal{sc.Signal}
+	// Signal interval edges — of the scenario signal, the truth traces,
+	// and every region's — are re-allocation boundaries too, so every
+	// segment lies within one interval and one set of rates per region
+	// under both the forecast and the truth.
+	sigs := []*grid.Signal{sc.Signal, sc.Truth}
 	for _, r := range sc.Regions {
-		sigs = append(sigs, r.Signal)
+		sigs = append(sigs, r.Signal, r.Truth)
 	}
 	bounds := grid.MergedBoundaries(sigs, sc.Horizon)
 	bi := 0
@@ -437,9 +503,9 @@ func Replay(sc Scenario) (*Series, error) {
 			var err error
 			if len(sc.Regions) > 0 {
 				seg, err = simulateRegionsSegment(f, sims, factors, place, migUntil,
-					regionOrder, regionSigs, sc.Signal, evCap, now, next)
+					regionOrder, regionSigs, regionTruths, sc.Signal, sc.Truth, evCap, now, next)
 			} else {
-				seg, err = simulateSignalSegment(f, sims, factors, sc.Signal, evCap, now, next)
+				seg, err = simulateSignalSegment(f, sims, factors, sc.Signal, sc.Truth, evCap, now, next)
 			}
 			if err != nil {
 				return nil, err
@@ -452,12 +518,18 @@ func Replay(sc Scenario) (*Series, error) {
 				tot.EnergyJ += sjob.EnergyJ
 				tot.CarbonG += sjob.CarbonG
 				tot.CostUSD += sjob.CostUSD
+				tot.PredCarbonG += sjob.PredCarbonG
+				tot.PredCostUSD += sjob.PredCostUSD
 				seg.CarbonG += sjob.CarbonG
 				seg.CostUSD += sjob.CostUSD
+				seg.PredCarbonG += sjob.PredCarbonG
+				seg.PredCostUSD += sjob.PredCostUSD
 			}
 			series.EnergyJ += seg.PowerW * (next - now)
 			series.CarbonG += seg.CarbonG
 			series.CostUSD += seg.CostUSD
+			series.PredCarbonG += seg.PredCarbonG
+			series.PredCostUSD += seg.PredCostUSD
 			if seg.PowerW > series.PeakPowerW {
 				series.PeakPowerW = seg.PowerW
 			}
@@ -509,17 +581,37 @@ func simulateJob(sj *SimJob, ja JobAlloc, factor, dur float64) (SegmentJob, erro
 	}, nil
 }
 
+// segmentRates resolves a segment's accounting rates: the decision
+// signal's rates (what the operator sees), and the realized ones —
+// the truth's when the replay is forecast-driven, the signal's own
+// otherwise. pred reports whether a separate predicted account exists.
+func segmentRates(sig, truth *grid.Signal, start float64) (carbonRate, priceRate, predCarbonRate, predPriceRate float64, pred bool) {
+	if sig != nil {
+		if iv, ok := sig.AtCyclic(start); ok {
+			carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+		}
+	}
+	if truth == nil {
+		return carbonRate, priceRate, 0, 0, false
+	}
+	predCarbonRate, predPriceRate = carbonRate, priceRate
+	carbonRate, priceRate = 0, 0
+	if iv, ok := truth.AtCyclic(start); ok {
+		carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
+	}
+	return carbonRate, priceRate, predCarbonRate, predPriceRate, true
+}
+
 // simulateSignalSegment is the single-region path: one fleet-wide
 // allocation under the scenario signal's cap override, per-job energy
-// accounted at the signal's rates.
-func simulateSignalSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float64, sig *grid.Signal, evCap, start, end float64) (Segment, error) {
-	var carbonRate, priceRate float64 // per kWh
+// accounted at the signal's rates (realized at the truth's in a
+// forecast-driven replay).
+func simulateSignalSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float64, sig, truth *grid.Signal, evCap, start, end float64) (Segment, error) {
 	if sig != nil {
 		// The signal's interval cap, while in force, overrides the
 		// event-set cap.
 		capW := evCap
 		if iv, ok := sig.AtCyclic(start); ok {
-			carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
 			if iv.CapW > 0 {
 				capW = iv.CapW
 			}
@@ -528,15 +620,21 @@ func simulateSignalSegment(f *Fleet, sims map[string]*SimJob, factors map[string
 			return Segment{}, err
 		}
 	}
+	carbonRate, priceRate, predCarbon, predPrice, pred := segmentRates(sig, truth, start)
 	alloc := f.Allocate()
 	seg := Segment{
-		Start:          start,
-		End:            end,
-		CapW:           alloc.CapW,
-		Feasible:       alloc.Feasible,
-		AllocPowerW:    alloc.PowerW,
+		Start:       start,
+		End:         end,
+		CapW:        alloc.CapW,
+		Feasible:    alloc.Feasible,
+		AllocPowerW: alloc.PowerW,
+		// The echoed rates are the operator's view (the decision
+		// signal's); realized accounting may differ under a truth.
 		CarbonGPerKWh:  carbonRate,
 		PriceUSDPerKWh: priceRate,
+	}
+	if pred {
+		seg.CarbonGPerKWh, seg.PriceUSDPerKWh = predCarbon, predPrice
 	}
 	dur := end - start
 	for _, ja := range alloc.Jobs {
@@ -546,6 +644,10 @@ func simulateSignalSegment(f *Fleet, sims map[string]*SimJob, factors map[string
 		}
 		sjob.CarbonG = sjob.EnergyJ / grid.JoulesPerKWh * carbonRate
 		sjob.CostUSD = sjob.EnergyJ / grid.JoulesPerKWh * priceRate
+		if pred {
+			sjob.PredCarbonG = sjob.EnergyJ / grid.JoulesPerKWh * predCarbon
+			sjob.PredCostUSD = sjob.EnergyJ / grid.JoulesPerKWh * predPrice
+		}
 		seg.PowerW += sjob.PowerW
 		seg.Jobs = append(seg.Jobs, sjob)
 	}
@@ -556,7 +658,7 @@ func simulateSignalSegment(f *Fleet, sims map[string]*SimJob, factors map[string
 // once per region over the jobs placed there (each region's interval
 // cap, or the event-set cap, divides among them), unplaced jobs run
 // under the scenario signal, and migrating jobs pause at zero power.
-func simulateRegionsSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float64, place map[string]string, migUntil map[string]float64, regionOrder []string, regionSigs map[string]*grid.Signal, global *grid.Signal, evCap, start, end float64) (Segment, error) {
+func simulateRegionsSegment(f *Fleet, sims map[string]*SimJob, factors map[string]float64, place map[string]string, migUntil map[string]float64, regionOrder []string, regionSigs, regionTruths map[string]*grid.Signal, global, globalTruth *grid.Signal, evCap, start, end float64) (Segment, error) {
 	seg := Segment{Start: start, End: end, CapW: evCap, Feasible: true}
 	dur := end - start
 	snap := f.Snapshot()
@@ -577,20 +679,19 @@ func simulateRegionsSegment(f *Fleet, sims map[string]*SimJob, factors map[strin
 		if len(grp) == 0 {
 			continue
 		}
-		sig := global
+		sig, truth := global, globalTruth
 		if rname != "" {
-			sig = regionSigs[rname]
+			sig, truth = regionSigs[rname], regionTruths[rname]
 		}
 		capW := evCap
-		var carbonRate, priceRate float64
 		if sig != nil {
 			if iv, ok := sig.AtCyclic(start); ok {
-				carbonRate, priceRate = iv.CarbonGPerKWh, iv.PriceUSDPerKWh
 				if iv.CapW > 0 {
 					capW = iv.CapW
 				}
 			}
 		}
+		carbonRate, priceRate, predCarbon, predPrice, pred := segmentRates(sig, truth, start)
 		alloc := Allocate(grp, capW)
 		if !alloc.Feasible {
 			seg.Feasible = false
@@ -604,6 +705,10 @@ func simulateRegionsSegment(f *Fleet, sims map[string]*SimJob, factors map[strin
 			sjob.Region = rname
 			sjob.CarbonG = sjob.EnergyJ / grid.JoulesPerKWh * carbonRate
 			sjob.CostUSD = sjob.EnergyJ / grid.JoulesPerKWh * priceRate
+			if pred {
+				sjob.PredCarbonG = sjob.EnergyJ / grid.JoulesPerKWh * predCarbon
+				sjob.PredCostUSD = sjob.EnergyJ / grid.JoulesPerKWh * predPrice
+			}
 			seg.PowerW += sjob.PowerW
 			jobsOut[ja.ID] = sjob
 		}

@@ -477,3 +477,123 @@ func TestReplayRegionErrors(t *testing.T) {
 		t.Errorf("EventPlace.String() = %q", got)
 	}
 }
+
+// TestReplayForecastDriven checks the forecast/truth split: the replay
+// sees only the forecast signal (decisions and predicted accounting),
+// while realized carbon and cost accrue at the truth's rates. With the
+// same boundary structure and no caps, the realized totals must equal
+// a plain truth-driven replay's and the predicted totals a plain
+// forecast-driven one's.
+func TestReplayForecastDriven(t *testing.T) {
+	a := buildSimJob(t, "gpt-a", 2, 4)
+	truth := &grid.Signal{Name: "truth", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 100, CarbonGPerKWh: 500, PriceUSDPerKWh: 0.2},
+		{StartS: 100, EndS: 200, CarbonGPerKWh: 200, PriceUSDPerKWh: 0.05},
+		{StartS: 200, EndS: 300, CarbonGPerKWh: 400, PriceUSDPerKWh: 0.1},
+	}}
+	forecast := &grid.Signal{Name: "forecast", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 100, CarbonGPerKWh: 300, PriceUSDPerKWh: 0.1},
+		{StartS: 100, EndS: 200, CarbonGPerKWh: 350, PriceUSDPerKWh: 0.15},
+		{StartS: 200, EndS: 300, CarbonGPerKWh: 250, PriceUSDPerKWh: 0.07},
+	}}
+	events := []Event{{At: 0, Kind: EventArrive, Job: a}}
+	run := func(sig, tr *grid.Signal) *Series {
+		t.Helper()
+		series, err := Replay(Scenario{Horizon: 300, Signal: sig, Truth: tr, Events: events})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}
+	split := run(forecast, truth)
+	realized := run(truth, nil)
+	predicted := run(forecast, nil)
+
+	if math.Abs(split.CarbonG-realized.CarbonG) > 1e-9*(1+realized.CarbonG) ||
+		math.Abs(split.CostUSD-realized.CostUSD) > 1e-12*(1+realized.CostUSD) {
+		t.Fatalf("realized totals %v/%v, want truth-driven %v/%v",
+			split.CarbonG, split.CostUSD, realized.CarbonG, realized.CostUSD)
+	}
+	if math.Abs(split.PredCarbonG-predicted.CarbonG) > 1e-9*(1+predicted.CarbonG) ||
+		math.Abs(split.PredCostUSD-predicted.CostUSD) > 1e-12*(1+predicted.CostUSD) {
+		t.Fatalf("predicted totals %v/%v, want forecast-driven %v/%v",
+			split.PredCarbonG, split.PredCostUSD, predicted.CarbonG, predicted.CostUSD)
+	}
+	if math.Abs(split.EnergyJ-realized.EnergyJ) > 1e-6*(1+realized.EnergyJ) {
+		t.Fatalf("energy %v, want %v", split.EnergyJ, realized.EnergyJ)
+	}
+	// Plain replays carry no predicted account.
+	if realized.PredCarbonG != 0 || predicted.PredCarbonG != 0 {
+		t.Fatalf("plain replays should have zero predicted accrual")
+	}
+	// Per-job totals reconcile the same way.
+	if math.Abs(split.Totals[0].CarbonG-realized.Totals[0].CarbonG) > 1e-9*(1+realized.Totals[0].CarbonG) ||
+		math.Abs(split.Totals[0].PredCarbonG-predicted.Totals[0].CarbonG) > 1e-9*(1+predicted.Totals[0].CarbonG) {
+		t.Fatalf("per-job reconciliation broken: %+v", split.Totals[0])
+	}
+	// Segments echo the operator's (forecast) view.
+	if split.Segments[0].CarbonGPerKWh != 300 {
+		t.Fatalf("segment 0 echoes %v, want the forecast's 300", split.Segments[0].CarbonGPerKWh)
+	}
+
+	// A truth needs a signal to forecast from, and must be valid.
+	if _, err := Replay(Scenario{Horizon: 300, Truth: truth, Events: events}); err == nil {
+		t.Fatal("truth without a signal should error")
+	}
+	bad := &grid.Signal{Intervals: []grid.Interval{{StartS: 5, EndS: 10}}}
+	if _, err := Replay(Scenario{Horizon: 300, Signal: forecast, Truth: bad, Events: events}); err == nil {
+		t.Fatal("invalid truth should error")
+	}
+}
+
+// TestReplayRegionForecastDriven checks the per-region forecast/truth
+// split, including the migration transfer energy being realized at the
+// truth's rates and predicted at the forecast's.
+func TestReplayRegionForecastDriven(t *testing.T) {
+	a := buildSimJob(t, "gpt-a", 2, 4)
+	truthW := &grid.Signal{Name: "tw", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 150, CarbonGPerKWh: 450, PriceUSDPerKWh: 0.2},
+		{StartS: 150, EndS: 300, CarbonGPerKWh: 100, PriceUSDPerKWh: 0.04},
+	}}
+	fcW := &grid.Signal{Name: "fw", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 150, CarbonGPerKWh: 400, PriceUSDPerKWh: 0.18},
+		{StartS: 150, EndS: 300, CarbonGPerKWh: 150, PriceUSDPerKWh: 0.06},
+	}}
+	truthE := &grid.Signal{Name: "te", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 300, CarbonGPerKWh: 360, PriceUSDPerKWh: 0.12},
+	}}
+	fcE := &grid.Signal{Name: "fe", Intervals: []grid.Interval{
+		{StartS: 0, EndS: 300, CarbonGPerKWh: 240, PriceUSDPerKWh: 0.09},
+	}}
+	series, err := Replay(Scenario{
+		Horizon: 300,
+		Regions: []SimRegion{
+			{Name: "west", Signal: fcW, Truth: truthW},
+			{Name: "east", Signal: fcE, Truth: truthE},
+		},
+		MigrationEnergyJ: grid.JoulesPerKWh, // 1 kWh for easy arithmetic
+		Events: []Event{
+			{At: 0, Kind: EventArrive, Job: a},
+			{At: 0, Kind: EventPlace, JobID: "gpt-a", Region: "west"},
+			{At: 150, Kind: EventPlace, JobID: "gpt-a", Region: "east"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := series.Totals[0]
+	// Migration at t=150 into east: 1 kWh realized at truth 360 g,
+	// predicted at forecast 240 g. Segment energy realized at the
+	// region truths.
+	seg0 := series.Segments[0].Jobs[0]
+	wantRealized := seg0.EnergyJ/grid.JoulesPerKWh*450 + 360 +
+		series.Segments[1].Jobs[0].EnergyJ/grid.JoulesPerKWh*360
+	wantPredicted := seg0.EnergyJ/grid.JoulesPerKWh*400 + 240 +
+		series.Segments[1].Jobs[0].EnergyJ/grid.JoulesPerKWh*240
+	if math.Abs(tot.CarbonG-wantRealized) > 1e-6*(1+wantRealized) {
+		t.Fatalf("realized carbon %v, want %v", tot.CarbonG, wantRealized)
+	}
+	if math.Abs(tot.PredCarbonG-wantPredicted) > 1e-6*(1+wantPredicted) {
+		t.Fatalf("predicted carbon %v, want %v", tot.PredCarbonG, wantPredicted)
+	}
+}

@@ -1,0 +1,312 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"perseus/internal/frontier"
+	"perseus/internal/grid"
+)
+
+// Options parameterizes a rolling-horizon controller run.
+type Options struct {
+	// Target is the number of iterations to complete; must be positive.
+	Target float64
+
+	// DeadlineS is the completion deadline in signal seconds; 0 means
+	// the provider's forecast horizon. It may not exceed that horizon.
+	DeadlineS float64
+
+	// Objective selects what to minimize; "" means carbon.
+	Objective grid.Objective
+
+	// PowerScale multiplies the table's per-point average power (e.g.
+	// data-parallel replicas); <= 0 means 1.
+	PowerScale float64
+
+	// PlanQuantile is the forecast quantile the planner sees: 0 or 0.5
+	// plans on the point forecast; higher values plan robustly against
+	// a pessimistic band (distant hours that merely look clean are
+	// discounted by their uncertainty).
+	PlanQuantile float64
+}
+
+// ExecutedInterval is one decision-grid interval the controller
+// actually ran: the slices it executed, what the forecast in force
+// predicted they would emit, and what they really did under the truth.
+type ExecutedInterval struct {
+	// StartS and EndS bound the interval in absolute signal seconds.
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+
+	// Slices are the executed frontier-point runs, back-to-back from
+	// the interval start; IdleS is the remaining pause time.
+	Slices []grid.Slice `json:"slices,omitempty"`
+	IdleS  float64      `json:"idle_s"`
+
+	// Iterations and EnergyJ are exact (they do not depend on rates).
+	Iterations float64 `json:"iterations"`
+	EnergyJ    float64 `json:"energy_j"`
+
+	// CarbonG and CostUSD are realized at the truth signal's rates.
+	CarbonG float64 `json:"carbon_g"`
+	CostUSD float64 `json:"cost_usd"`
+
+	// PredCarbonG and PredCostUSD are what the forecast in force at
+	// planning time predicted for the same slices; the gap between the
+	// two is the per-interval reconciliation drift.
+	PredCarbonG float64 `json:"pred_carbon_g"`
+	PredCostUSD float64 `json:"pred_cost_usd"`
+
+	// Replanned marks the first interval executed after a fresh plan.
+	Replanned bool `json:"replanned,omitempty"`
+}
+
+// Outcome is a controller run's realized result, accrued against the
+// truth trace (never the forecast).
+type Outcome struct {
+	// Strategy names the run (provider + mode) for tables.
+	Strategy string `json:"strategy"`
+
+	// Target and DeadlineS echo the inputs (deadline resolved).
+	Target    float64 `json:"target_iterations"`
+	DeadlineS float64 `json:"deadline_s"`
+
+	// Plans counts planner invocations (plan-once runs have exactly 1).
+	Plans int `json:"plans"`
+
+	// Feasible reports whether the target was actually completed by the
+	// deadline under the truth.
+	Feasible bool `json:"feasible"`
+
+	// FinishS is the time the target was reached (-1 when it never was).
+	FinishS float64 `json:"finish_s"`
+
+	// Iterations, EnergyJ, CarbonG, and CostUSD total the realized run.
+	Iterations float64 `json:"iterations"`
+	EnergyJ    float64 `json:"energy_j"`
+	CarbonG    float64 `json:"carbon_g"`
+	CostUSD    float64 `json:"cost_usd"`
+
+	// PredCarbonG and PredCostUSD total what the forecasts in force
+	// predicted for the executed slices.
+	PredCarbonG float64 `json:"pred_carbon_g"`
+	PredCostUSD float64 `json:"pred_cost_usd"`
+
+	// Intervals holds the executed intervals in time order.
+	Intervals []ExecutedInterval `json:"intervals"`
+}
+
+// Total reads the realized total matching the objective.
+func (o *Outcome) Total(obj grid.Objective) float64 {
+	switch obj {
+	case grid.ObjectiveCost:
+		return o.CostUSD
+	case grid.ObjectiveEnergy:
+		return o.EnergyJ
+	default:
+		return o.CarbonG
+	}
+}
+
+// PlanOnce plans on the provider's first forecast (issued at t = 0) and
+// executes that plan to the end, come what may — the baseline every
+// operational deployment starts from, and the one MPC must beat.
+func PlanOnce(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Options) (*Outcome, error) {
+	return run(lt, prov, truth, opts, false)
+}
+
+// Replan is the rolling-horizon MPC controller: at every interval
+// boundary of the forecast grid it fetches the latest forecast,
+// freezes everything already executed, and re-runs grid.Optimize over
+// the remaining window with the remaining target — so the schedule
+// continuously absorbs forecast revisions instead of compounding the
+// first forecast's error. With PlanQuantile > 0.5 every re-plan is
+// robust: it plans against the pessimistic quantile band.
+func Replan(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Options) (*Outcome, error) {
+	return run(lt, prov, truth, opts, true)
+}
+
+// Oracle runs the perfect-foresight baseline through the same
+// executor: plan once on the truth itself. Its realized objective is
+// the regret reference for every forecast-driven run.
+func Oracle(lt *frontier.LookupTable, truth *grid.Signal, opts Options) (*Outcome, error) {
+	out, err := run(lt, &Perfect{Truth: truth, HorizonS: opts.DeadlineS}, truth, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	out.Strategy = "oracle"
+	return out, nil
+}
+
+// run is the shared executor. Forecast intervals must align with the
+// truth's cyclic interval grid (all bundled providers guarantee this);
+// execution clips slices at decision boundaries regardless, so a
+// misaligned provider degrades accounting resolution, not correctness.
+func run(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Options, replanEvery bool) (*Outcome, error) {
+	if prov == nil {
+		return nil, fmt.Errorf("forecast: controller needs a provider")
+	}
+	if truth == nil || truth.Horizon() <= 0 {
+		return nil, fmt.Errorf("forecast: controller needs a truth signal")
+	}
+	if err := truth.Validate(); err != nil {
+		return nil, err
+	}
+	if !(opts.Target > 0) || math.IsInf(opts.Target, 0) {
+		return nil, fmt.Errorf("forecast: target iterations must be positive and finite, got %v", opts.Target)
+	}
+	scale := opts.PowerScale
+	if scale <= 0 {
+		scale = 1
+	}
+	q := opts.PlanQuantile
+	if q == 0 {
+		q = 0.5
+	}
+	if q < 0 || q >= 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("forecast: plan quantile must be in [0, 1), got %v", opts.PlanQuantile)
+	}
+
+	fc, err := prov.At(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	deadline := opts.DeadlineS
+	if deadline == 0 {
+		deadline = fc.Signal.Horizon()
+	}
+	if math.IsNaN(deadline) || deadline <= 0 {
+		return nil, fmt.Errorf("forecast: deadline must be positive, got %v", opts.DeadlineS)
+	}
+	if deadline > fc.Signal.Horizon()+1e-9 {
+		return nil, fmt.Errorf("forecast: deadline %v beyond forecast horizon %v", deadline, fc.Signal.Horizon())
+	}
+
+	// Decision times: t = 0, then (under re-planning) every forecast-
+	// grid interval boundary before the deadline.
+	decisions := []float64{0}
+	if replanEvery {
+		for _, iv := range fc.Signal.Intervals {
+			if iv.EndS < deadline {
+				decisions = append(decisions, iv.EndS)
+			}
+		}
+	}
+
+	mode := "plan-once"
+	if replanEvery {
+		mode = "mpc"
+		if q > 0.5 {
+			mode = fmt.Sprintf("mpc@q%.2f", q)
+		}
+	}
+	out := &Outcome{
+		Strategy:  prov.Name() + "/" + mode,
+		Target:    opts.Target,
+		DeadlineS: deadline,
+		FinishS:   -1,
+	}
+	remaining := opts.Target
+	var plan *grid.Plan
+	planAt := 0.0
+	for di, d := range decisions {
+		if remaining <= 1e-9*(1+opts.Target) {
+			break
+		}
+		if di > 0 {
+			if fc, err = prov.At(d); err != nil {
+				return nil, err
+			}
+			if err := fc.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		suffix := Window(fc.At(q), d, deadline)
+		plan, err = grid.Optimize(lt, suffix, grid.Options{
+			Target:     remaining,
+			Objective:  opts.Objective,
+			PowerScale: scale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Plans++
+		planAt = d
+
+		// Execute the plan up to the next decision time (or, for the
+		// final plan, to the deadline).
+		end := deadline
+		if di+1 < len(decisions) {
+			end = decisions[di+1]
+		}
+		for _, ip := range plan.Intervals {
+			absStart, absEnd := planAt+ip.StartS, planAt+ip.EndS
+			if absStart >= end-1e-9 {
+				break
+			}
+			if absEnd > end {
+				absEnd = end
+			}
+			ei := ExecuteSlices(lt, truth, fc.Signal, scale, absStart, absEnd, ip.Slices)
+			ei.Replanned = len(out.Intervals) == 0 || out.Intervals[len(out.Intervals)-1].EndS <= planAt
+			if out.FinishS < 0 && out.Iterations+ei.Iterations >= opts.Target-1e-9 {
+				need := opts.Target - out.Iterations
+				at := ei.StartS
+				for _, sl := range ei.Slices {
+					rate := 1 / lt.PointTime(sl.Point)
+					if got := sl.Seconds * rate; got < need {
+						need -= got
+						at += sl.Seconds
+					} else {
+						at += need / rate
+						break
+					}
+				}
+				out.FinishS = at
+			}
+			remaining -= ei.Iterations
+			out.Iterations += ei.Iterations
+			out.EnergyJ += ei.EnergyJ
+			out.CarbonG += ei.CarbonG
+			out.CostUSD += ei.CostUSD
+			out.PredCarbonG += ei.PredCarbonG
+			out.PredCostUSD += ei.PredCostUSD
+			out.Intervals = append(out.Intervals, ei)
+		}
+	}
+	out.Feasible = out.Iterations >= opts.Target-1e-6*(1+opts.Target)
+	return out, nil
+}
+
+// ExecuteSlices runs a planned interval's slices (back-to-back from
+// the interval start, clipped at the interval end) against the truth,
+// accounting realized emissions at the truth's rates and predicted
+// ones at the planning forecast's. It is the accounting primitive the
+// MPC controllers and the server's re-planning endpoint share.
+func ExecuteSlices(lt *frontier.LookupTable, truth, predicted *grid.Signal, scale, startS, endS float64, slices []grid.Slice) ExecutedInterval {
+	ei := ExecutedInterval{StartS: startS, EndS: endS}
+	at := startS
+	for _, sl := range slices {
+		sec := math.Min(sl.Seconds, endS-at)
+		if sec <= 0 {
+			break
+		}
+		power := scale * lt.AvgPower(sl.Point)
+		_, carbon, cost := grid.Accrue(truth, at, at+sec, power)
+		_, pCarbon, pCost := grid.Accrue(predicted, at, at+sec, power)
+		ei.Slices = append(ei.Slices, grid.Slice{Point: sl.Point, Seconds: sec})
+		ei.Iterations += sec / lt.PointTime(sl.Point)
+		ei.EnergyJ += sec * power
+		ei.CarbonG += carbon
+		ei.CostUSD += cost
+		ei.PredCarbonG += pCarbon
+		ei.PredCostUSD += pCost
+		at += sec
+	}
+	ei.IdleS = endS - at
+	return ei
+}

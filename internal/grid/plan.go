@@ -150,17 +150,31 @@ type planInterval struct {
 	cur  int     // current descent state; -1 = idle
 }
 
-// step is one taken descent step, for the prune and trim passes.
+// step is one marginal segment of an interval's cost-vs-iterations
+// frontier: moving the interval from state `from` (-1 = idle) to state
+// `to` buys dw iterations at cost dc. Segments are divisible — taking
+// fraction f of a step time-shares the two states within the interval.
 type step struct {
 	from, to int
 	dw, dc   float64
 }
 
-// solution is the discrete solver outcome before fractional trimming,
-// carrying the normalized inputs it was solved under.
+// fracStep is the single partially taken step of a solution: fraction
+// f of interval k's step st (f·dur seconds at st.to, the rest at
+// st.from or idle).
+type fracStep struct {
+	k  int
+	st step
+	f  float64
+}
+
+// solution is the solver outcome, carrying the normalized inputs it
+// was solved under. Whole steps live in stacks; at most one step is
+// fractional.
 type solution struct {
 	ivs      []planInterval
 	stacks   [][]step
+	frac     *fracStep
 	coverage float64
 	cost     float64
 	feasible bool
@@ -213,55 +227,32 @@ func normalize(lt *frontier.LookupTable, sig *Signal, opts Options) (deadline, s
 // objective subject to completing opts.Target iterations by the
 // deadline and to each interval's facility power cap.
 //
-// The solver is a greedy convex descent over the merged per-interval
-// steps, the temporal analogue of fleet.Allocate's marginal-cost
+// The solver is a greedy ascent over the merged per-interval marginal
+// segments, the temporal analogue of fleet.Allocate's marginal-cost
 // waterfilling: every interval starts at its cheapest state (idle, or
 // the minimum-energy point under NoIdle), and the planner repeatedly
-// buys iterations at the cheapest marginal objective cost — stepping
-// some interval one point faster — until the target is covered, then
-// prunes redundant steps and trims the single most expensive marginal
-// step fractionally so the plan completes the target exactly.
+// buys iterations at the cheapest marginal objective cost — waking an
+// interval at its minimum-energy point or stepping it one point
+// faster — taking the final step fractionally (time-sharing the two
+// states within the interval) so the plan completes the target
+// exactly.
 //
 // Optimality: per interval, cost is rate × scale × P(t) × d and
-// iterations are d/t, so cost as a function of iterations is the
-// perspective function of the energy curve E(t) — convex whenever E is.
-// The per-interval marginal sequence is then non-decreasing in cost per
-// iteration, the greedy prefix is exactly optimal among per-interval
-// point choices at every attainable coverage breakpoint, and the final
-// fractional trim makes the plan the continuous (time-sharing) optimum.
-// plan_test.go verifies both claims against brute-force enumeration.
+// iterations are d/t, so cost as a function of iterations — with idle
+// allowed, through the origin — is the perspective function of the
+// energy curve E(t): convex whenever E is. Every segment is divisible
+// (any point may run for any fraction of its interval), so the global
+// problem is a separable convex allocation whose exact optimum is the
+// greedy fill in marginal-cost order with at most one fractional
+// segment. plan_test.go verifies exactness against continuous
+// brute-force enumeration (every per-interval point choice plus every
+// single time-shared interval).
 func Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error) {
 	sol, err := solve(lt, sig, opts)
 	if err != nil {
 		return nil, err
 	}
 	scale, obj := sol.scale, sol.obj
-
-	// Trim: the last useful step may overshoot the target; shed the
-	// excess from the taken step with the worst marginal cost per
-	// iteration by time-sharing its endpoints within its interval.
-	// After the prune pass no whole step is redundant, so the excess
-	// always fits inside a single step.
-	trim := map[int]float64{} // interval index -> seconds at step.from
-	if sol.feasible && !opts.NoIdle {
-		excess := sol.coverage - opts.Target
-		if excess > 1e-12 {
-			best, bestSlope := -1, -1.0
-			for k, st := range sol.stacks {
-				if n := len(st); n > 0 && st[n-1].dw > excess {
-					if slope := st[n-1].dc / st[n-1].dw; slope > bestSlope {
-						best, bestSlope = k, slope
-					}
-				}
-			}
-			if best >= 0 {
-				st := sol.stacks[best][len(sol.stacks[best])-1]
-				// Seconds to give back to the step's `from` state.
-				frac := excess / st.dw
-				trim[best] = frac * sol.ivs[best].dur
-			}
-		}
-	}
 
 	plan := &Plan{
 		Objective: obj,
@@ -280,16 +271,18 @@ func Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error
 			CarbonGPerKWh:  pi.iv.CarbonGPerKWh,
 			PriceUSDPerKWh: pi.iv.PriceUSDPerKWh,
 		}
-		if pi.cur >= 0 {
-			fast := pi.dur
-			if back, ok := trim[k]; ok {
-				fast -= back
-				st := sol.stacks[k][len(sol.stacks[k])-1]
-				if st.from >= 0 {
-					ip.Slices = append(ip.Slices, Slice{Point: st.from, Seconds: back})
-				}
+		if sol.frac != nil && sol.frac.k == k {
+			// The fractional interval time-shares its step's endpoints:
+			// f·dur seconds at the faster state, the rest at the slower
+			// one (or idle).
+			fs := sol.frac
+			fast := fs.f * pi.dur
+			ip.Slices = append(ip.Slices, Slice{Point: fs.st.to, Seconds: fast})
+			if fs.st.from >= 0 {
+				ip.Slices = append(ip.Slices, Slice{Point: fs.st.from, Seconds: pi.dur - fast})
 			}
-			ip.Slices = append([]Slice{{Point: pi.cur, Seconds: fast}}, ip.Slices...)
+		} else if pi.cur >= 0 {
+			ip.Slices = []Slice{{Point: pi.cur, Seconds: pi.dur}}
 		}
 		var run float64
 		for _, sl := range ip.Slices {
@@ -331,9 +324,9 @@ func Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error
 	return plan, nil
 }
 
-// solve runs the discrete greedy descent with pruning and returns the
-// per-interval states, without the fractional trim. Exposed separately
-// so tests can compare the discrete layer against brute force.
+// solve runs the marginal-cost greedy and returns the per-interval
+// states plus the single fractional step. Exposed separately so tests
+// can compare the solver layer against brute force.
 func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, error) {
 	d, scale, obj, err := normalize(lt, sig, opts)
 	if err != nil {
@@ -377,8 +370,13 @@ func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, erro
 		return sol, nil
 	}
 
-	// Greedy descent: cheapest marginal objective cost per iteration
-	// first, until the target is covered.
+	// Greedy fill: cheapest marginal objective cost per iteration
+	// first. Each interval's available step is its next one — wake up
+	// at the minimum-energy point, then one point faster at a time —
+	// and per-interval slopes are non-decreasing for convex tables, so
+	// the global cheapest-available order is the global slope order.
+	// The final step is taken fractionally, so the fill never
+	// overshoots the target.
 	for sol.coverage < opts.Target-1e-9 {
 		best, bestSlope := -1, 0.0
 		var bestStep step
@@ -411,38 +409,21 @@ func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, erro
 		if best < 0 {
 			break // every interval saturated (NoIdle with coverage < target is impossible here)
 		}
+		if need := opts.Target - sol.coverage; bestStep.dw > need+1e-12 {
+			// Final fractional take: time-share the step's endpoints so
+			// the target is completed exactly. (Under NoIdle every
+			// interval is already awake, so the shared states both run —
+			// no idle time is introduced.)
+			f := need / bestStep.dw
+			sol.frac = &fracStep{k: best, st: bestStep, f: f}
+			sol.coverage += need
+			sol.cost += f * bestStep.dc
+			break
+		}
 		sol.ivs[best].cur = bestStep.to
 		sol.coverage += bestStep.dw
 		sol.cost += bestStep.dc
 		sol.stacks[best] = append(sol.stacks[best], bestStep)
-	}
-
-	// Prune: the final step may cover more than the target still
-	// needed, leaving earlier steps redundant. Undo the costliest
-	// undoable step until none fits above the target. Only each
-	// interval's most recent step is undoable, preserving the
-	// per-interval prefix structure.
-	for {
-		best, bestCost := -1, 0.0
-		for k, st := range sol.stacks {
-			n := len(st)
-			if n == 0 {
-				continue
-			}
-			top := st[n-1]
-			if sol.coverage-top.dw >= opts.Target-1e-9 && top.dc > bestCost {
-				best, bestCost = k, top.dc
-			}
-		}
-		if best < 0 {
-			break
-		}
-		st := sol.stacks[best]
-		top := st[len(st)-1]
-		sol.stacks[best] = st[:len(st)-1]
-		sol.ivs[best].cur = top.from
-		sol.coverage -= top.dw
-		sol.cost -= top.dc
 	}
 	return sol, nil
 }

@@ -26,6 +26,7 @@ func convexTable(unit float64, tminU, tstarU int64, a, b float64) *frontier.Look
 // bruteForce enumerates every per-interval choice — idle or one allowed
 // frontier point, full-interval occupancy — and returns the minimum
 // objective cost covering the target, or ok=false when none does.
+// bruteForceContinuous extends it with time-sharing.
 func bruteForce(lt *frontier.LookupTable, sig *Signal, opts Options) (best float64, ok bool) {
 	scale := opts.PowerScale
 	if scale <= 0 {
@@ -67,6 +68,101 @@ func bruteForce(lt *frontier.LookupTable, sig *Signal, opts Options) (best float
 		}
 	}
 	walk(0, 0, 0)
+	return best, ok
+}
+
+// bruteForceContinuous enumerates the continuous (time-sharing)
+// optimum exactly: every combination of whole per-interval choices,
+// plus — for each interval and each adjacent state pair along its
+// marginal chain (idle → minimum-energy point → … → fastest allowed) —
+// the unique fraction that completes the target exactly while the
+// other intervals hold whole choices. For separable convex allocation
+// the optimum has at most one time-shared interval between adjacent
+// states, so this enumeration contains it.
+func bruteForceContinuous(lt *frontier.LookupTable, sig *Signal, opts Options) (best float64, ok bool) {
+	scale := opts.PowerScale
+	if scale <= 0 {
+		scale = 1
+	}
+	obj := opts.Objective
+	if obj == "" {
+		obj = ObjectiveCarbon
+	}
+	d := opts.DeadlineS
+	if d <= 0 {
+		d = sig.Horizon()
+	}
+	win := sig.Truncate(d)
+	best, ok = bruteForce(lt, sig, opts)
+	n := len(lt.Points)
+	K := len(win.Intervals)
+
+	// states per interval: -1 (idle) then n-1 down to lo.
+	lo := make([]int, K)
+	for k, iv := range win.Intervals {
+		lo[k] = 0
+		if iv.CapW > 0 {
+			lo[k] = lt.FirstUnderPower(iv.CapW / scale)
+		}
+	}
+	wc := func(k, p int) (w, c float64) { // whole-interval occupancy of point p
+		if p < 0 {
+			return 0, 0
+		}
+		dur := win.Intervals[k].Duration()
+		return dur / lt.PointTime(p), obj.PerJoule(win.Intervals[k]) * scale * lt.AvgPower(p) * dur
+	}
+	// For each fractional (interval fk, from, to): enumerate the other
+	// intervals' whole choices and solve the fraction.
+	for fk := 0; fk < K; fk++ {
+		if lo[fk] < 0 {
+			continue
+		}
+		var pairs [][2]int
+		pairs = append(pairs, [2]int{-1, n - 1})
+		for p := n - 1; p > lo[fk]; p-- {
+			pairs = append(pairs, [2]int{p, p - 1})
+		}
+		for _, pr := range pairs {
+			wFrom, cFrom := wc(fk, pr[0])
+			wTo, cTo := wc(fk, pr[1])
+			var walk func(k int, cover, cost float64)
+			walk = func(k int, cover, cost float64) {
+				if k == fk {
+					walk(k+1, cover, cost)
+					return
+				}
+				if k >= K {
+					// Solve f so cover + (1-f)·wFrom + f·wTo == target.
+					need := opts.Target - cover
+					if wTo == wFrom {
+						return
+					}
+					f := (need - wFrom) / (wTo - wFrom)
+					if f < -1e-12 || f > 1+1e-12 {
+						return
+					}
+					total := cost + (1-f)*cFrom + f*cTo
+					if total < best {
+						best, ok = total, true
+					}
+					return
+				}
+				iv := win.Intervals[k]
+				if !opts.NoIdle || lo[k] < 0 {
+					walk(k+1, cover, cost)
+				}
+				if lo[k] >= 0 {
+					dur := iv.Duration()
+					for p := lo[k]; p < n; p++ {
+						walk(k+1, cover+dur/lt.PointTime(p),
+							cost+obj.PerJoule(iv)*scale*lt.AvgPower(p)*dur)
+					}
+				}
+			}
+			walk(0, 0, 0)
+		}
+	}
 	return best, ok
 }
 
@@ -143,13 +239,9 @@ func TestPlannerMatchesBruteForce(t *testing.T) {
 					}
 				}
 			}
-			var maxStepCost float64
 			for _, s := range sws {
 				cover += s.dw
 				breaks = append(breaks, cover)
-				if c := s.slope * s.dw; c > maxStepCost {
-					maxStepCost = c
-				}
 			}
 			if len(breaks) == 0 {
 				t.Fatalf("seed %d: degenerate instance, no steps", seed)
@@ -191,31 +283,38 @@ func TestPlannerMatchesBruteForce(t *testing.T) {
 				if got.coverage < o.Target-1e-9 {
 					t.Fatalf("seed %d %s: coverage %.6f under target %.6f", seed, obj, got.coverage, o.Target)
 				}
-				if got.cost < want-1e-9*(1+want) {
-					t.Fatalf("seed %d %s target %.4f: greedy %.9f beats brute force %.9f — brute force broken",
+				if got.cost > want+1e-9*(1+want) {
+					t.Fatalf("seed %d %s target %.4f: greedy %.9f above whole-point brute force %.9f",
 						seed, obj, o.Target, got.cost, want)
 				}
-				if got.cost-want > maxStepCost+1e-9 {
-					t.Fatalf("seed %d %s target %.4f: greedy %.9f exceeds optimum %.9f by more than one step",
-						seed, obj, o.Target, got.cost, want)
+				// Exactness: the solver matches the continuous optimum
+				// (whole-point enumeration extended with every single
+				// time-shared interval).
+				contWant, contOK := bruteForceContinuous(lt, sig, o)
+				if !contOK {
+					t.Fatalf("seed %d %s target %.4f: continuous brute force infeasible", seed, obj, o.Target)
+				}
+				if math.Abs(got.cost-contWant) > 1e-9*(1+contWant) {
+					t.Fatalf("seed %d %s target %.4f: greedy %.9f != continuous optimum %.9f",
+						seed, obj, o.Target, got.cost, contWant)
 				}
 
-				// The public trimmed plan completes the target exactly and
-				// never costs more than the discrete solution it trims.
+				// The public plan completes the target exactly at the
+				// solver's cost.
 				plan, err := Optimize(lt, sig, o)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !plan.Feasible {
-					t.Fatalf("seed %d: trimmed plan infeasible where discrete feasible", seed)
+					t.Fatalf("seed %d: plan infeasible where solver feasible", seed)
 				}
 				if math.Abs(plan.Iterations-o.Target) > 1e-6*(1+o.Target) {
-					t.Fatalf("seed %d %s: trimmed plan completes %.9f iterations, want exactly %.9f",
+					t.Fatalf("seed %d %s: plan completes %.9f iterations, want exactly %.9f",
 						seed, obj, plan.Iterations, o.Target)
 				}
 				cost := planCost(plan)
 				if cost > got.cost+1e-9*(1+got.cost) {
-					t.Fatalf("seed %d %s: trimmed cost %.9f above discrete cost %.9f",
+					t.Fatalf("seed %d %s: plan cost %.9f above solver cost %.9f",
 						seed, obj, cost, got.cost)
 				}
 			}

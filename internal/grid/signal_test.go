@@ -207,3 +207,43 @@ func TestGenerate(t *testing.T) {
 		t.Fatal("different seeds produced identical jitter")
 	}
 }
+
+// TestParseRejectsInvalidRates pins the parse-layer hardening: NaN,
+// Inf, and negative carbon-intensity or price entries are rejected at
+// ParseCSV/ParseJSON instead of poisoning Optimize and Accrue
+// downstream (the same contract POST /grid/signal enforces over HTTP,
+// tested in internal/server).
+func TestParseRejectsInvalidRates(t *testing.T) {
+	csvCases := map[string]string{
+		"NaN carbon": "start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh\n0,3600,NaN,0.1\n",
+		"Inf carbon": "start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh\n0,3600,Inf,0.1\n",
+		"neg carbon": "start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh\n0,3600,-5,0.1\n",
+		"NaN price":  "start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh\n0,3600,400,NaN\n",
+		"neg price":  "start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh\n0,3600,400,-0.1\n",
+		"neg cap":    "start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh,cap_w\n0,3600,400,0.1,-100\n",
+		"Inf cap":    "start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh,cap_w\n0,3600,400,0.1,+Inf\n",
+	}
+	for name, body := range csvCases {
+		if _, err := ParseCSV(strings.NewReader(body)); err == nil {
+			t.Errorf("ParseCSV accepted %s", name)
+		}
+	}
+	jsonCases := map[string]string{
+		"neg carbon": `{"intervals":[{"start_s":0,"end_s":3600,"carbon_g_per_kwh":-5,"price_usd_per_kwh":0.1}]}`,
+		"neg price":  `{"intervals":[{"start_s":0,"end_s":3600,"carbon_g_per_kwh":400,"price_usd_per_kwh":-0.1}]}`,
+		"neg cap":    `{"intervals":[{"start_s":0,"end_s":3600,"carbon_g_per_kwh":400,"price_usd_per_kwh":0.1,"cap_w":-1}]}`,
+		// JSON cannot carry NaN/Inf literals: the decoder itself must
+		// reject them rather than zeroing the field.
+		"NaN carbon": `{"intervals":[{"start_s":0,"end_s":3600,"carbon_g_per_kwh":NaN,"price_usd_per_kwh":0.1}]}`,
+	}
+	for name, body := range jsonCases {
+		if _, err := ParseJSON(strings.NewReader(body)); err == nil {
+			t.Errorf("ParseJSON accepted %s", name)
+		}
+	}
+	// A valid trace still parses after all that.
+	if _, err := ParseCSV(strings.NewReader(
+		"start_s,end_s,carbon_g_per_kwh,price_usd_per_kwh\n0,3600,400,0.1\n")); err != nil {
+		t.Fatalf("valid CSV rejected: %v", err)
+	}
+}

@@ -227,10 +227,24 @@ func (p *planner) capOverride(r, k int) float64 {
 	return rem
 }
 
+// origin resolves the job's Origin region name to an index (Paused
+// when unset; validate guarantees a set name resolves).
+func (p *planner) origin(j *Job) int {
+	if j.Origin == "" {
+		return Paused
+	}
+	for i := range p.regions {
+		if p.regions[i].Name == j.Origin {
+			return i
+		}
+	}
+	return Paused
+}
+
 // evaluate compiles a placement into a composite signal and solves the
 // inner temporal subproblem exactly with grid.Optimize.
 func (p *planner) evaluate(j *Job, placement []int) (*eval, error) {
-	sig, mig, cellOf := compile(p.regions, p.cells, placement, p.opts.Migration, p.capOverride)
+	sig, mig, cellOf := compile(p.regions, p.cells, placement, p.origin(j), p.opts.Migration, p.capOverride)
 	plan, err := grid.Optimize(j.Table, sig, grid.Options{
 		Target:     j.Target,
 		DeadlineS:  j.DeadlineS,
@@ -714,7 +728,7 @@ func assemble(p *planner, jobs []Job, evals []*eval) *Plan {
 	for i := range jobs {
 		ev := evals[i]
 		arrivals := map[int]bool{}
-		for _, m := range migrations(ev.placement) {
+		for _, m := range migrations(p.origin(&jobs[i]), ev.placement) {
 			arrivals[m] = true
 		}
 		jp := JobPlan{

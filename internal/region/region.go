@@ -78,6 +78,13 @@ type Job struct {
 	// DeadlineS is the completion deadline in seconds from trace start;
 	// 0 means the planning horizon.
 	DeadlineS float64 `json:"deadline_s,omitempty"`
+
+	// Origin names the region the job currently occupies ("" = not yet
+	// placed). When set, the first placed cell counts as a migration if
+	// it differs from Origin — a rolling-horizon re-planner must pay to
+	// move a job that is already running somewhere, or the re-plan would
+	// treat every move as free.
+	Origin string `json:"origin,omitempty"`
 }
 
 func (j *Job) gpus() int {
@@ -149,10 +156,12 @@ func (r *Region) rates(c Cell) (carbon, price, capW float64) {
 // migrations lists the cells at whose start the job arrives in a new
 // region under the placement: every transition between two distinct
 // placed regions, pauses in between notwithstanding (the checkpoint
-// still has to move). The initial placement is free.
-func migrations(placement []int) []int {
+// still has to move). The initial placement is free unless origin
+// names the region the job already occupies (origin >= 0), in which
+// case the first placement elsewhere is a migration too.
+func migrations(origin int, placement []int) []int {
 	var out []int
-	prev := Paused
+	prev := origin
 	for k, r := range placement {
 		if r == Paused {
 			continue
@@ -174,9 +183,9 @@ func migrations(placement []int) []int {
 // the migration summary (count, downtime, and the transfer energy
 // priced at each arrival cell's rates) and the composite-interval →
 // cell mapping capacity accounting needs.
-func compile(regions []Region, cells []Cell, placement []int, mig MigrationCost, capOverride func(region, cell int) float64) (*grid.Signal, migSummary, []int) {
+func compile(regions []Region, cells []Cell, placement []int, origin int, mig MigrationCost, capOverride func(region, cell int) float64) (*grid.Signal, migSummary, []int) {
 	arrivals := map[int]bool{}
-	for _, m := range migrations(placement) {
+	for _, m := range migrations(origin, placement) {
 		arrivals[m] = true
 	}
 	var sum migSummary
@@ -308,6 +317,9 @@ func validate(regions []Region, jobs []Job, opts Options) error {
 		}
 		if math.IsNaN(j.DeadlineS) || j.DeadlineS < 0 {
 			return fmt.Errorf("region: job %q deadline must be non-negative, got %v", j.ID, j.DeadlineS)
+		}
+		if j.Origin != "" && !names[j.Origin] {
+			return fmt.Errorf("region: job %q origin %q is not a registered region", j.ID, j.Origin)
 		}
 	}
 	m := opts.Migration

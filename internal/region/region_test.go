@@ -2,6 +2,7 @@ package region
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"testing"
 
@@ -100,8 +101,25 @@ func TestMigrationsSemantics(t *testing.T) {
 		{[]int{0, Paused, 1}, []int{2}},
 		{[]int{0, Paused, 0}, nil},
 	}
+	// With an origin, the first placement elsewhere is a migration too.
+	originCases := []struct {
+		origin    int
+		placement []int
+		want      []int
+	}{
+		{0, []int{0, 0, 1}, []int{2}},
+		{0, []int{1, 1, 1}, []int{0}},
+		{0, []int{Paused, 1, 1}, []int{1}},
+		{1, []int{Paused, 1, 1}, nil},
+	}
+	for _, tc := range originCases {
+		got := migrations(tc.origin, tc.placement)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Fatalf("migrations(%d, %v) = %v, want %v", tc.origin, tc.placement, got, tc.want)
+		}
+	}
 	for _, tc := range cases {
-		got := migrations(tc.placement)
+		got := migrations(Paused, tc.placement)
 		if len(got) != len(tc.want) {
 			t.Fatalf("migrations(%v) = %v, want %v", tc.placement, got, tc.want)
 		}
@@ -126,7 +144,7 @@ func TestCompileCompositeSignal(t *testing.T) {
 	cells = []Cell{{0, 600}, {600, 1200}, {1200, 1800}}
 
 	mig := MigrationCost{DowntimeS: 100, EnergyJ: 3.6e6} // 1 kWh
-	sig, sum, cellOf := compile(regions, cells, []int{0, Paused, 1}, mig, nil)
+	sig, sum, cellOf := compile(regions, cells, []int{0, Paused, 1}, Paused, mig, nil)
 	if err := sig.Validate(); err != nil {
 		t.Fatalf("composite invalid: %v", err)
 	}
@@ -159,7 +177,7 @@ func TestCompileCompositeSignal(t *testing.T) {
 	}
 
 	// Downtime longer than the arrival cell spills into the next.
-	sig, _, _ = compile(regions, cells, []int{0, 1, 1}, MigrationCost{DowntimeS: 700}, nil)
+	sig, _, _ = compile(regions, cells, []int{0, 1, 1}, Paused, MigrationCost{DowntimeS: 700}, nil)
 	if err := sig.Validate(); err != nil {
 		t.Fatalf("spill composite invalid: %v", err)
 	}

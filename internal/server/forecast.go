@@ -1,0 +1,446 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"perseus/internal/forecast"
+	"perseus/internal/grid"
+)
+
+// ForecastRequest installs a forecast model over the installed grid
+// signal and issues a forecast from the revealed history.
+type ForecastRequest struct {
+	// Model selects the forecaster: persistence, seasonal, or smoothed.
+	Model string `json:"model"`
+
+	// Level is the uncertainty-band quantile level; 0 means 0.9.
+	Level float64 `json:"level,omitempty"`
+
+	// Quantile is the default planning quantile GET /grid/replan uses:
+	// 0 plans on the point forecast, higher values plan robustly
+	// against the pessimistic band.
+	Quantile float64 `json:"quantile,omitempty"`
+
+	// HorizonS extends the forecast coverage in signal seconds; 0
+	// means one full signal cycle beyond the current time.
+	HorizonS float64 `json:"horizon_s,omitempty"`
+}
+
+// ForecastResponse is an issued forecast plus the installed model
+// parameters.
+type ForecastResponse struct {
+	Model     string  `json:"model"`
+	Level     float64 `json:"level"`
+	Quantile  float64 `json:"quantile"`
+	IssuedS   float64 `json:"issued_s"`
+	HorizonS  float64 `json:"horizon_s"`
+	Intervals int     `json:"intervals"`
+
+	// Forecast is the issued forecast: point-forecast signal plus
+	// carbon and price bands.
+	Forecast *forecast.Forecast `json:"forecast"`
+}
+
+// ReplanInterval is one frozen (already executed) span of a job's
+// rolling-horizon schedule, with realized and predicted accounting —
+// exactly the controller's executed-interval record.
+type ReplanInterval = forecast.ExecutedInterval
+
+// ReplanResponse is a job's rolling-horizon schedule state: the frozen
+// executed prefix (realized against the installed signal, predicted
+// against the forecasts that planned it) and the freshly re-planned
+// remainder.
+type ReplanResponse struct {
+	JobID     string  `json:"job_id"`
+	Target    float64 `json:"target_iterations"`
+	DeadlineS float64 `json:"deadline_s"`
+	Objective string  `json:"objective"`
+	Quantile  float64 `json:"quantile"`
+
+	// Plans counts planner invocations for this schedule so far.
+	Plans int `json:"plans"`
+
+	// DoneIterations is the frozen prefix's progress;
+	// RemainingIterations is what the fresh plan still has to cover.
+	DoneIterations      float64 `json:"done_iterations"`
+	RemainingIterations float64 `json:"remaining_iterations"`
+
+	// Feasible reports whether the remaining target still fits before
+	// the deadline under the latest forecast.
+	Feasible bool `json:"feasible"`
+
+	// Frozen lists the executed spans in time order (signal seconds).
+	Frozen []ReplanInterval `json:"frozen,omitempty"`
+
+	// EnergyJ, CarbonG, and CostUSD total the frozen prefix (realized);
+	// PredCarbonG and PredCostUSD total what its planning forecasts
+	// predicted for it.
+	EnergyJ     float64 `json:"energy_j"`
+	CarbonG     float64 `json:"carbon_g"`
+	CostUSD     float64 `json:"cost_usd"`
+	PredCarbonG float64 `json:"pred_carbon_g"`
+	PredCostUSD float64 `json:"pred_cost_usd"`
+
+	// Remaining is the fresh plan for [RemainingOffsetS, DeadlineS),
+	// with interval times relative to RemainingOffsetS; nil once the
+	// target is complete.
+	Remaining        *grid.Plan `json:"remaining,omitempty"`
+	RemainingOffsetS float64    `json:"remaining_offset_s"`
+}
+
+// replanState is a job's rolling-horizon state between GET
+// /grid/replan calls. Guarded by Server.replanMu.
+type replanState struct {
+	target      float64
+	reqDeadline float64 // the raw request parameter (0 = default)
+	deadlineS   float64 // the effective deadline, pinned at creation
+	objective   grid.Objective
+	quantile    float64
+
+	offsetS   float64 // signal time of remaining's t = 0
+	doneIters float64
+	frozen    []ReplanInterval
+	remaining *grid.Plan
+	predSig   *grid.Signal // point forecast the remaining plan was built on
+	plans     int
+}
+
+func (s *Server) handleGridForecast(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req ForecastRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.SetForecast(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	case http.MethodGet:
+		resp, err := s.Forecast()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, resp)
+	default:
+		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+	}
+}
+
+// SetForecast installs a forecast model over the installed signal and
+// issues a fresh forecast from the history revealed so far — a
+// forecast *revision*: every job's predicted accrual is settled
+// against the previous forecast first, and subsequent re-plans run
+// against the new one.
+func (s *Server) SetForecast(req ForecastRequest) (ForecastResponse, error) {
+	model, err := forecast.ModelByName(req.Model)
+	if err != nil {
+		return ForecastResponse{}, err
+	}
+	level := req.Level
+	if level == 0 {
+		level = 0.9
+	}
+	if !(level > 0.5) || level >= 1 {
+		return ForecastResponse{}, fmt.Errorf("server: forecast band level must be in (0.5, 1), got %v", req.Level)
+	}
+	if math.IsNaN(req.Quantile) || req.Quantile < 0 || req.Quantile >= 1 {
+		return ForecastResponse{}, fmt.Errorf("server: forecast planning quantile must be in [0, 1), got %v", req.Quantile)
+	}
+	if math.IsNaN(req.HorizonS) || req.HorizonS < 0 {
+		return ForecastResponse{}, fmt.Errorf("server: forecast horizon must be non-negative, got %v", req.HorizonS)
+	}
+
+	// Settle every job's accounting under the previous forecast before
+	// the predicted rates change.
+	st := s.gridState()
+	if st.sig == nil {
+		return ForecastResponse{}, fmt.Errorf("server: no grid signal installed to forecast")
+	}
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.ord))
+	for _, id := range s.ord {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.accrueLocked(st)
+		j.mu.Unlock()
+	}
+
+	t := st.now.Sub(st.start).Seconds()
+	if t < 0 {
+		t = 0
+	}
+	fc, err := s.issueForecast(st.sig, model, level, t, req.HorizonS)
+	if err != nil {
+		return ForecastResponse{}, err
+	}
+
+	s.mu.Lock()
+	s.fmodel = model
+	s.flevel = level
+	s.fquant = req.Quantile
+	s.fcast = fc
+	s.fcastAt = st.now
+	s.mu.Unlock()
+	return ForecastResponse{
+		Model:     model.Name(),
+		Level:     level,
+		Quantile:  req.Quantile,
+		IssuedS:   fc.IssuedS,
+		HorizonS:  fc.Signal.Horizon(),
+		Intervals: len(fc.Signal.Intervals),
+		Forecast:  fc,
+	}, nil
+}
+
+// issueForecast runs the model over the signal's revealed history at
+// signal time t. The coverage always extends at least one full signal
+// cycle past t (rounded up to whole cycles), so a re-plan issued late
+// in the trace still sees a day ahead.
+func (s *Server) issueForecast(sig *grid.Signal, model forecast.Model, level, t, horizonS float64) (*forecast.Forecast, error) {
+	h := sig.Horizon()
+	horizon := math.Ceil((t+h)/h) * h
+	if horizonS > horizon {
+		horizon = horizonS
+	}
+	prov := &forecast.FromHistory{Truth: sig, Model: model, HorizonS: horizon, Level: level}
+	return prov.At(t)
+}
+
+// Forecast returns the latest issued forecast.
+func (s *Server) Forecast() (ForecastResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fcast == nil {
+		return ForecastResponse{}, fmt.Errorf("server: no forecast installed")
+	}
+	return ForecastResponse{
+		Model:     s.fmodel.Name(),
+		Level:     s.flevel,
+		Quantile:  s.fquant,
+		IssuedS:   s.fcast.IssuedS,
+		HorizonS:  s.fcast.Signal.Horizon(),
+		Intervals: len(s.fcast.Signal.Intervals),
+		Forecast:  s.fcast,
+	}, nil
+}
+
+func (s *Server) handleGridReplan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/grid/replan/")
+	if id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query()
+	parse := func(key string) (float64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	var target, deadline, quant float64
+	var err error
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{{"iterations", &target}, {"deadline", &deadline}, {"quantile", &quant}} {
+		if *f.dst, err = parse(f.key); err != nil {
+			http.Error(w, fmt.Sprintf("bad %s: %v", f.key, err), http.StatusBadRequest)
+			return
+		}
+	}
+	resp, err := s.Replan(id, target, deadline, q.Get("objective"), quant)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := s.job(id); !ok {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// Replan rolls a job's forecast-driven schedule forward to now: the
+// span executed since the previous call is frozen — its slices accrued
+// against the installed signal (realized) and against the forecast
+// that planned them (predicted) — and the remainder is re-planned with
+// grid.Optimize against a forecast freshly issued from the installed
+// model, completing target iterations by the deadline (signal seconds;
+// 0 means the forecast horizon). Changing any parameter restarts the
+// schedule from now. quantile 0 uses the installed default; values
+// above 0.5 plan against the pessimistic band (robust mode).
+func (s *Server) Replan(id string, target, deadline float64, objective string, quantile float64) (*ReplanResponse, error) {
+	j, ok := s.job(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	table := j.table
+	pipes := j.req.DataParallel
+	j.mu.Unlock()
+	if table == nil {
+		return nil, fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	if pipes <= 0 {
+		pipes = 1
+	}
+	if !(target > 0) || math.IsInf(target, 0) {
+		return nil, fmt.Errorf("server: replan target iterations must be positive and finite, got %v", target)
+	}
+
+	now := s.clock()
+	s.mu.Lock()
+	sig := s.signal
+	start := s.sigStart
+	model := s.fmodel
+	level := s.flevel
+	obj := s.objective
+	if quantile == 0 {
+		quantile = s.fquant
+	}
+	s.mu.Unlock()
+	if sig == nil {
+		return nil, fmt.Errorf("server: no grid signal installed")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("server: no forecast installed; POST /grid/forecast first")
+	}
+	if objective != "" {
+		var err error
+		if obj, err = grid.ParseObjective(objective); err != nil {
+			return nil, err
+		}
+	}
+	if math.IsNaN(quantile) || quantile < 0 || quantile >= 1 {
+		return nil, fmt.Errorf("server: replan quantile must be in [0, 1), got %v", quantile)
+	}
+	t := now.Sub(start).Seconds()
+	if t < 0 {
+		t = 0
+	}
+
+	if math.IsNaN(deadline) || deadline < 0 {
+		return nil, fmt.Errorf("server: replan deadline must be non-negative, got %v", deadline)
+	}
+
+	// Issue the latest forecast: the model re-reads everything the
+	// signal has revealed up to now.
+	fc, err := s.issueForecast(sig, model, level, t, deadline)
+	if err != nil {
+		return nil, err
+	}
+
+	s.replanMu.Lock()
+	defer s.replanMu.Unlock()
+	st := s.replans[id]
+	// The restart check compares the *requested* deadline: with the 0
+	// default the effective deadline is pinned once at state creation
+	// (the forecast horizon then), so the horizon growing with time on
+	// later calls is not mistaken for a parameter change.
+	if st == nil || st.target != target || st.reqDeadline != deadline ||
+		st.objective != obj || st.quantile != quantile {
+		eff := deadline
+		if eff == 0 {
+			eff = fc.Signal.Horizon()
+		}
+		if eff <= t {
+			return nil, fmt.Errorf("server: replan deadline %v not after now (%v s into the signal)", eff, t)
+		}
+		if eff > fc.Signal.Horizon()+1e-9 {
+			return nil, fmt.Errorf("server: replan deadline %v beyond forecast horizon %v", eff, fc.Signal.Horizon())
+		}
+		st = &replanState{
+			target: target, reqDeadline: deadline, deadlineS: eff,
+			objective: obj, quantile: quantile, offsetS: t,
+		}
+		s.replans[id] = st
+	}
+
+	// Freeze the span executed since the last plan: walk the previous
+	// remaining plan's intervals up to now.
+	if st.remaining != nil {
+		for _, ip := range st.remaining.Intervals {
+			absStart, absEnd := st.offsetS+ip.StartS, st.offsetS+ip.EndS
+			if absStart >= t-1e-9 {
+				break
+			}
+			if absEnd > t {
+				absEnd = t
+			}
+			ei := forecast.ExecuteSlices(table, sig, st.predSig, float64(pipes), absStart, absEnd, ip.Slices)
+			st.frozen = append(st.frozen, ei)
+			st.doneIters += ei.Iterations
+		}
+	}
+
+	// Re-plan the remainder against the fresh forecast.
+	remaining := st.target - st.doneIters
+	st.remaining = nil
+	st.predSig = fc.Signal
+	st.offsetS = t
+	feasible := true
+	if remaining > 1e-9*(1+st.target) && t >= st.deadlineS-1e-9 {
+		// The deadline has passed with work left: nothing to plan.
+		feasible = false
+	} else if remaining > 1e-9*(1+st.target) {
+		q := st.quantile
+		if q == 0 {
+			q = 0.5
+		}
+		suffix := forecast.Window(fc.At(q), t, st.deadlineS)
+		plan, err := grid.Optimize(table, suffix, grid.Options{
+			Target:     remaining,
+			Objective:  st.objective,
+			PowerScale: float64(pipes),
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.remaining = plan
+		st.plans++
+		feasible = plan.Feasible
+	} else {
+		remaining = 0
+	}
+
+	resp := &ReplanResponse{
+		JobID:               id,
+		Target:              st.target,
+		DeadlineS:           st.deadlineS,
+		Objective:           string(st.objective),
+		Quantile:            st.quantile,
+		Plans:               st.plans,
+		DoneIterations:      st.doneIters,
+		RemainingIterations: remaining,
+		Feasible:            feasible,
+		Frozen:              st.frozen,
+		Remaining:           st.remaining,
+		RemainingOffsetS:    st.offsetS,
+	}
+	for _, fi := range st.frozen {
+		resp.EnergyJ += fi.EnergyJ
+		resp.CarbonG += fi.CarbonG
+		resp.CostUSD += fi.CostUSD
+		resp.PredCarbonG += fi.PredCarbonG
+		resp.PredCostUSD += fi.PredCostUSD
+	}
+	return resp, nil
+}

@@ -66,11 +66,18 @@ func TestGridSignalEndpoint(t *testing.T) {
 		t.Fatalf("round-tripped signal %+v", got)
 	}
 
-	// Invalid signals and objectives are rejected with 400.
+	// Invalid signals and objectives are rejected with 400 — including
+	// negative and non-finite rates, which must never reach Optimize or
+	// the emissions accrual (the parse layer enforces the same contract
+	// for CSV/JSON files; see internal/grid).
 	for name, body := range map[string]string{
-		"bad objective": `{"signal":{"intervals":[{"start_s":0,"end_s":10,"carbon_g_per_kwh":1}]},"objective":"vibes"}`,
-		"empty signal":  `{"signal":{"intervals":[]}}`,
-		"gap":           `{"signal":{"intervals":[{"start_s":5,"end_s":10}]}}`,
+		"bad objective":  `{"signal":{"intervals":[{"start_s":0,"end_s":10,"carbon_g_per_kwh":1}]},"objective":"vibes"}`,
+		"empty signal":   `{"signal":{"intervals":[]}}`,
+		"gap":            `{"signal":{"intervals":[{"start_s":5,"end_s":10}]}}`,
+		"negative rate":  `{"signal":{"intervals":[{"start_s":0,"end_s":10,"carbon_g_per_kwh":-5}]}}`,
+		"negative price": `{"signal":{"intervals":[{"start_s":0,"end_s":10,"carbon_g_per_kwh":1,"price_usd_per_kwh":-0.1}]}}`,
+		"negative cap":   `{"signal":{"intervals":[{"start_s":0,"end_s":10,"carbon_g_per_kwh":1,"cap_w":-1}]}}`,
+		"nan carbon":     `{"signal":{"intervals":[{"start_s":0,"end_s":10,"carbon_g_per_kwh":NaN}]}}`,
 	} {
 		resp, err := http.Post(ts.URL+"/grid/signal", "application/json", strings.NewReader(body))
 		if err != nil {

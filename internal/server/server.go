@@ -26,6 +26,7 @@ import (
 
 	"perseus/internal/dag"
 	"perseus/internal/fleet"
+	"perseus/internal/forecast"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
 	"perseus/internal/grid"
@@ -124,11 +125,20 @@ type job struct {
 
 	// Emissions accounting: the deployed schedule's power draw is
 	// integrated against the grid signal from characterization on.
-	accSince   time.Time // accounting start (characterization time)
-	accAt      time.Time // last accrual
-	energyAccJ float64
-	carbonAccG float64
-	costAccUSD float64
+	// When a forecast is installed, the same draw is also integrated
+	// against the forecast's rates (while the job is unplaced), so
+	// predicted and realized accrual reconcile.
+	accSince    time.Time // accounting start (characterization time)
+	accAt       time.Time // last accrual
+	energyAccJ  float64
+	carbonAccG  float64
+	costAccUSD  float64
+	predCarbonG float64
+	predCostUSD float64
+	// predRealCarbonG is the realized carbon over exactly the spans the
+	// predicted account covers, so drift compares like with like even
+	// when the forecast predicted zero.
+	predRealCarbonG float64
 
 	// Placement: the datacenter region the job currently runs in ("" =
 	// unplaced; emissions then accrue against the global signal) and
@@ -173,6 +183,19 @@ type Server struct {
 	sigStart  time.Time
 	objective grid.Objective
 
+	// Forecast state: the installed model, the latest issued forecast
+	// (signal time, anchored like the signal itself), and the default
+	// robust planning quantile. replans holds per-job rolling-horizon
+	// re-planning state; replanMu serializes re-planning (read state →
+	// plan → write back).
+	fmodel   forecast.Model
+	flevel   float64
+	fquant   float64
+	fcast    *forecast.Forecast
+	fcastAt  time.Time
+	replans  map[string]*replanState
+	replanMu sync.Mutex
+
 	// regions are the registered datacenter regions, by name and in
 	// registration order.
 	regions map[string]*serverRegion
@@ -187,6 +210,7 @@ func New() *Server {
 	return &Server{
 		jobs:      map[string]*job{},
 		regions:   map[string]*serverRegion{},
+		replans:   map[string]*replanState{},
 		objective: grid.ObjectiveCarbon,
 		clock:     time.Now,
 	}
@@ -207,6 +231,10 @@ func New() *Server {
 //	POST /grid/signal              install a grid signal (carbon/price/cap trace)
 //	GET  /grid/signal              fetch the installed grid signal
 //	GET  /grid/plan/{id}           plan a job's temporal schedule over the signal
+//	POST /grid/forecast            install a forecast model and issue a forecast
+//	GET  /grid/forecast            fetch the latest issued forecast
+//	GET  /grid/replan/{id}         roll a job's schedule forward: freeze the executed
+//	                               prefix, re-plan the rest on the latest forecast
 //	POST /regions                  register a datacenter region (capacity + signal)
 //	GET  /regions                  list the registered regions
 //	GET  /regions/plan             plan all jobs' spatio-temporal schedules across regions
@@ -220,6 +248,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/fleet/status", s.handleFleetStatus)
 	mux.HandleFunc("/grid/signal", s.handleGridSignal)
 	mux.HandleFunc("/grid/plan/", s.handleGridPlan)
+	mux.HandleFunc("/grid/forecast", s.handleGridForecast)
+	mux.HandleFunc("/grid/replan/", s.handleGridReplan)
 	mux.HandleFunc("/regions", s.handleRegions)
 	mux.HandleFunc("/regions/plan", s.handleRegionsPlan)
 	return mux
@@ -749,6 +779,7 @@ func (s *Server) recomputeFleet() FleetStatusResponse {
 // accrual never nests the two locks.
 type gridState struct {
 	sig     *grid.Signal
+	fsig    *grid.Signal // latest issued point forecast (signal time, same anchor)
 	start   time.Time
 	now     time.Time
 	regions map[string]*serverRegion
@@ -764,7 +795,11 @@ func (s *Server) gridState() gridState {
 	for name, r := range s.regions {
 		regions[name] = r
 	}
-	return gridState{sig: s.signal, start: s.sigStart, now: now, regions: regions}
+	st := gridState{sig: s.signal, start: s.sigStart, now: now, regions: regions}
+	if s.fcast != nil {
+		st.fsig = s.fcast.Signal
+	}
+	return st
 }
 
 // deployedTimeLocked returns the anticipated iteration time the
@@ -827,6 +862,15 @@ func (j *job) accrueLocked(st gridState) {
 	j.energyAccJ += e
 	j.carbonAccG += c
 	j.costAccUSD += usd
+	// Predicted accrual: the same draw priced at the latest issued
+	// forecast's rates. Only meaningful against the global signal, so
+	// placed jobs (accruing at a region's rates) are skipped.
+	if st.fsig != nil && j.region == "" && st.sig != nil {
+		_, pc, pusd := grid.Accrue(st.fsig, j.accAt.Sub(st.start).Seconds(), st.now.Sub(st.start).Seconds(), power)
+		j.predCarbonG += pc
+		j.predCostUSD += pusd
+		j.predRealCarbonG += c
+	}
 	j.accAt = st.now
 }
 
@@ -862,6 +906,16 @@ type EmissionsResponse struct {
 	EnergyJ float64 `json:"energy_j"`
 	CarbonG float64 `json:"carbon_g"`
 	CostUSD float64 `json:"cost_usd"`
+
+	// PredCarbonG and PredCostUSD accrue the same draw at the latest
+	// issued forecast's rates (zero until POST /grid/forecast; global
+	// signal only — a placed job accrues at its region's rates, which
+	// the forecast does not cover). DriftCarbonG is realized minus
+	// predicted over exactly the forecast-covered spans: positive means
+	// the grid ran dirtier than forecast.
+	PredCarbonG  float64 `json:"pred_carbon_g"`
+	PredCostUSD  float64 `json:"pred_cost_usd"`
+	DriftCarbonG float64 `json:"drift_carbon_g"`
 }
 
 func (s *Server) handleGridSignal(w http.ResponseWriter, r *http.Request) {
@@ -895,7 +949,12 @@ func (s *Server) handleGridSignal(w http.ResponseWriter, r *http.Request) {
 // SetGridSignal validates and installs a grid trace, anchoring its
 // time 0 at the current wall clock, and sets the default planning
 // objective ("" keeps carbon). Emissions accrued so far are settled
-// against the previous signal first.
+// against the previous signal first, and all forecast and
+// rolling-horizon re-planning state is dropped: a forecast of the old
+// trace priced on the new one — or a frozen schedule prefix measured
+// against the old anchor — would silently corrupt every predicted
+// account downstream. Operators re-POST /grid/forecast after a signal
+// change.
 func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalResponse, error) {
 	obj, err := grid.ParseObjective(objective)
 	if err != nil {
@@ -922,7 +981,15 @@ func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalRes
 	s.signal = &sig
 	s.sigStart = st.now
 	s.objective = obj
+	s.fmodel = nil
+	s.flevel = 0
+	s.fquant = 0
+	s.fcast = nil
+	s.fcastAt = time.Time{}
 	s.mu.Unlock()
+	s.replanMu.Lock()
+	s.replans = map[string]*replanState{}
+	s.replanMu.Unlock()
 	return GridSignalResponse{
 		Name:      sig.Name,
 		Intervals: len(sig.Intervals),
@@ -1030,6 +1097,9 @@ func (s *Server) Emissions(id string) (EmissionsResponse, error) {
 		resp.EnergyJ = j.energyAccJ
 		resp.CarbonG = j.carbonAccG
 		resp.CostUSD = j.costAccUSD
+		resp.PredCarbonG = j.predCarbonG
+		resp.PredCostUSD = j.predCostUSD
+		resp.DriftCarbonG = j.predRealCarbonG - j.predCarbonG
 	}
 	return resp, nil
 }
