@@ -17,7 +17,11 @@ import (
 	"perseus/internal/gpu"
 	"perseus/internal/grid"
 	"perseus/internal/maxflow"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+	"perseus/internal/profile"
 	"perseus/internal/region"
+	"perseus/internal/server"
 )
 
 // benchScale keeps each experiment iteration around a second.
@@ -393,6 +397,99 @@ func BenchmarkRegionPlan(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchServer builds a server with one characterized job and a
+// 288-interval signal installed — the /grid/plan hot path's inputs.
+func benchServer(b *testing.B) (*server.Server, string, float64) {
+	b.Helper()
+	srv := server.New()
+	id, err := srv.Register(server.JobRequest{
+		Schedule: "1f1b", Stages: 2, Microbatches: 4, GPU: "A100-PCIe", Unit: 5e-3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := gpu.A100PCIe
+	m, err := model.GPT3("1.3b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := partition.MinImbalance(m.LayerCosts(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := profile.Workload{
+		Model: m, GPU: g, Stages: 2, Chunks: 1,
+		Partition: part.Boundaries, MicrobatchSize: 4, TensorParallel: 1,
+	}
+	refs, err := w.StageRefTimes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	up := server.ProfileUpload{PBlocking: profile.MeasurePBlocking(g)}
+	for v, ref := range refs {
+		for _, f := range g.Frequencies() {
+			up.Measurements = append(up.Measurements,
+				server.MeasurementJSON{Virtual: v, Kind: "forward", Freq: int(f),
+					Time: g.Time(ref, f, g.MemBoundFwd), Energy: g.Energy(ref, f, g.MemBoundFwd)},
+				server.MeasurementJSON{Virtual: v, Kind: "backward", Freq: int(f),
+					Time: g.Time(2*ref, f, g.MemBoundBwd), Energy: g.Energy(2*ref, f, g.MemBoundBwd)})
+		}
+	}
+	if err := srv.UploadProfile(id, up); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.WaitCharacterized(id); err != nil {
+		b.Fatal(err)
+	}
+	sig := grid.Generate(grid.GenOptions{Intervals: 288, IntervalS: 300, Jitter: 0.1, Seed: 3})
+	if _, err := srv.SetGridSignal(*sig, ""); err != nil {
+		b.Fatal(err)
+	}
+	lt, err := srv.Table(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := 0.5 * sig.Horizon() / lt.TStar()
+	return srv, id, target
+}
+
+// BenchmarkServerPlanCold measures /grid/plan's solve path with every
+// request missing the cache (each iteration asks a new target), i.e.
+// the pre-cache behavior of the endpoint.
+func BenchmarkServerPlanCold(b *testing.B) {
+	srv, id, target := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := srv.GridPlan(id, target+float64(i)*1e-6, 0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !plan.Feasible {
+			b.Fatal("benchmark target unexpectedly infeasible")
+		}
+	}
+}
+
+// BenchmarkServerPlanCached measures the same request stream when
+// every request after the first hits the single-flight plan cache —
+// the acceptance bar is ≥10× over BenchmarkServerPlanCold.
+func BenchmarkServerPlanCached(b *testing.B) {
+	srv, id, target := benchServer(b)
+	if _, err := srv.GridPlan(id, target, 0, ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := srv.GridPlan(id, target, 0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !plan.Feasible {
+			b.Fatal("benchmark target unexpectedly infeasible")
+		}
 	}
 }
 

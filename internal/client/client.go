@@ -510,6 +510,26 @@ func (c *ServerClient) InstallForecast(model string, level, quantile, horizonS f
 	return ack, err
 }
 
+// InstallRevisionsForecast installs the seeded noisy-revision issuer
+// over the installed grid signal: every issue (install, replan,
+// controller tick) sees the signal's future multiplied by seeded
+// lognormal innovations that drain as boundaries pass — the external
+// forecast feed the MPC experiments replay. sigma 0 uses the provider
+// default; horizonS extends coverage like InstallForecast.
+func (c *ServerClient) InstallRevisionsForecast(seed int64, sigma, level, quantile, horizonS float64) (ForecastAck, error) {
+	payload := struct {
+		Model    string  `json:"model"`
+		Level    float64 `json:"level,omitempty"`
+		Quantile float64 `json:"quantile,omitempty"`
+		HorizonS float64 `json:"horizon_s,omitempty"`
+		Seed     int64   `json:"seed,omitempty"`
+		Sigma    float64 `json:"sigma,omitempty"`
+	}{"revisions", level, quantile, horizonS, seed, sigma}
+	var ack ForecastAck
+	err := c.post("/grid/forecast", payload, &ack)
+	return ack, err
+}
+
 // FetchForecast returns the latest issued forecast.
 func (c *ServerClient) FetchForecast() (ForecastAck, error) {
 	var ack ForecastAck
@@ -572,4 +592,128 @@ func (c *ServerClient) FetchReplan(jobID string, iterations, deadline float64, o
 	var resp Replan
 	err := c.get("/grid/replan/"+jobID+"?"+q.Encode(), &resp)
 	return resp, err
+}
+
+// FetchScheduleIfChanged fetches the deployed schedule only if its
+// version moved past haveVersion, long-polling up to wait: the request
+// carries If-None-Match with the version's entity tag, and the server
+// blocks until a version bump or the wait expires. changed is false
+// (with a zero Schedule) on 304 Not Modified — the trainer keeps its
+// current schedule. This is how a trainer observes the background
+// controller's re-plans without ever calling /grid/replan.
+func (c *ServerClient) FetchScheduleIfChanged(jobID string, haveVersion int, wait time.Duration) (s Schedule, changed bool, err error) {
+	u := c.BaseURL + "/jobs/" + jobID + "/schedule"
+	if wait > 0 {
+		u += "?wait=" + strconv.FormatFloat(wait.Seconds(), 'g', -1, 64)
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return Schedule{}, false, err
+	}
+	req.Header.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.Itoa(haveVersion)))
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return Schedule{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return Schedule{}, false, nil
+	}
+	if resp.StatusCode >= 300 {
+		return Schedule{}, false, fmt.Errorf("client: GET %s: %s", u, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	return s, err == nil, err
+}
+
+// Rollout mirrors the server's read-only rolling-schedule view: the
+// replan state plus the job's schedule version and whether the
+// background controller manages it.
+type Rollout struct {
+	Replan
+	Version int  `json:"version"`
+	Managed bool `json:"managed"`
+}
+
+// FetchRollout returns the job's rolling-horizon schedule state
+// without triggering a re-plan.
+func (c *ServerClient) FetchRollout(jobID string) (Rollout, error) {
+	var r Rollout
+	err := c.get("/jobs/"+jobID+"/rollout", &r)
+	return r, err
+}
+
+// ControllerJobStatus mirrors one managed job's controller view.
+type ControllerJobStatus struct {
+	JobID               string  `json:"job_id"`
+	Version             int     `json:"version"`
+	Plans               int     `json:"plans"`
+	DoneIterations      float64 `json:"done_iterations"`
+	RemainingIterations float64 `json:"remaining_iterations"`
+	Feasible            bool    `json:"feasible"`
+	LastError           string  `json:"last_error,omitempty"`
+}
+
+// CacheStats mirrors the server's plan-cache counters.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// ControllerStatus mirrors the server's controller runtime status.
+// NextBoundaryS counts down, in seconds from now, to the next
+// signal-interval boundary the loop would tick at (-1 = no signal).
+type ControllerStatus struct {
+	Running       bool                  `json:"running"`
+	Ticks         int                   `json:"ticks"`
+	LastTickUnixS float64               `json:"last_tick_unix_s,omitempty"`
+	NextBoundaryS float64               `json:"next_boundary_s"`
+	Jobs          []ControllerJobStatus `json:"jobs"`
+	Cache         CacheStats            `json:"cache"`
+}
+
+// ManageJob puts the job's rolling-horizon schedule under the server
+// controller's management: the schedule is planned immediately and
+// re-planned at every subsequent controller tick, with version bumps
+// observable through FetchScheduleIfChanged.
+func (c *ServerClient) ManageJob(jobID string, iterations, deadline float64, objective string, quantile float64) (Replan, error) {
+	payload := struct {
+		JobID     string  `json:"job_id"`
+		Target    float64 `json:"iterations"`
+		DeadlineS float64 `json:"deadline_s,omitempty"`
+		Objective string  `json:"objective,omitempty"`
+		Quantile  float64 `json:"quantile,omitempty"`
+	}{jobID, iterations, deadline, objective, quantile}
+	var resp Replan
+	err := c.post("/controller/jobs", payload, &resp)
+	return resp, err
+}
+
+// StartController starts the server's background tick loop.
+func (c *ServerClient) StartController() (ControllerStatus, error) {
+	var st ControllerStatus
+	err := c.post("/controller/start", struct{}{}, &st)
+	return st, err
+}
+
+// StopController stops the server's background tick loop.
+func (c *ServerClient) StopController() (ControllerStatus, error) {
+	var st ControllerStatus
+	err := c.post("/controller/stop", struct{}{}, &st)
+	return st, err
+}
+
+// TickController runs one controller tick synchronously.
+func (c *ServerClient) TickController() (ControllerStatus, error) {
+	var st ControllerStatus
+	err := c.post("/controller/tick", struct{}{}, &st)
+	return st, err
+}
+
+// FetchControllerStatus returns the controller runtime status.
+func (c *ServerClient) FetchControllerStatus() (ControllerStatus, error) {
+	var st ControllerStatus
+	err := c.get("/controller", &st)
+	return st, err
 }

@@ -58,7 +58,7 @@ func ForecastComparison(lt *frontier.LookupTable, sc ForecastScenario) ([]Foreca
 		return nil, fmt.Errorf("experiments: mpc: %w", err)
 	}
 	robustOpts := opts
-	robustOpts.PlanQuantile = 0.9
+	robustOpts.Quantile = 0.9
 	robust, err := forecast.Replan(lt, prov, sc.Truth, robustOpts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: robust mpc: %w", err)
@@ -161,8 +161,11 @@ type RegionForecastStrategy struct {
 
 // RegionForecastComparison replays the multi-region analogue on a
 // fleet of regions: the perfect-foresight joint plan, plan-once on the
-// first forecasts, and rolling-horizon re-planning with migrations
-// charged from each job's current region.
+// first forecasts, rolling-horizon re-planning with migrations charged
+// from each job's current region, and the damped controller — the
+// hysteresis margin (re-plans see migration cost × 0.5, counteracting
+// rolling-horizon hesitation) combined with the robust 0.7-quantile,
+// the per-seed-parity rule region_mpc_test.go pins.
 func RegionForecastComparison(lt *frontier.LookupTable, regions []region.Region, target float64, mig region.MigrationCost, seed int64, sigma float64) ([]RegionForecastStrategy, error) {
 	jobs := []region.Job{{ID: "train", Table: lt, Target: target}}
 	opts := forecast.RegionOptions{Objective: grid.ObjectiveCarbon, Migration: mig}
@@ -184,10 +187,18 @@ func RegionForecastComparison(lt *frontier.LookupTable, regions []region.Region,
 	if err != nil {
 		return nil, fmt.Errorf("experiments: region mpc: %w", err)
 	}
+	dampedOpts := opts
+	dampedOpts.HysteresisMargin = 0.5
+	dampedOpts.PlanQuantile = 0.7
+	damped, err := forecast.ReplanRegions(regs, jobs, dampedOpts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: region damped mpc: %w", err)
+	}
 	return []RegionForecastStrategy{
 		{"oracle (perfect foresight)", oracle},
 		{"plan-once (first forecasts)", once},
 		{"MPC re-planning (migrating)", mpc},
+		{"MPC hysteresis (margin 0.5, q=0.70)", damped},
 	}, nil
 }
 

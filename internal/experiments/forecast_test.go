@@ -112,7 +112,7 @@ func TestRegionForecastComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(strategies) != 3 {
+	if len(strategies) != 4 {
 		t.Fatalf("got %d strategies", len(strategies))
 	}
 	for _, st := range strategies {

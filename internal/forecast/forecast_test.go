@@ -391,7 +391,7 @@ func TestRobustMPCPlansAgainstPessimisticQuantile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.PlanQuantile = 0.9
+	opts.Quantile = 0.9
 	robust, err := Replan(lt, prov, truth, opts)
 	if err != nil {
 		t.Fatal(err)

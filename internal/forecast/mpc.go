@@ -6,30 +6,17 @@ import (
 
 	"perseus/internal/frontier"
 	"perseus/internal/grid"
+	"perseus/internal/plan"
 )
 
-// Options parameterizes a rolling-horizon controller run.
-type Options struct {
-	// Target is the number of iterations to complete; must be positive.
-	Target float64
-
-	// DeadlineS is the completion deadline in signal seconds; 0 means
-	// the provider's forecast horizon. It may not exceed that horizon.
-	DeadlineS float64
-
-	// Objective selects what to minimize; "" means carbon.
-	Objective grid.Objective
-
-	// PowerScale multiplies the table's per-point average power (e.g.
-	// data-parallel replicas); <= 0 means 1.
-	PowerScale float64
-
-	// PlanQuantile is the forecast quantile the planner sees: 0 or 0.5
-	// plans on the point forecast; higher values plan robustly against
-	// a pessimistic band (distant hours that merely look clean are
-	// discounted by their uncertainty).
-	PlanQuantile float64
-}
+// Options parameterizes a rolling-horizon controller run. It is the
+// shared planning request: Target iterations by DeadlineS (0 = the
+// provider's forecast horizon, which it may not exceed) minimizing
+// Objective at PowerScale, with Quantile selecting the forecast
+// quantile the planner sees — 0 or 0.5 plans on the point forecast,
+// higher values plan robustly against the pessimistic band (distant
+// hours that merely look clean are discounted by their uncertainty).
+type Options = plan.Request
 
 // ExecutedInterval is one decision-grid interval the controller
 // actually ran: the slices it executed, what the forecast in force
@@ -44,19 +31,16 @@ type ExecutedInterval struct {
 	Slices []grid.Slice `json:"slices,omitempty"`
 	IdleS  float64      `json:"idle_s"`
 
-	// Iterations and EnergyJ are exact (they do not depend on rates).
+	// Iterations are exact (they do not depend on rates), as is the
+	// account's EnergyJ; CarbonG and CostUSD are realized at the truth
+	// signal's rates.
 	Iterations float64 `json:"iterations"`
-	EnergyJ    float64 `json:"energy_j"`
+	plan.Account
 
-	// CarbonG and CostUSD are realized at the truth signal's rates.
-	CarbonG float64 `json:"carbon_g"`
-	CostUSD float64 `json:"cost_usd"`
-
-	// PredCarbonG and PredCostUSD are what the forecast in force at
-	// planning time predicted for the same slices; the gap between the
-	// two is the per-interval reconciliation drift.
-	PredCarbonG float64 `json:"pred_carbon_g"`
-	PredCostUSD float64 `json:"pred_cost_usd"`
+	// The embedded plan.Predicted is what the forecast in force at
+	// planning time predicted for the same slices; the gap between it
+	// and the account is the per-interval reconciliation drift.
+	plan.Predicted
 
 	// Replanned marks the first interval executed after a fresh plan.
 	Replanned bool `json:"replanned,omitempty"`
@@ -82,30 +66,24 @@ type Outcome struct {
 	// FinishS is the time the target was reached (-1 when it never was).
 	FinishS float64 `json:"finish_s"`
 
-	// Iterations, EnergyJ, CarbonG, and CostUSD total the realized run.
-	Iterations float64 `json:"iterations"`
-	EnergyJ    float64 `json:"energy_j"`
-	CarbonG    float64 `json:"carbon_g"`
-	CostUSD    float64 `json:"cost_usd"`
-
-	// PredCarbonG and PredCostUSD total what the forecasts in force
+	// Iterations and the embedded plan.Account total the realized run;
+	// the embedded plan.Predicted totals what the forecasts in force
 	// predicted for the executed slices.
-	PredCarbonG float64 `json:"pred_carbon_g"`
-	PredCostUSD float64 `json:"pred_cost_usd"`
+	Iterations float64 `json:"iterations"`
+	plan.Account
+	plan.Predicted
 
 	// Intervals holds the executed intervals in time order.
 	Intervals []ExecutedInterval `json:"intervals"`
 }
 
-// Total reads the realized total matching the objective.
-func (o *Outcome) Total(obj grid.Objective) float64 {
-	switch obj {
-	case grid.ObjectiveCost:
-		return o.CostUSD
-	case grid.ObjectiveEnergy:
-		return o.EnergyJ
-	default:
-		return o.CarbonG
+// Summarize implements plan.Result.
+func (o *Outcome) Summarize() plan.Summary {
+	return plan.Summary{
+		Account:    o.Account,
+		Iterations: o.Iterations,
+		Plans:      o.Plans,
+		Feasible:   o.Feasible,
 	}
 }
 
@@ -153,20 +131,11 @@ func run(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Optio
 	if err := truth.Validate(); err != nil {
 		return nil, err
 	}
-	if !(opts.Target > 0) || math.IsInf(opts.Target, 0) {
-		return nil, fmt.Errorf("forecast: target iterations must be positive and finite, got %v", opts.Target)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	scale := opts.PowerScale
-	if scale <= 0 {
-		scale = 1
-	}
-	q := opts.PlanQuantile
-	if q == 0 {
-		q = 0.5
-	}
-	if q < 0 || q >= 1 || math.IsNaN(q) {
-		return nil, fmt.Errorf("forecast: plan quantile must be in [0, 1), got %v", opts.PlanQuantile)
-	}
+	scale := opts.Scale()
+	q := opts.PlanQuantile()
 
 	fc, err := prov.At(0)
 	if err != nil {
@@ -175,15 +144,12 @@ func run(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Optio
 	if err := fc.Validate(); err != nil {
 		return nil, err
 	}
-	deadline := opts.DeadlineS
-	if deadline == 0 {
-		deadline = fc.Signal.Horizon()
+	deadline, err := opts.ResolveDeadline(fc.Signal.Horizon())
+	if err != nil {
+		return nil, err
 	}
-	if math.IsNaN(deadline) || deadline <= 0 {
+	if deadline <= 0 {
 		return nil, fmt.Errorf("forecast: deadline must be positive, got %v", opts.DeadlineS)
-	}
-	if deadline > fc.Signal.Horizon()+1e-9 {
-		return nil, fmt.Errorf("forecast: deadline %v beyond forecast horizon %v", deadline, fc.Signal.Horizon())
 	}
 
 	// Decision times: t = 0, then (under re-planning) every forecast-
@@ -280,6 +246,34 @@ func run(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Optio
 	}
 	out.Feasible = out.Iterations >= opts.Target-1e-6*(1+opts.Target)
 	return out, nil
+}
+
+// Planner adapts the forecast-driven controllers to the shared
+// plan.Planner contract: one job's table executed against a truth
+// trace under a forecast provider, with Replan selecting rolling-
+// horizon MPC (true) or plan-once (false). The request's Quantile
+// flows through as the robust planning quantile.
+type Planner struct {
+	Table    *frontier.LookupTable
+	Provider Provider
+	Truth    *grid.Signal
+	Replan   bool
+}
+
+// Name implements plan.Planner.
+func (p *Planner) Name() string {
+	if p.Replan {
+		return "forecast-mpc"
+	}
+	return "forecast-plan-once"
+}
+
+// Plan implements plan.Planner.
+func (p *Planner) Plan(req plan.Request) (plan.Result, error) {
+	if p.Replan {
+		return Replan(p.Table, p.Provider, p.Truth, req)
+	}
+	return PlanOnce(p.Table, p.Provider, p.Truth, req)
 }
 
 // ExecuteSlices runs a planned interval's slices (back-to-back from

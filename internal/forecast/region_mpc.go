@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"perseus/internal/grid"
+	"perseus/internal/plan"
 	"perseus/internal/region"
 )
 
@@ -33,23 +34,46 @@ type RegionOptions struct {
 	// PlanQuantile is the forecast quantile each re-plan sees; 0 or
 	// 0.5 plans on the point forecast.
 	PlanQuantile float64
+
+	// HysteresisMargin controls the switching-cost rule under forecast
+	// revisions: every re-plan after the first sees the migration cost
+	// (downtime and transfer energy) scaled by this factor, so it only
+	// migrates when the predicted savings exceed the real migration
+	// cost times the margin. Execution always charges the real cost.
+	// 0 means 1 (the planner's raw behavior). Margins above 1 damp
+	// revision-noise flip-flopping; margins below 1 counteract
+	// rolling-horizon hesitation — the shrinking remaining window
+	// understates a move's value (savings accrue over the rest of the
+	// run, but each re-plan only sees to the deadline), so the raw
+	// controller systematically under-migrates and can lose per-seed to
+	// a lucky plan-once. region_mpc_test.go pins a margin restoring
+	// per-seed parity on the bundled pair.
+	HysteresisMargin float64
+}
+
+// planMigration resolves the migration cost a re-plan at decision time
+// d sees: the initial plan (d = 0, committing nothing yet) and
+// margin 0 keep the real cost.
+func (o RegionOptions) planMigration(d float64) region.MigrationCost {
+	m := o.Migration
+	if d > 0 && o.HysteresisMargin > 0 {
+		m.DowntimeS *= o.HysteresisMargin
+		m.EnergyJ *= o.HysteresisMargin
+	}
+	return m
 }
 
 // RegionJobOutcome is one job's realized multi-region outcome.
 type RegionJobOutcome struct {
 	JobID string `json:"job_id"`
 
-	// Iterations, EnergyJ, CarbonG, and CostUSD are realized against
-	// each region's truth trace (migration transfer energy included).
-	Iterations float64 `json:"iterations"`
-	EnergyJ    float64 `json:"energy_j"`
-	CarbonG    float64 `json:"carbon_g"`
-	CostUSD    float64 `json:"cost_usd"`
-
-	// PredCarbonG and PredCostUSD are what the forecasts in force
+	// Iterations and the embedded plan.Account are realized against
+	// each region's truth trace (migration transfer energy included);
+	// the embedded plan.Predicted is what the forecasts in force
 	// predicted for the same execution.
-	PredCarbonG float64 `json:"pred_carbon_g"`
-	PredCostUSD float64 `json:"pred_cost_usd"`
+	Iterations float64 `json:"iterations"`
+	plan.Account
+	plan.Predicted
 
 	// Migrations counts executed region changes; DowntimeS and
 	// TransferJ total their pause cost.
@@ -70,25 +94,19 @@ type RegionOutcome struct {
 	Plans    int                `json:"plans"`
 	Jobs     []RegionJobOutcome `json:"jobs"`
 
-	EnergyJ     float64 `json:"energy_j"`
-	CarbonG     float64 `json:"carbon_g"`
-	CostUSD     float64 `json:"cost_usd"`
-	PredCarbonG float64 `json:"pred_carbon_g"`
-	PredCostUSD float64 `json:"pred_cost_usd"`
+	plan.Account
+	plan.Predicted
 
 	Feasible bool `json:"feasible"`
 }
 
-// Total reads the realized total matching the objective.
-func (o *RegionOutcome) Total(obj grid.Objective) float64 {
-	switch obj {
-	case grid.ObjectiveCost:
-		return o.CostUSD
-	case grid.ObjectiveEnergy:
-		return o.EnergyJ
-	default:
-		return o.CarbonG
+// Summarize implements plan.Result.
+func (o *RegionOutcome) Summarize() plan.Summary {
+	s := plan.Summary{Account: o.Account, Plans: o.Plans, Feasible: o.Feasible}
+	for i := range o.Jobs {
+		s.Iterations += o.Jobs[i].Iterations
 	}
+	return s
 }
 
 // ReplanRegions is the multi-region rolling-horizon controller: at
@@ -233,8 +251,11 @@ func runRegions(regs []ForecastRegion, jobs []region.Job, opts RegionOptions, re
 		if len(rjobs) == 0 {
 			break
 		}
+		// The switching-cost margin: re-plans see a scaled migration
+		// cost (see RegionOptions.HysteresisMargin), while execution
+		// below always charges the real one.
 		plan, err := region.Optimize(fregions, rjobs, region.Options{
-			Objective: opts.Objective, Migration: opts.Migration,
+			Objective: opts.Objective, Migration: opts.planMigration(d),
 		})
 		if err != nil {
 			return nil, err
@@ -248,15 +269,19 @@ func runRegions(regs []ForecastRegion, jobs []region.Job, opts RegionOptions, re
 			// Residue of a checkpoint transfer begun in an EARLIER span:
 			// the plan just built knows nothing about it (it only sees
 			// the new Origin), so execution must keep idling through it.
-			// Downtime from migrations inside this span is already
-			// encoded in the plan itself (compile force-idles it), so it
-			// must NOT clip — it would wipe out work scheduled before
-			// the arrival.
+			// In-span migration downtime is handled separately below: the
+			// plan encodes it (compile force-idles the arrival), so the
+			// cross-span residue alone must not clip work scheduled
+			// before the arrival.
 			pausePrev := st.pausedTo
 			scale := 1.0
 			if job.PowerScale > 0 {
 				scale = job.PowerScale
 			}
+			// arrivals lists this span's migration arrival times: under a
+			// sub-1 hysteresis margin the plan force-idles less than the
+			// real transfer, and the overrun must be clipped at execution.
+			var arrivals []float64
 			spanRegion := ""
 			for _, a := range jp.Assignments {
 				if a.StartS >= span-1e-9 {
@@ -273,6 +298,7 @@ func runRegions(regs []ForecastRegion, jobs []region.Job, opts RegionOptions, re
 					st.out.TransferJ += opts.Migration.EnergyJ
 					st.out.EnergyJ += opts.Migration.EnergyJ
 					at := d + a.StartS
+					arrivals = append(arrivals, at)
 					// The checkpoint transfer may outlast this decision
 					// span; the residue must still pause the job after the
 					// next re-plan (which only knows the new Origin).
@@ -308,6 +334,20 @@ func runRegions(regs []ForecastRegion, jobs []region.Job, opts RegionOptions, re
 				absStart := d + ip.StartS
 				if pausePrev > absStart {
 					slices, absStart = clipPaused(slices, absStart, pausePrev)
+				}
+				// Downtime from migrations inside this span is encoded in
+				// the plan itself (compile force-idles the arrival) — but
+				// only at the margin-scaled duration. Work the plan put
+				// between the scaled and the real transfer end does not
+				// physically happen: clip it. Intervals before the arrival
+				// are untouched (their absStart precedes it), so this is
+				// exact, and a margin >= 1 never clips (the plan already
+				// idles at least the real transfer).
+				for _, at := range arrivals {
+					until := at + opts.Migration.DowntimeS
+					if absStart >= at-1e-9 && absStart < until-1e-9 {
+						slices, absStart = clipPaused(slices, absStart, until)
+					}
 				}
 				ei := ExecuteSlices(job.Table, truths[rIdx], fsignals[rIdx], scale,
 					absStart, d+math.Min(ip.EndS, span), slices)

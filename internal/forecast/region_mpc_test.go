@@ -112,6 +112,79 @@ func TestRegionMPCUnderRevisions(t *testing.T) {
 	}
 }
 
+// TestRegionMPCHysteresisMargin pins the switching-cost-aware rule the
+// ROADMAP asked for: the raw rolling-horizon controller hesitates — at
+// each re-plan the shrinking remaining window understates a move's
+// value, so it can decline a migration a lucky plan-once committed to
+// early and lose to it per-seed (up to ~7% on the bundled pair). With
+// the hysteresis margin scaling the re-planner's view of migration
+// cost (0.5: savings need only clear half the real cost, counteracting
+// the myopia) plus the robust 0.7-quantile, every bundled seed is at
+// parity with plan-once (within 0.5%) or strictly better, and the
+// aggregate is strictly better — while execution still charges the
+// real migration cost and idles the real transfer window.
+func TestRegionMPCHysteresisMargin(t *testing.T) {
+	pair, jobs, opts := regionTestSetup()
+	mk := func(seed int64) []ForecastRegion {
+		regs := make([]ForecastRegion, len(pair))
+		for i, r := range pair {
+			regs[i] = ForecastRegion{Region: r, Provider: &Revisions{
+				Truth: r.Signal, Seed: seed + int64(i)*100, Sigma: 0.15,
+			}}
+		}
+		return regs
+	}
+	damped := opts
+	damped.HysteresisMargin = 0.5
+	damped.PlanQuantile = 0.7
+
+	var sumOnce, sumMPC float64
+	hesitated := false
+	for seed := int64(1); seed <= 6; seed++ {
+		regs := mk(seed)
+		once, err := PlanOnceRegions(regs, jobs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpc, err := ReplanRegions(regs, jobs, damped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !once.Feasible || !mpc.Feasible {
+			t.Fatalf("seed %d: plan-once feasible=%v, damped mpc feasible=%v", seed, once.Feasible, mpc.Feasible)
+		}
+		// Equal iterations completed: the margin is a planning-time
+		// view only, execution still pays real downtime and energy.
+		if math.Abs(once.Jobs[0].Iterations-mpc.Jobs[0].Iterations) > 1e-6*(1+jobs[0].Target) {
+			t.Fatalf("seed %d: iterations differ: %v vs %v", seed, once.Jobs[0].Iterations, mpc.Jobs[0].Iterations)
+		}
+		// Per-seed parity or better.
+		if mpc.CarbonG > once.CarbonG*1.005 {
+			t.Fatalf("seed %d: damped MPC %v g loses to plan-once %v g beyond the parity band",
+				seed, mpc.CarbonG, once.CarbonG)
+		}
+		sumOnce += once.CarbonG
+		sumMPC += mpc.CarbonG
+
+		// Document the pathology the margin fixes: wherever the raw
+		// controller declined every migration and realized more carbon,
+		// the damped controller moved.
+		raw, err := ReplanRegions(regs, jobs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw.Jobs[0].Migrations == 0 && mpc.Jobs[0].Migrations > 0 && raw.CarbonG > mpc.CarbonG {
+			hesitated = true
+		}
+	}
+	if !(sumMPC < sumOnce) {
+		t.Fatalf("damped MPC aggregate %v not strictly below plan-once %v", sumMPC, sumOnce)
+	}
+	if !hesitated {
+		t.Fatal("no seed exhibited the hesitation the margin exists to fix — the scenario no longer exercises it")
+	}
+}
+
 func TestRegionMPCChargesMigrationFromOrigin(t *testing.T) {
 	pair, jobs, opts := regionTestSetup()
 	// Start the job in the region whose valley comes second: a planner

@@ -5,37 +5,33 @@ import (
 	"math"
 
 	"perseus/internal/frontier"
+	"perseus/internal/plan"
 )
 
-// Objective selects what a temporal plan minimizes.
-type Objective string
+// Objective selects what a temporal plan minimizes. It is an alias of
+// plan.Objective — the shared vocabulary every planning layer uses.
+type Objective = plan.Objective
 
 const (
 	// ObjectiveCarbon minimizes total gCO₂ emitted.
-	ObjectiveCarbon Objective = "carbon"
+	ObjectiveCarbon = plan.ObjectiveCarbon
 
 	// ObjectiveCost minimizes total electricity cost in $.
-	ObjectiveCost Objective = "cost"
+	ObjectiveCost = plan.ObjectiveCost
 
 	// ObjectiveEnergy minimizes total energy in joules, ignoring the
 	// signal's rates (useful as a signal-blind control).
-	ObjectiveEnergy Objective = "energy"
+	ObjectiveEnergy = plan.ObjectiveEnergy
 )
 
 // ParseObjective maps a string to an Objective ("" means carbon).
 func ParseObjective(s string) (Objective, error) {
-	switch Objective(s) {
-	case "":
-		return ObjectiveCarbon, nil
-	case ObjectiveCarbon, ObjectiveCost, ObjectiveEnergy:
-		return Objective(s), nil
-	}
-	return "", fmt.Errorf("grid: unknown objective %q (want carbon, cost, or energy)", s)
+	return plan.ParseObjective(s)
 }
 
 // PerJoule returns the objective's weight of one joule consumed during
 // the interval.
-func (o Objective) PerJoule(iv Interval) float64 {
+func PerJoule(o Objective, iv Interval) float64 {
 	switch o {
 	case ObjectiveCost:
 		return iv.PriceUSDPerKWh / JoulesPerKWh
@@ -101,12 +97,10 @@ type IntervalPlan struct {
 	// IdleS is the planned pause time within the interval.
 	IdleS float64 `json:"idle_s"`
 
-	// Iterations, EnergyJ, CarbonG, and CostUSD are the interval's
+	// Iterations and the embedded plan.Account are the interval's
 	// planned outcomes.
 	Iterations float64 `json:"iterations"`
-	EnergyJ    float64 `json:"energy_j"`
-	CarbonG    float64 `json:"carbon_g"`
-	CostUSD    float64 `json:"cost_usd"`
+	plan.Account
 }
 
 // Plan is a temporal frequency-plan schedule: one operating choice per
@@ -124,11 +118,9 @@ type Plan struct {
 	// allowed point (the best-effort maximum).
 	Feasible bool `json:"feasible"`
 
-	// Iterations, EnergyJ, CarbonG, and CostUSD total the plan.
+	// Iterations and the embedded plan.Account total the plan.
 	Iterations float64 `json:"iterations"`
-	EnergyJ    float64 `json:"energy_j"`
-	CarbonG    float64 `json:"carbon_g"`
-	CostUSD    float64 `json:"cost_usd"`
+	plan.Account
 
 	// FinishS is the time the target is reached, assuming each
 	// interval's slices run back-to-back from the interval start; -1
@@ -138,6 +130,46 @@ type Plan struct {
 
 	// Intervals holds the per-interval plans in time order.
 	Intervals []IntervalPlan `json:"intervals"`
+}
+
+// Summarize implements plan.Result.
+func (p *Plan) Summarize() plan.Summary {
+	return plan.Summary{
+		Account:    p.Account,
+		Iterations: p.Iterations,
+		Plans:      1,
+		Feasible:   p.Feasible,
+	}
+}
+
+// Total reads the plan total matching its objective.
+func (p *Plan) Total() float64 { return p.Account.Total(p.Objective) }
+
+// Planner adapts the temporal planner to the shared plan.Planner
+// contract: one characterized job's lookup table over one signal.
+type Planner struct {
+	// Table is the job's characterized frontier lookup table.
+	Table *frontier.LookupTable
+
+	// Signal is the grid trace to plan over.
+	Signal *Signal
+
+	// NoIdle forbids pausing (Options.NoIdle).
+	NoIdle bool
+}
+
+// Name implements plan.Planner.
+func (p *Planner) Name() string { return "grid" }
+
+// Plan implements plan.Planner.
+func (p *Planner) Plan(req plan.Request) (plan.Result, error) {
+	return Optimize(p.Table, p.Signal, Options{
+		Target:     req.Target,
+		DeadlineS:  req.DeadlineS,
+		Objective:  req.Objective,
+		PowerScale: req.PowerScale,
+		NoIdle:     p.NoIdle,
+	})
 }
 
 // planInterval is the solver's working state for one interval.
@@ -184,10 +216,20 @@ type solution struct {
 	obj      Objective
 }
 
+// request maps the options to the shared planning request.
+func (o Options) request() plan.Request {
+	return plan.Request{
+		Target:     o.Target,
+		DeadlineS:  o.DeadlineS,
+		Objective:  o.Objective,
+		PowerScale: o.PowerScale,
+	}
+}
+
 // normalize validates the planning inputs shared by Optimize and Fixed
-// and resolves the option defaults: deadline 0 means the signal
-// horizon (and may not exceed it), PowerScale <= 0 means 1, objective
-// "" means carbon.
+// and resolves the option defaults through the shared plan.Request
+// rules: deadline 0 means the signal horizon (and may not exceed it),
+// PowerScale <= 0 means 1, objective "" means carbon.
 func normalize(lt *frontier.LookupTable, sig *Signal, opts Options) (deadline, scale float64, obj Objective, err error) {
 	if lt == nil || len(lt.Points) == 0 {
 		return 0, 0, "", fmt.Errorf("grid: planning needs a characterized frontier table")
@@ -198,28 +240,15 @@ func normalize(lt *frontier.LookupTable, sig *Signal, opts Options) (deadline, s
 	if err := sig.Validate(); err != nil {
 		return 0, 0, "", err
 	}
-	if !(opts.Target > 0) || math.IsInf(opts.Target, 0) {
-		return 0, 0, "", fmt.Errorf("grid: target iterations must be positive and finite, got %v", opts.Target)
-	}
-	obj, err = ParseObjective(string(opts.Objective))
-	if err != nil {
+	req := opts.request()
+	if err := req.Validate(); err != nil {
 		return 0, 0, "", err
 	}
-	deadline = opts.DeadlineS
-	if math.IsNaN(deadline) || deadline < 0 {
-		return 0, 0, "", fmt.Errorf("grid: deadline must be non-negative, got %v", deadline)
+	if deadline, err = req.ResolveDeadline(sig.Horizon()); err != nil {
+		return 0, 0, "", err
 	}
-	if deadline == 0 {
-		deadline = sig.Horizon()
-	}
-	if deadline > sig.Horizon() {
-		return 0, 0, "", fmt.Errorf("grid: deadline %v beyond signal horizon %v", deadline, sig.Horizon())
-	}
-	scale = opts.PowerScale
-	if scale <= 0 {
-		scale = 1
-	}
-	return deadline, scale, obj, nil
+	obj, _ = ParseObjective(string(opts.Objective))
+	return deadline, req.Scale(), obj, nil
 }
 
 // Optimize plans a job's temporal schedule over the signal: one
@@ -337,7 +366,7 @@ func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, erro
 	n := len(lt.Points)
 	sol := &solution{deadline: d, scale: scale, obj: obj}
 	for _, iv := range win.Intervals {
-		pi := planInterval{iv: iv, dur: iv.Duration(), perJ: obj.PerJoule(iv), cur: -1, lo: 0}
+		pi := planInterval{iv: iv, dur: iv.Duration(), perJ: PerJoule(obj, iv), cur: -1, lo: 0}
 		if iv.CapW > 0 {
 			pi.lo = lt.FirstUnderPower(iv.CapW / scale)
 			if pi.lo < 0 {

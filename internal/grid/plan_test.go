@@ -63,7 +63,7 @@ func bruteForce(lt *frontier.LookupTable, sig *Signal, opts Options) (best float
 		if lo >= 0 {
 			for p := lo; p < n; p++ {
 				walk(k+1, cover+d/lt.PointTime(p),
-					cost+obj.PerJoule(iv)*scale*lt.AvgPower(p)*d)
+					cost+PerJoule(obj, iv)*scale*lt.AvgPower(p)*d)
 			}
 		}
 	}
@@ -110,7 +110,7 @@ func bruteForceContinuous(lt *frontier.LookupTable, sig *Signal, opts Options) (
 			return 0, 0
 		}
 		dur := win.Intervals[k].Duration()
-		return dur / lt.PointTime(p), obj.PerJoule(win.Intervals[k]) * scale * lt.AvgPower(p) * dur
+		return dur / lt.PointTime(p), PerJoule(obj, win.Intervals[k]) * scale * lt.AvgPower(p) * dur
 	}
 	// For each fractional (interval fk, from, to): enumerate the other
 	// intervals' whole choices and solve the fraction.
@@ -156,7 +156,7 @@ func bruteForceContinuous(lt *frontier.LookupTable, sig *Signal, opts Options) (
 					dur := iv.Duration()
 					for p := lo[k]; p < n; p++ {
 						walk(k+1, cover+dur/lt.PointTime(p),
-							cost+obj.PerJoule(iv)*scale*lt.AvgPower(p)*dur)
+							cost+PerJoule(obj, iv)*scale*lt.AvgPower(p)*dur)
 					}
 				}
 			}

@@ -1,0 +1,205 @@
+package plan_test
+
+import (
+	"math"
+	"testing"
+
+	"perseus/internal/fleet"
+	"perseus/internal/forecast"
+	"perseus/internal/frontier"
+	"perseus/internal/grid"
+	"perseus/internal/plan"
+	"perseus/internal/region"
+)
+
+func TestParseObjective(t *testing.T) {
+	for s, want := range map[string]plan.Objective{
+		"":       plan.ObjectiveCarbon,
+		"carbon": plan.ObjectiveCarbon,
+		"cost":   plan.ObjectiveCost,
+		"energy": plan.ObjectiveEnergy,
+	} {
+		got, err := plan.ParseObjective(s)
+		if err != nil || got != want {
+			t.Errorf("ParseObjective(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := plan.ParseObjective("vibes"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	good := plan.Request{Target: 10, DeadlineS: 100, Quantile: 0.9, CapW: 500}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, req := range map[string]plan.Request{
+		"zero target":      {},
+		"negative target":  {Target: -1},
+		"infinite target":  {Target: math.Inf(1)},
+		"NaN deadline":     {Target: 1, DeadlineS: math.NaN()},
+		"infinite dl":      {Target: 1, DeadlineS: math.Inf(1)},
+		"negative dl":      {Target: 1, DeadlineS: -1},
+		"bad objective":    {Target: 1, Objective: "vibes"},
+		"quantile too big": {Target: 1, Quantile: 1},
+		"quantile < 0":     {Target: 1, Quantile: -0.1},
+		"NaN cap":          {Target: 1, CapW: math.NaN()},
+		"negative cap":     {Target: 1, CapW: -2},
+	} {
+		if err := req.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestResolveDeadline(t *testing.T) {
+	r := plan.Request{Target: 1}
+	if d, err := r.ResolveDeadline(3600); err != nil || d != 3600 {
+		t.Fatalf("default deadline = %v, %v", d, err)
+	}
+	r.DeadlineS = 1800
+	if d, err := r.ResolveDeadline(3600); err != nil || d != 1800 {
+		t.Fatalf("explicit deadline = %v, %v", d, err)
+	}
+	r.DeadlineS = 3601
+	if _, err := r.ResolveDeadline(3600); err == nil {
+		t.Fatal("deadline beyond horizon accepted")
+	}
+}
+
+func TestRequestDefaults(t *testing.T) {
+	var r plan.Request
+	if r.Scale() != 1 {
+		t.Errorf("zero PowerScale should resolve to 1, got %v", r.Scale())
+	}
+	if r.PlanQuantile() != 0.5 {
+		t.Errorf("zero Quantile should resolve to 0.5, got %v", r.PlanQuantile())
+	}
+	r.PowerScale, r.Quantile = 4, 0.9
+	if r.Scale() != 4 || r.PlanQuantile() != 0.9 {
+		t.Errorf("explicit values not preserved: %v, %v", r.Scale(), r.PlanQuantile())
+	}
+}
+
+func TestAccount(t *testing.T) {
+	a := plan.Account{EnergyJ: 1, CarbonG: 2, CostUSD: 3}
+	a.Accumulate(plan.Account{EnergyJ: 10, CarbonG: 20, CostUSD: 30})
+	if a.EnergyJ != 11 || a.CarbonG != 22 || a.CostUSD != 33 {
+		t.Fatalf("accumulate: %+v", a)
+	}
+	for obj, want := range map[plan.Objective]float64{
+		plan.ObjectiveEnergy: 11,
+		plan.ObjectiveCarbon: 22,
+		plan.ObjectiveCost:   33,
+		"":                   22, // default = carbon
+	} {
+		if got := a.Total(obj); got != want {
+			t.Errorf("Total(%q) = %v, want %v", obj, got, want)
+		}
+	}
+	p := plan.Predicted{PredCarbonG: 1, PredCostUSD: 2}
+	p.Accumulate(plan.Predicted{PredCarbonG: 3, PredCostUSD: 4})
+	if p.PredCarbonG != 4 || p.PredCostUSD != 6 {
+		t.Fatalf("predicted accumulate: %+v", p)
+	}
+}
+
+// convexTable builds a small convex E(t) frontier table, the family
+// every solver's optimality argument assumes.
+func convexTable() *frontier.LookupTable {
+	lt := &frontier.LookupTable{Unit: 0.01, TminUnits: 80, TStarUnits: 120}
+	for u := int64(80); u <= 120; u++ {
+		t := float64(u) * lt.Unit
+		lt.Points = append(lt.Points, frontier.TablePoint{
+			TimeUnits: u, Energy: 3000 + 120/t,
+		})
+	}
+	return lt
+}
+
+func flatSignal(name string, carbon float64) *grid.Signal {
+	s := &grid.Signal{Name: name}
+	for k := 0; k < 4; k++ {
+		s.Intervals = append(s.Intervals, grid.Interval{
+			StartS: float64(k) * 900, EndS: float64(k+1) * 900,
+			CarbonGPerKWh: carbon, PriceUSDPerKWh: 0.1,
+		})
+	}
+	return s
+}
+
+// TestPlannersShareOneContract is the unification check the package
+// exists for: the grid temporal planner, the joint multi-region
+// planner, the forecast-driven MPC controller, and the fleet power-cap
+// allocator all solve the same plan.Request through plan.Planner and
+// summarize into the same surface.
+func TestPlannersShareOneContract(t *testing.T) {
+	lt := convexTable()
+	sig := flatSignal("flat", 300)
+	target := 0.5 * sig.Horizon() / lt.TStar()
+	req := plan.Request{Target: target, DeadlineS: sig.Horizon(), CapW: 1e6}
+
+	planners := []plan.Planner{
+		&grid.Planner{Table: lt, Signal: sig},
+		&region.Planner{
+			Regions: []region.Region{{Name: "a", Signal: sig}},
+			Jobs:    []region.Job{{ID: "train", Table: lt}},
+		},
+		&forecast.Planner{
+			Table:    lt,
+			Provider: &forecast.Perfect{Truth: sig},
+			Truth:    sig,
+			Replan:   true,
+		},
+		&fleet.Planner{Jobs: []fleet.Job{{ID: "train", Table: lt}}},
+	}
+	seen := map[string]bool{}
+	for _, p := range planners {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate planner name %q", p.Name())
+		}
+		seen[p.Name()] = true
+		res, err := p.Plan(req)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		sum := res.Summarize()
+		if !sum.Feasible {
+			t.Fatalf("%s: infeasible under an easy request: %+v", p.Name(), sum)
+		}
+		if p.Name() == "fleet" {
+			if sum.PowerW <= 0 {
+				t.Fatalf("fleet summary has no power: %+v", sum)
+			}
+			continue
+		}
+		if math.Abs(sum.Iterations-target) > 1e-6*(1+target) {
+			t.Fatalf("%s: iterations %v, want %v", p.Name(), sum.Iterations, target)
+		}
+		if sum.EnergyJ <= 0 || sum.CarbonG <= 0 || sum.CostUSD <= 0 {
+			t.Fatalf("%s: empty account: %+v", p.Name(), sum)
+		}
+		if sum.Plans < 1 {
+			t.Fatalf("%s: plans %d", p.Name(), sum.Plans)
+		}
+	}
+	// The grid and region planners solve the same single-region problem:
+	// their realized carbon agrees.
+	g, _ := planners[0].Plan(req)
+	r, _ := planners[1].Plan(req)
+	if math.Abs(g.Summarize().CarbonG-r.Summarize().CarbonG) > 1e-6*(1+g.Summarize().CarbonG) {
+		t.Fatalf("grid %v vs region %v carbon on the same problem",
+			g.Summarize().CarbonG, r.Summarize().CarbonG)
+	}
+
+	// A request every layer must reject.
+	for _, p := range planners[:3] {
+		if _, err := p.Plan(plan.Request{Target: -1}); err == nil {
+			t.Errorf("%s: negative target accepted", p.Name())
+		}
+	}
+	if _, err := planners[3].Plan(plan.Request{CapW: math.NaN()}); err == nil {
+		t.Error("fleet: NaN cap accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"perseus/internal/grid"
+	pln "perseus/internal/plan"
 )
 
 // Options parameterizes the multi-region planner.
@@ -69,10 +70,8 @@ type JobPlan struct {
 	MigrationCarbonG   float64 `json:"migration_carbon_g"`
 	MigrationCostUSD   float64 `json:"migration_cost_usd"`
 
-	// EnergyJ, CarbonG, and CostUSD total the job including migration.
-	EnergyJ float64 `json:"energy_j"`
-	CarbonG float64 `json:"carbon_g"`
-	CostUSD float64 `json:"cost_usd"`
+	// The embedded plan.Account totals the job including migration.
+	pln.Account
 
 	// Feasible reports whether the job completes its target by its
 	// deadline under the placement.
@@ -97,25 +96,60 @@ type Plan struct {
 	// Jobs holds the per-job schedules in input order.
 	Jobs []JobPlan `json:"jobs"`
 
-	// EnergyJ, CarbonG, and CostUSD total the plan including migration.
-	EnergyJ float64 `json:"energy_j"`
-	CarbonG float64 `json:"carbon_g"`
-	CostUSD float64 `json:"cost_usd"`
+	// The embedded plan.Account totals the plan including migration.
+	pln.Account
 
 	// Feasible reports whether every job meets its target and deadline.
 	Feasible bool `json:"feasible"`
 }
 
 // Total reads the plan total matching its objective.
-func (p *Plan) Total() float64 {
-	switch p.Objective {
-	case grid.ObjectiveCost:
-		return p.CostUSD
-	case grid.ObjectiveEnergy:
-		return p.EnergyJ
-	default:
-		return p.CarbonG
+func (p *Plan) Total() float64 { return p.Account.Total(p.Objective) }
+
+// Summarize implements plan.Result.
+func (p *Plan) Summarize() pln.Summary {
+	s := pln.Summary{Account: p.Account, Plans: 1, Feasible: p.Feasible}
+	for i := range p.Jobs {
+		if p.Jobs[i].Temporal != nil {
+			s.Iterations += p.Jobs[i].Temporal.Iterations
+		}
 	}
+	return s
+}
+
+// Planner adapts the joint spatio-temporal planner to the shared
+// plan.Planner contract: a fixed fleet of regions and jobs, with the
+// request supplying the objective and per-job target/deadline defaults
+// (jobs carrying their own keep them).
+type Planner struct {
+	Regions   []Region
+	Jobs      []Job
+	Migration MigrationCost
+	Rounds    int
+}
+
+// Name implements plan.Planner.
+func (p *Planner) Name() string { return "region" }
+
+// Plan implements plan.Planner.
+func (p *Planner) Plan(req pln.Request) (pln.Result, error) {
+	jobs := append([]Job(nil), p.Jobs...)
+	for i := range jobs {
+		if jobs[i].Target <= 0 {
+			jobs[i].Target = req.Target
+		}
+		if jobs[i].DeadlineS <= 0 {
+			jobs[i].DeadlineS = req.DeadlineS
+		}
+		if jobs[i].PowerScale <= 0 && req.PowerScale > 0 {
+			jobs[i].PowerScale = req.PowerScale
+		}
+	}
+	return Optimize(p.Regions, jobs, Options{
+		Objective: req.Objective,
+		Migration: p.Migration,
+		Rounds:    p.Rounds,
+	})
 }
 
 // eval is one evaluated placement candidate for one job.
@@ -739,10 +773,12 @@ func assemble(p *planner, jobs []Job, evals []*eval) *Plan {
 			MigrationEnergyJ:   ev.mig.energyJ,
 			MigrationCarbonG:   ev.mig.carbonG,
 			MigrationCostUSD:   ev.mig.costUSD,
-			EnergyJ:            ev.plan.EnergyJ + ev.mig.energyJ,
-			CarbonG:            ev.plan.CarbonG + ev.mig.carbonG,
-			CostUSD:            ev.plan.CostUSD + ev.mig.costUSD,
-			Feasible:           ev.feasible,
+			Account: pln.Account{
+				EnergyJ: ev.plan.EnergyJ + ev.mig.energyJ,
+				CarbonG: ev.plan.CarbonG + ev.mig.carbonG,
+				CostUSD: ev.plan.CostUSD + ev.mig.costUSD,
+			},
+			Feasible: ev.feasible,
 		}
 		for k, c := range p.cells {
 			jp.Assignments = append(jp.Assignments, Assignment{

@@ -315,8 +315,8 @@ func validate(regions []Region, jobs []Job, opts Options) error {
 		if !(j.Target > 0) || math.IsInf(j.Target, 0) {
 			return fmt.Errorf("region: job %q target must be positive and finite, got %v", j.ID, j.Target)
 		}
-		if math.IsNaN(j.DeadlineS) || j.DeadlineS < 0 {
-			return fmt.Errorf("region: job %q deadline must be non-negative, got %v", j.ID, j.DeadlineS)
+		if math.IsNaN(j.DeadlineS) || math.IsInf(j.DeadlineS, 0) || j.DeadlineS < 0 {
+			return fmt.Errorf("region: job %q deadline must be finite and non-negative, got %v", j.ID, j.DeadlineS)
 		}
 		if j.Origin != "" && !names[j.Origin] {
 			return fmt.Errorf("region: job %q origin %q is not a registered region", j.ID, j.Origin)

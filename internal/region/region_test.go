@@ -51,6 +51,7 @@ func TestValidateErrors(t *testing.T) {
 		{"no table", good, []Job{{ID: "j", Target: 1}}, Options{}},
 		{"bad target", good, []Job{{ID: "j", Table: lt, Target: -1}}, Options{}},
 		{"bad deadline", good, []Job{{ID: "j", Table: lt, Target: 1, DeadlineS: -3}}, Options{}},
+		{"inf deadline", good, []Job{{ID: "j", Table: lt, Target: 1, DeadlineS: math.Inf(1)}}, Options{}},
 		{"bad migration", good, []Job{goodJob}, Options{Migration: MigrationCost{DowntimeS: -1}}},
 		{"bad objective", good, []Job{goodJob}, Options{Objective: "vibes"}},
 	}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sync"
+
+	"perseus/internal/grid"
+)
+
+// planKey identifies one cacheable planning problem: the plan-input
+// generation (epoch — bumped on signal re-install and forecast
+// revision), the content hash of the frontier the plan is solved over
+// (re-characterization changes it), and the request parameters.
+type planKey struct {
+	epoch     int
+	table     uint64
+	target    float64
+	deadline  float64
+	objective grid.Objective
+	scale     int
+}
+
+// cacheEntry is one in-flight or completed solve. done closes when the
+// plan (or error) is ready; followers wait on it instead of solving —
+// single-flight de-duplication.
+type cacheEntry struct {
+	done chan struct{}
+	plan *grid.Plan
+	err  error
+}
+
+// maxPlanCacheEntries bounds the cache between epochs: a client
+// sweeping distinct parameters would otherwise grow it without limit
+// until the next signal or forecast install. At the cap the whole map
+// is flushed (epoch-style) rather than tracking per-entry recency —
+// the hot pattern the cache exists for is many identical requests, and
+// a rare flush only costs those one re-solve each.
+const maxPlanCacheEntries = 1024
+
+// planCache memoizes plan solves. Entries never expire by time: a key
+// embeds the epoch and frontier hash, so every input change makes a
+// fresh key, clear() drops the dead generations wholesale, and the
+// size cap flushes parameter sweeps.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*cacheEntry
+	hits    int64
+	misses  int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: map[planKey]*cacheEntry{}}
+}
+
+// do returns the cached plan for key, or runs solve exactly once per
+// key no matter how many callers arrive concurrently. Errors are not
+// cached: the failed entry is removed so a later identical request
+// retries.
+func (c *planCache) do(key planKey, solve func() (*grid.Plan, error)) (*grid.Plan, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.plan, e.err
+	}
+	if len(c.entries) >= maxPlanCacheEntries {
+		c.entries = map[planKey]*cacheEntry{}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.plan, e.err = solve()
+	if e.err != nil {
+		c.mu.Lock()
+		// Only this flight owns the key (clear() may have dropped it
+		// already, or a fresh flight may own it after a clear — leave
+		// someone else's entry alone).
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.plan, e.err
+}
+
+// clear drops every entry (the plan inputs changed).
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[planKey]*cacheEntry{}
+}
+
+// CacheStats reports the plan cache's cumulative hit/miss counters and
+// current size.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// CacheStats returns the plan cache counters (test and ops hook; also
+// reported by GET /controller).
+func (s *Server) CacheStats() CacheStats {
+	c := s.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}

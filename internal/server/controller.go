@@ -1,0 +1,342 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"strings"
+	"sync"
+	"time"
+)
+
+// managedJob records the planning request a job was managed with (the
+// schedule itself pins the effective parameters; these are kept for
+// re-managing and status) plus the job's last tick error.
+type managedJob struct {
+	target    float64
+	deadline  float64
+	objective string
+	quantile  float64
+	lastErr   string
+}
+
+// controller is the background MPC runtime: a long-lived loop that
+// wakes at every grid-signal interval boundary, rolls every managed
+// job's rolling-horizon schedule forward — executed prefix frozen,
+// remainder re-planned on a freshly issued forecast — and bumps each
+// job's schedule version so long-polling clients observe the change
+// without ever calling /grid/replan themselves. Ticks and client
+// replan calls share one serialized roll-forward (Server.replanMu), so
+// the two can never disagree about the frozen prefix.
+type controller struct {
+	s *Server
+
+	mu       sync.Mutex
+	managed  map[string]managedJob
+	order    []string
+	running  bool
+	stop     chan struct{}
+	done     chan struct{}
+	ticks    int
+	lastTick time.Time
+}
+
+// ControllerJobStatus is one managed job's view in the controller
+// status.
+type ControllerJobStatus struct {
+	JobID               string  `json:"job_id"`
+	Version             int     `json:"version"`
+	Plans               int     `json:"plans"`
+	DoneIterations      float64 `json:"done_iterations"`
+	RemainingIterations float64 `json:"remaining_iterations"`
+	Feasible            bool    `json:"feasible"`
+	LastError           string  `json:"last_error,omitempty"`
+}
+
+// ControllerStatus is the controller runtime's observable state.
+type ControllerStatus struct {
+	Running bool `json:"running"`
+
+	// Ticks counts completed controller ticks.
+	Ticks int `json:"ticks"`
+
+	// LastTickUnixS is the wall-clock time of the last tick (0 = none).
+	LastTickUnixS float64 `json:"last_tick_unix_s,omitempty"`
+
+	// NextBoundaryS is the countdown, in seconds from now, to the next
+	// interval boundary the background loop would tick at (-1 without
+	// a signal).
+	NextBoundaryS float64 `json:"next_boundary_s"`
+
+	// Jobs lists the managed jobs in management order.
+	Jobs []ControllerJobStatus `json:"jobs"`
+
+	// Cache reports the plan cache counters.
+	Cache CacheStats `json:"cache"`
+}
+
+// ControllerJobRequest puts a job's rolling schedule under controller
+// management.
+type ControllerJobRequest struct {
+	JobID     string  `json:"job_id"`
+	Target    float64 `json:"iterations"`
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+	Objective string  `json:"objective,omitempty"`
+	Quantile  float64 `json:"quantile,omitempty"`
+}
+
+// manages reports whether the controller owns the job's schedule.
+func (c *controller) manages(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.managed[id]
+	return ok
+}
+
+// reset drops every managed job (the signal, and with it every rolling
+// schedule, was replaced).
+func (c *controller) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.managed = map[string]managedJob{}
+	c.order = nil
+}
+
+// ManageJob registers a job's rolling-horizon schedule with the
+// controller: the schedule is created (or rolled forward) immediately
+// with plan #1, and every subsequent tick rolls it forward. Re-managing
+// with different parameters restarts the schedule, exactly like a
+// parameter change on GET /grid/replan; a signal re-install drops both
+// the schedule and the management, and the job must be re-managed.
+func (s *Server) ManageJob(id string, target, deadline float64, objective string, quantile float64) (*ReplanResponse, error) {
+	resp, err := s.Replan(id, target, deadline, objective, quantile)
+	if err != nil {
+		return nil, err
+	}
+	c := &s.ctrl
+	c.mu.Lock()
+	if _, ok := c.managed[id]; !ok {
+		c.order = append(c.order, id)
+	}
+	c.managed[id] = managedJob{target: target, deadline: deadline, objective: objective, quantile: quantile}
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// TickController runs one controller tick synchronously: every managed
+// job's existing schedule rolls forward to now (a tick never creates
+// state — only ManageJob and client replans do, so a tick racing a
+// signal re-install cannot resurrect a dropped schedule). Per-job
+// errors are recorded in the status rather than aborting the tick —
+// one broken job must not stall the fleet's control loop.
+func (s *Server) TickController() ControllerStatus {
+	c := &s.ctrl
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	c.mu.Unlock()
+
+	errs := map[string]string{}
+	for _, id := range ids {
+		if !c.manages(id) {
+			continue // un-managed since the snapshot (signal change)
+		}
+		if err := s.advanceManaged(id); err != nil {
+			errs[id] = err.Error()
+		}
+	}
+
+	now := s.st.now()
+	c.mu.Lock()
+	c.ticks++
+	c.lastTick = now
+	for id, msg := range errs {
+		if mj, ok := c.managed[id]; ok {
+			mj.lastErr = msg
+			c.managed[id] = mj
+		}
+	}
+	// Clear errors for jobs that recovered.
+	for id, mj := range c.managed {
+		if _, bad := errs[id]; !bad && mj.lastErr != "" {
+			mj.lastErr = ""
+			c.managed[id] = mj
+		}
+	}
+	c.mu.Unlock()
+	return s.ControllerStatus()
+}
+
+// StartController starts the background tick loop. The loop sleeps
+// until the next signal-interval boundary (polling while no signal is
+// installed), ticks, and repeats until StopController. Idempotent.
+func (s *Server) StartController() {
+	c := &s.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return
+	}
+	c.running = true
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run(c.stop, c.done)
+}
+
+// StopController stops the background tick loop and waits for it to
+// exit. Managed jobs stay managed; manual ticks keep working.
+func (s *Server) StopController() {
+	c := &s.ctrl
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// noSignalPoll is how often the background loop re-checks for a signal
+// when none is installed.
+const noSignalPoll = 250 * time.Millisecond
+
+func (c *controller) run(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		// Without a signal there are no boundaries: re-check shortly,
+		// but do not tick — a tick would inflate the counter and take
+		// the roll-forward lock for nothing. With one, sleep to the
+		// next boundary (signal seconds map 1:1 to wall seconds),
+		// nudged slightly past the edge so the tick lands inside the
+		// new interval.
+		b, ok := c.s.nextBoundary()
+		d := noSignalPoll
+		if ok {
+			d = time.Duration(b*float64(time.Second)) + 5*time.Millisecond
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+			if ok {
+				c.s.TickController()
+			}
+		}
+	}
+}
+
+// nextBoundary returns the seconds until the next cyclic interval
+// boundary of the installed signal.
+func (s *Server) nextBoundary() (float64, bool) {
+	now := s.st.now()
+	s.st.mu.Lock()
+	sig := s.st.signal
+	start := s.st.sigStart
+	s.st.mu.Unlock()
+	if sig == nil || sig.Horizon() <= 0 {
+		return 0, false
+	}
+	ts := now.Sub(start).Seconds()
+	h := sig.Horizon()
+	pos := math.Mod(ts, h)
+	if pos < 0 {
+		pos += h
+	}
+	for _, iv := range sig.Intervals {
+		if iv.EndS > pos+1e-9 {
+			return iv.EndS - pos, true
+		}
+	}
+	return h - pos, true
+}
+
+// ControllerStatus reports the controller runtime's state.
+func (s *Server) ControllerStatus() ControllerStatus {
+	c := &s.ctrl
+	c.mu.Lock()
+	st := ControllerStatus{Running: c.running, Ticks: c.ticks}
+	if !c.lastTick.IsZero() {
+		st.LastTickUnixS = float64(c.lastTick.UnixNano()) / 1e9
+	}
+	ids := append([]string(nil), c.order...)
+	errs := make(map[string]string, len(c.managed))
+	for id, mj := range c.managed {
+		errs[id] = mj.lastErr
+	}
+	c.mu.Unlock()
+
+	st.NextBoundaryS = -1
+	if b, ok := s.nextBoundary(); ok {
+		st.NextBoundaryS = b
+	}
+	for _, id := range ids {
+		js := ControllerJobStatus{JobID: id, LastError: errs[id]}
+		s.replanMu.Lock()
+		if rs, ok := s.replans[id]; ok {
+			view := replanView(id, rs)
+			js.Plans = view.Plans
+			js.DoneIterations = view.DoneIterations
+			js.RemainingIterations = view.RemainingIterations
+			js.Feasible = view.Feasible
+		}
+		s.replanMu.Unlock()
+		if j, ok := s.st.job(id); ok {
+			j.mu.Lock()
+			js.Version = j.version
+			j.mu.Unlock()
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	st.Cache = s.CacheStats()
+	return st
+}
+
+func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.ControllerStatus())
+}
+
+func (s *Server) handleControllerAction(w http.ResponseWriter, r *http.Request) {
+	action := strings.TrimPrefix(r.URL.Path, "/controller/")
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	switch action {
+	case "jobs":
+		var req ControllerJobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.ManageJob(req.JobID, req.Target, req.DeadlineS, req.Objective, req.Quantile)
+		if err != nil {
+			status := http.StatusBadRequest
+			if _, ok := s.st.job(req.JobID); !ok {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, resp)
+	case "start":
+		s.StartController()
+		writeJSON(w, s.ControllerStatus())
+	case "stop":
+		s.StopController()
+		writeJSON(w, s.ControllerStatus())
+	case "tick":
+		writeJSON(w, s.TickController())
+	default:
+		http.Error(w, fmt.Sprintf("unknown controller action %q", action), http.StatusNotFound)
+	}
+}

@@ -7,15 +7,21 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"perseus/internal/forecast"
+	"perseus/internal/frontier"
 	"perseus/internal/grid"
 )
 
-// ForecastRequest installs a forecast model over the installed grid
+// ForecastRequest installs a forecast issuer over the installed grid
 // signal and issues a forecast from the revealed history.
 type ForecastRequest struct {
-	// Model selects the forecaster: persistence, seasonal, or smoothed.
+	// Model selects the forecaster: persistence, seasonal, or smoothed
+	// (history-driven models), or "revisions" — the seeded noisy-
+	// revision feed that simulates an external forecast provider over
+	// the installed signal, the issuer the background controller's MPC
+	// experiments replay.
 	Model string `json:"model"`
 
 	// Level is the uncertainty-band quantile level; 0 means 0.9.
@@ -29,9 +35,15 @@ type ForecastRequest struct {
 	// HorizonS extends the forecast coverage in signal seconds; 0
 	// means one full signal cycle beyond the current time.
 	HorizonS float64 `json:"horizon_s,omitempty"`
+
+	// Seed and Sigma parameterize the "revisions" issuer (ignored for
+	// history-driven models): Seed selects the innovation stream and
+	// Sigma the per-step relative innovation (0 = the provider default).
+	Seed  int64   `json:"seed,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
 }
 
-// ForecastResponse is an issued forecast plus the installed model
+// ForecastResponse is an issued forecast plus the installed issuer
 // parameters.
 type ForecastResponse struct {
 	Model     string  `json:"model"`
@@ -44,6 +56,28 @@ type ForecastResponse struct {
 	// Forecast is the issued forecast: point-forecast signal plus
 	// carbon and price bands.
 	Forecast *forecast.Forecast `json:"forecast"`
+}
+
+// forecastSpec is the installed forecast issuer: either a history-
+// driven model or the seeded revisions feed. It is immutable once
+// installed; provider() materializes a forecast.Provider for one issue
+// time's horizon.
+type forecastSpec struct {
+	name     string
+	model    forecast.Model // nil for the revisions issuer
+	seed     int64
+	sigma    float64
+	level    float64
+	quantile float64
+}
+
+// provider returns the issuer as a forecast.Provider covering at least
+// horizonS of the signal.
+func (fs *forecastSpec) provider(sig *grid.Signal, horizonS float64) forecast.Provider {
+	if fs.model != nil {
+		return &forecast.FromHistory{Truth: sig, Model: fs.model, HorizonS: horizonS, Level: fs.level}
+	}
+	return &forecast.Revisions{Truth: sig, Seed: fs.seed, Sigma: fs.sigma, HorizonS: horizonS, Level: fs.level}
 }
 
 // ReplanInterval is one frozen (already executed) span of a job's
@@ -93,14 +127,16 @@ type ReplanResponse struct {
 	RemainingOffsetS float64    `json:"remaining_offset_s"`
 }
 
-// replanState is a job's rolling-horizon state between GET
-// /grid/replan calls. Guarded by Server.replanMu.
+// replanState is a job's rolling-horizon state between roll-forwards
+// (client GET /grid/replan calls and controller ticks share it).
+// Guarded by Server.replanMu.
 type replanState struct {
 	target      float64
 	reqDeadline float64 // the raw request parameter (0 = default)
 	deadlineS   float64 // the effective deadline, pinned at creation
 	objective   grid.Objective
-	quantile    float64
+	reqQuantile float64 // the raw request parameter (0 = installed default)
+	quantile    float64 // the effective quantile, pinned at creation
 
 	offsetS   float64 // signal time of remaining's t = 0
 	doneIters float64
@@ -108,6 +144,9 @@ type replanState struct {
 	remaining *grid.Plan
 	predSig   *grid.Signal // point forecast the remaining plan was built on
 	plans     int
+	frevSeen  int  // forecast revision the remaining plan was built on
+	feasible  bool // latest feasibility verdict
+	needPlan  bool // last re-plan failed; retry on the next roll-forward
 }
 
 func (s *Server) handleGridForecast(w http.ResponseWriter, r *http.Request) {
@@ -136,15 +175,20 @@ func (s *Server) handleGridForecast(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// SetForecast installs a forecast model over the installed signal and
+// SetForecast installs a forecast issuer over the installed signal and
 // issues a fresh forecast from the history revealed so far — a
 // forecast *revision*: every job's predicted accrual is settled
-// against the previous forecast first, and subsequent re-plans run
-// against the new one.
+// against the previous forecast first, subsequent re-plans run against
+// the new issuer, and the plan-cache epoch advances.
 func (s *Server) SetForecast(req ForecastRequest) (ForecastResponse, error) {
-	model, err := forecast.ModelByName(req.Model)
-	if err != nil {
-		return ForecastResponse{}, err
+	spec := &forecastSpec{name: req.Model, seed: req.Seed, sigma: req.Sigma}
+	if req.Model != "revisions" {
+		model, err := forecast.ModelByName(req.Model)
+		if err != nil {
+			return ForecastResponse{}, err
+		}
+		spec.model = model
+		spec.name = model.Name()
 	}
 	level := req.Level
 	if level == 0 {
@@ -156,46 +200,42 @@ func (s *Server) SetForecast(req ForecastRequest) (ForecastResponse, error) {
 	if math.IsNaN(req.Quantile) || req.Quantile < 0 || req.Quantile >= 1 {
 		return ForecastResponse{}, fmt.Errorf("server: forecast planning quantile must be in [0, 1), got %v", req.Quantile)
 	}
-	if math.IsNaN(req.HorizonS) || req.HorizonS < 0 {
-		return ForecastResponse{}, fmt.Errorf("server: forecast horizon must be non-negative, got %v", req.HorizonS)
+	if math.IsNaN(req.HorizonS) || math.IsInf(req.HorizonS, 0) || req.HorizonS < 0 {
+		return ForecastResponse{}, fmt.Errorf("server: forecast horizon must be finite and non-negative, got %v", req.HorizonS)
 	}
+	if math.IsNaN(req.Sigma) || req.Sigma < 0 || req.Sigma > 2 {
+		return ForecastResponse{}, fmt.Errorf("server: forecast revision sigma must be in [0, 2], got %v", req.Sigma)
+	}
+	spec.level = level
+	spec.quantile = req.Quantile
 
 	// Settle every job's accounting under the previous forecast before
 	// the predicted rates change.
-	st := s.gridState()
-	if st.sig == nil {
+	gs := s.st.gridState()
+	if gs.sig == nil {
 		return ForecastResponse{}, fmt.Errorf("server: no grid signal installed to forecast")
 	}
-	s.mu.Lock()
-	jobs := make([]*job, 0, len(s.ord))
-	for _, id := range s.ord {
-		jobs = append(jobs, s.jobs[id])
-	}
-	s.mu.Unlock()
-	for _, j := range jobs {
-		j.mu.Lock()
-		j.accrueLocked(st)
-		j.mu.Unlock()
-	}
+	s.st.settleAll(gs)
 
-	t := st.now.Sub(st.start).Seconds()
+	t := gs.now.Sub(gs.start).Seconds()
 	if t < 0 {
 		t = 0
 	}
-	fc, err := s.issueForecast(st.sig, model, level, t, req.HorizonS)
+	fc, err := issueForecast(gs.sig, spec, t, req.HorizonS)
 	if err != nil {
 		return ForecastResponse{}, err
 	}
 
-	s.mu.Lock()
-	s.fmodel = model
-	s.flevel = level
-	s.fquant = req.Quantile
-	s.fcast = fc
-	s.fcastAt = st.now
-	s.mu.Unlock()
+	s.st.mu.Lock()
+	s.st.fspec = spec
+	s.st.fcast = fc
+	s.st.fcastAt = gs.now
+	s.st.frev++
+	s.st.epoch++
+	s.st.mu.Unlock()
+	s.cache.clear()
 	return ForecastResponse{
-		Model:     model.Name(),
+		Model:     spec.name,
 		Level:     level,
 		Quantile:  req.Quantile,
 		IssuedS:   fc.IssuedS,
@@ -205,35 +245,44 @@ func (s *Server) SetForecast(req ForecastRequest) (ForecastResponse, error) {
 	}, nil
 }
 
-// issueForecast runs the model over the signal's revealed history at
+// maxForecastCycles bounds how many signal cycles a single issued
+// forecast may materialize: issuing extends coverage to the requested
+// horizon interval by interval, so an unbounded request (a deadline of
+// years against a seconds-scale trace) would otherwise let one HTTP
+// call allocate without limit while holding the roll-forward lock.
+const maxForecastCycles = 1000
+
+// issueForecast runs the issuer over the signal's revealed history at
 // signal time t. The coverage always extends at least one full signal
 // cycle past t (rounded up to whole cycles), so a re-plan issued late
 // in the trace still sees a day ahead.
-func (s *Server) issueForecast(sig *grid.Signal, model forecast.Model, level, t, horizonS float64) (*forecast.Forecast, error) {
+func issueForecast(sig *grid.Signal, spec *forecastSpec, t, horizonS float64) (*forecast.Forecast, error) {
 	h := sig.Horizon()
 	horizon := math.Ceil((t+h)/h) * h
 	if horizonS > horizon {
 		horizon = horizonS
 	}
-	prov := &forecast.FromHistory{Truth: sig, Model: model, HorizonS: horizon, Level: level}
-	return prov.At(t)
+	if horizon > maxForecastCycles*h {
+		return nil, fmt.Errorf("server: forecast horizon %v exceeds %d cycles of the %v s signal", horizon, maxForecastCycles, h)
+	}
+	return spec.provider(sig, horizon).At(t)
 }
 
 // Forecast returns the latest issued forecast.
 func (s *Server) Forecast() (ForecastResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.fcast == nil {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	if s.st.fcast == nil {
 		return ForecastResponse{}, fmt.Errorf("server: no forecast installed")
 	}
 	return ForecastResponse{
-		Model:     s.fmodel.Name(),
-		Level:     s.flevel,
-		Quantile:  s.fquant,
-		IssuedS:   s.fcast.IssuedS,
-		HorizonS:  s.fcast.Signal.Horizon(),
-		Intervals: len(s.fcast.Signal.Intervals),
-		Forecast:  s.fcast,
+		Model:     s.st.fspec.name,
+		Level:     s.st.fspec.level,
+		Quantile:  s.st.fspec.quantile,
+		IssuedS:   s.st.fcast.IssuedS,
+		HorizonS:  s.st.fcast.Signal.Horizon(),
+		Intervals: len(s.st.fcast.Signal.Intervals),
+		Forecast:  s.st.fcast,
 	}, nil
 }
 
@@ -269,7 +318,7 @@ func (s *Server) handleGridReplan(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.Replan(id, target, deadline, q.Get("objective"), quant)
 	if err != nil {
 		status := http.StatusBadRequest
-		if _, ok := s.job(id); !ok {
+		if _, ok := s.st.job(id); !ok {
 			status = http.StatusNotFound
 		}
 		http.Error(w, err.Error(), status)
@@ -279,16 +328,22 @@ func (s *Server) handleGridReplan(w http.ResponseWriter, r *http.Request) {
 }
 
 // Replan rolls a job's forecast-driven schedule forward to now: the
-// span executed since the previous call is frozen — its slices accrued
-// against the installed signal (realized) and against the forecast
-// that planned them (predicted) — and the remainder is re-planned with
-// grid.Optimize against a forecast freshly issued from the installed
-// model, completing target iterations by the deadline (signal seconds;
-// 0 means the forecast horizon). Changing any parameter restarts the
-// schedule from now. quantile 0 uses the installed default; values
-// above 0.5 plan against the pessimistic band (robust mode).
+// span executed since the previous roll-forward is frozen — its slices
+// accrued against the installed signal (realized) and against the
+// forecast that planned them (predicted) — and the remainder is
+// re-planned with grid.Optimize against a forecast freshly issued from
+// the installed issuer, completing target iterations by the deadline
+// (signal seconds; 0 means the forecast horizon). Changing any
+// parameter restarts the schedule from now. quantile 0 uses the
+// installed default; values above 0.5 plan against the pessimistic
+// band (robust mode).
+//
+// Client calls and controller ticks share one serialized roll-forward,
+// so the frozen prefix is identical no matter who observes it — and a
+// call that finds time and forecast unchanged returns the current
+// state without re-planning.
 func (s *Server) Replan(id string, target, deadline float64, objective string, quantile float64) (*ReplanResponse, error) {
-	j, ok := s.job(id)
+	j, ok := s.st.job(id)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown job %s", id)
 	}
@@ -305,26 +360,35 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 	if !(target > 0) || math.IsInf(target, 0) {
 		return nil, fmt.Errorf("server: replan target iterations must be positive and finite, got %v", target)
 	}
+	if math.IsNaN(deadline) || math.IsInf(deadline, 0) || deadline < 0 {
+		return nil, fmt.Errorf("server: replan deadline must be finite and non-negative, got %v", deadline)
+	}
 
-	now := s.clock()
-	s.mu.Lock()
-	sig := s.signal
-	start := s.sigStart
-	model := s.fmodel
-	level := s.flevel
-	obj := s.objective
+	s.replanMu.Lock()
+	defer s.replanMu.Unlock()
+	// The signal/forecast snapshot AND the clock are read inside the
+	// roll-forward lock. The clock: two racing callers (a controller
+	// tick and a client replan) otherwise freeze at different instants
+	// and the loser would rewind the schedule offset, double-counting
+	// spans the winner already froze. The snapshot: POST /grid/signal
+	// clears the rolling schedules under this same lock, so a replan
+	// that snapshotted the old signal outside it could re-insert a
+	// schedule of the replaced trace (anchored to the old clock) into
+	// the freshly cleared map.
+	// The raw quantile parameter identifies the schedule (like the raw
+	// deadline): 0 resolves to the issuer's default once, at creation,
+	// so a forecast re-install with a different default is a revision
+	// of the forecast — never a silent restart of a rolling schedule
+	// that asked for "the default".
+	reqQuantile := quantile
+	sig, start, spec, obj, frev, err := s.planInputsLocked()
+	if err != nil {
+		return nil, err
+	}
 	if quantile == 0 {
-		quantile = s.fquant
-	}
-	s.mu.Unlock()
-	if sig == nil {
-		return nil, fmt.Errorf("server: no grid signal installed")
-	}
-	if model == nil {
-		return nil, fmt.Errorf("server: no forecast installed; POST /grid/forecast first")
+		quantile = spec.quantile
 	}
 	if objective != "" {
-		var err error
 		if obj, err = grid.ParseObjective(objective); err != nil {
 			return nil, err
 		}
@@ -332,31 +396,23 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 	if math.IsNaN(quantile) || quantile < 0 || quantile >= 1 {
 		return nil, fmt.Errorf("server: replan quantile must be in [0, 1), got %v", quantile)
 	}
-	t := now.Sub(start).Seconds()
+
+	t := s.st.now().Sub(start).Seconds()
 	if t < 0 {
 		t = 0
 	}
 
-	if math.IsNaN(deadline) || deadline < 0 {
-		return nil, fmt.Errorf("server: replan deadline must be non-negative, got %v", deadline)
-	}
-
-	// Issue the latest forecast: the model re-reads everything the
-	// signal has revealed up to now.
-	fc, err := s.issueForecast(sig, model, level, t, deadline)
-	if err != nil {
-		return nil, err
-	}
-
-	s.replanMu.Lock()
-	defer s.replanMu.Unlock()
 	st := s.replans[id]
 	// The restart check compares the *requested* deadline: with the 0
 	// default the effective deadline is pinned once at state creation
 	// (the forecast horizon then), so the horizon growing with time on
 	// later calls is not mistaken for a parameter change.
 	if st == nil || st.target != target || st.reqDeadline != deadline ||
-		st.objective != obj || st.quantile != quantile {
+		st.objective != obj || st.reqQuantile != reqQuantile {
+		fc, err := issueForecast(sig, spec, t, deadline)
+		if err != nil {
+			return nil, err
+		}
 		eff := deadline
 		if eff == 0 {
 			eff = fc.Signal.Horizon()
@@ -369,11 +425,100 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 		}
 		st = &replanState{
 			target: target, reqDeadline: deadline, deadlineS: eff,
-			objective: obj, quantile: quantile, offsetS: t,
+			objective: obj, reqQuantile: reqQuantile, quantile: quantile,
+			offsetS: t, frevSeen: frev,
 		}
 		s.replans[id] = st
+		if err := s.rollForwardLocked(st, j, table, pipes, sig, spec, t, frev, fc); err != nil {
+			delete(s.replans, id)
+			return nil, err
+		}
+		return replanView(id, st), nil
 	}
 
+	// A roll-forward is warranted when time advanced past the last plan
+	// offset or the forecast was revised; otherwise the current state
+	// is already the answer. Time never rewinds: a racing caller that
+	// read the clock before a faster one froze later spans clamps to
+	// the schedule's own offset.
+	if t < st.offsetS {
+		t = st.offsetS
+	}
+	if t > st.offsetS+1e-9 || st.frevSeen != frev || st.needPlan {
+		if err := s.rollForwardLocked(st, j, table, pipes, sig, spec, t, frev, nil); err != nil {
+			return nil, err
+		}
+	}
+	return replanView(id, st), nil
+}
+
+// planInputsLocked snapshots the planning inputs a roll-forward needs
+// — installed signal, its anchor, the forecast issuer, the default
+// objective, and the forecast revision. Callers hold replanMu, so the
+// snapshot cannot interleave with POST /grid/signal's state reset.
+func (s *Server) planInputsLocked() (*grid.Signal, time.Time, *forecastSpec, grid.Objective, int, error) {
+	s.st.mu.Lock()
+	sig := s.st.signal
+	start := s.st.sigStart
+	spec := s.st.fspec
+	obj := s.st.objective
+	frev := s.st.frev
+	s.st.mu.Unlock()
+	if sig == nil {
+		return nil, time.Time{}, nil, "", 0, fmt.Errorf("server: no grid signal installed")
+	}
+	if spec == nil {
+		return nil, time.Time{}, nil, "", 0, fmt.Errorf("server: no forecast installed; POST /grid/forecast first")
+	}
+	return sig, start, spec, obj, frev, nil
+}
+
+// advanceManaged rolls an EXISTING rolling schedule forward — the
+// controller tick's path. Unlike Replan it never creates state: after
+// POST /grid/signal drops every schedule, a straggler tick iteration
+// must not resurrect one with stale parameters; the job has to be
+// re-managed explicitly.
+func (s *Server) advanceManaged(id string) error {
+	j, ok := s.st.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	table := j.table
+	pipes := j.req.DataParallel
+	j.mu.Unlock()
+	if table == nil {
+		return fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	if pipes <= 0 {
+		pipes = 1
+	}
+	s.replanMu.Lock()
+	defer s.replanMu.Unlock()
+	st := s.replans[id]
+	if st == nil {
+		return fmt.Errorf("server: job %s has no rolling schedule (a signal change drops them; re-manage the job)", id)
+	}
+	sig, start, spec, _, frev, err := s.planInputsLocked()
+	if err != nil {
+		return err
+	}
+	t := s.st.now().Sub(start).Seconds()
+	if t < st.offsetS {
+		t = st.offsetS
+	}
+	if t > st.offsetS+1e-9 || st.frevSeen != frev || st.needPlan {
+		return s.rollForwardLocked(st, j, table, pipes, sig, spec, t, frev, nil)
+	}
+	return nil
+}
+
+// rollForwardLocked freezes the span executed since the last plan and
+// re-plans the remainder against a freshly issued forecast (or the
+// pre-issued one the creation path already holds for this t). Callers
+// hold replanMu. On any re-plan the job's schedule version bumps, so
+// long-polling clients observe the change.
+func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.LookupTable, pipes int, sig *grid.Signal, spec *forecastSpec, t float64, frev int, issued *forecast.Forecast) error {
 	// Freeze the span executed since the last plan: walk the previous
 	// remaining plan's intervals up to now.
 	if st.remaining != nil {
@@ -391,16 +536,35 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 		}
 	}
 
-	// Re-plan the remainder against the fresh forecast.
+	// Re-plan the remainder against the fresh forecast. The freeze
+	// commit above is valid on its own (those spans did execute);
+	// feasibility and the retry flag are settled per branch below so a
+	// failed re-plan never leaves the state claiming a schedule it
+	// does not have — and is retried on the next roll-forward even at
+	// the same time and forecast revision.
 	remaining := st.target - st.doneIters
 	st.remaining = nil
-	st.predSig = fc.Signal
 	st.offsetS = t
-	feasible := true
-	if remaining > 1e-9*(1+st.target) && t >= st.deadlineS-1e-9 {
+	st.frevSeen = frev
+	switch {
+	case remaining <= 1e-9*(1+st.target):
+		// Target complete.
+		st.feasible = true
+		st.needPlan = false
+	case t >= st.deadlineS-1e-9:
 		// The deadline has passed with work left: nothing to plan.
-		feasible = false
-	} else if remaining > 1e-9*(1+st.target) {
+		st.feasible = false
+		st.needPlan = false
+	default:
+		st.feasible = false
+		st.needPlan = true
+		fc := issued
+		if fc == nil {
+			var err error
+			if fc, err = issueForecast(sig, spec, t, st.reqDeadline); err != nil {
+				return err
+			}
+		}
 		q := st.quantile
 		if q == 0 {
 			q = 0.5
@@ -412,15 +576,29 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 			PowerScale: float64(pipes),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st.remaining = plan
+		st.predSig = fc.Signal
 		st.plans++
-		feasible = plan.Feasible
-	} else {
+		st.feasible = plan.Feasible
+		st.needPlan = false
+		// The rolling schedule changed: bump the job's version so
+		// long-polling trainers fetch the new deployment.
+		j.mu.Lock()
+		j.bumpLocked()
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// replanView renders the current rolling-horizon state. Callers hold
+// replanMu.
+func replanView(id string, st *replanState) *ReplanResponse {
+	remaining := st.target - st.doneIters
+	if remaining < 1e-9*(1+st.target) {
 		remaining = 0
 	}
-
 	resp := &ReplanResponse{
 		JobID:               id,
 		Target:              st.target,
@@ -430,7 +608,7 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 		Plans:               st.plans,
 		DoneIterations:      st.doneIters,
 		RemainingIterations: remaining,
-		Feasible:            feasible,
+		Feasible:            st.feasible,
 		Frozen:              st.frozen,
 		Remaining:           st.remaining,
 		RemainingOffsetS:    st.offsetS,
@@ -442,5 +620,42 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 		resp.PredCarbonG += fi.PredCarbonG
 		resp.PredCostUSD += fi.PredCostUSD
 	}
-	return resp, nil
+	return resp
+}
+
+// RolloutResponse is the read-only view of a job's rolling-horizon
+// schedule: the same shape as a replan response plus the job's current
+// schedule version and whether the controller manages the schedule.
+type RolloutResponse struct {
+	ReplanResponse
+	Version int  `json:"version"`
+	Managed bool `json:"managed"`
+}
+
+// Rollout returns a job's rolling-horizon schedule state WITHOUT
+// rolling it forward — the observation endpoint clients use alongside
+// long-poll schedule fetching, so observing never triggers planning.
+func (s *Server) Rollout(id string) (*RolloutResponse, error) {
+	j, ok := s.st.job(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown job %s", id)
+	}
+	s.replanMu.Lock()
+	st, ok := s.replans[id]
+	var view *ReplanResponse
+	if ok {
+		view = replanView(id, st)
+	}
+	s.replanMu.Unlock()
+	if view == nil {
+		return nil, fmt.Errorf("server: job %s has no rolling schedule (POST /controller/jobs or GET /grid/replan first)", id)
+	}
+	j.mu.Lock()
+	version := j.version
+	j.mu.Unlock()
+	return &RolloutResponse{
+		ReplanResponse: *view,
+		Version:        version,
+		Managed:        s.ctrl.manages(id),
+	}, nil
 }

@@ -28,7 +28,7 @@ func forecastTestSignal() grid.Signal {
 func TestForecastEndpoint(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)
@@ -113,7 +113,7 @@ func TestForecastEndpoint(t *testing.T) {
 func TestReplanRollsForward(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)
@@ -270,7 +270,7 @@ func TestReplanRollsForward(t *testing.T) {
 func TestReplanConcurrency(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)
@@ -320,7 +320,7 @@ func TestReplanConcurrency(t *testing.T) {
 func TestDriftWithZeroPrediction(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)
@@ -362,7 +362,7 @@ func TestDriftWithZeroPrediction(t *testing.T) {
 func TestReplanDefaultDeadlineStableAcrossCycles(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)
@@ -409,7 +409,7 @@ func TestReplanDefaultDeadlineStableAcrossCycles(t *testing.T) {
 func TestSignalReinstallResetsForecastState(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)

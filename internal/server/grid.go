@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"perseus/internal/grid"
+	pln "perseus/internal/plan"
+)
+
+// GridSignalRequest installs a grid trace and (optionally) the default
+// temporal-planning objective.
+type GridSignalRequest struct {
+	Signal    grid.Signal `json:"signal"`
+	Objective string      `json:"objective,omitempty"`
+}
+
+// GridSignalResponse summarizes the installed signal.
+type GridSignalResponse struct {
+	Name      string  `json:"name"`
+	Intervals int     `json:"intervals"`
+	HorizonS  float64 `json:"horizon_s"`
+	Objective string  `json:"objective"`
+}
+
+// EmissionsResponse is a job's cumulative emissions accounting since
+// characterization: deployed-schedule energy integrated against the
+// grid signal (cyclically beyond its horizon).
+type EmissionsResponse struct {
+	JobID string `json:"job_id"`
+
+	// Ready is false until the job is characterized and drawing power.
+	Ready bool `json:"ready"`
+
+	// SinceS is the accounted wall-clock span in seconds.
+	SinceS float64 `json:"since_s"`
+
+	// EnergyJ, CarbonG, and CostUSD are the cumulative totals. Carbon
+	// and cost stay zero while no signal is installed.
+	EnergyJ float64 `json:"energy_j"`
+	CarbonG float64 `json:"carbon_g"`
+	CostUSD float64 `json:"cost_usd"`
+
+	// PredCarbonG and PredCostUSD accrue the same draw at the latest
+	// issued forecast's rates (zero until POST /grid/forecast; global
+	// signal only — a placed job accrues at its region's rates, which
+	// the forecast does not cover). DriftCarbonG is realized minus
+	// predicted over exactly the forecast-covered spans: positive means
+	// the grid ran dirtier than forecast.
+	PredCarbonG  float64 `json:"pred_carbon_g"`
+	PredCostUSD  float64 `json:"pred_cost_usd"`
+	DriftCarbonG float64 `json:"drift_carbon_g"`
+}
+
+func (s *Server) handleGridSignal(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req GridSignalRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.SetGridSignal(req.Signal, req.Objective)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	case http.MethodGet:
+		s.st.mu.Lock()
+		sig := s.st.signal
+		s.st.mu.Unlock()
+		if sig == nil {
+			http.Error(w, "no grid signal installed", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, sig)
+	default:
+		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+	}
+}
+
+// SetGridSignal validates and installs a grid trace, anchoring its
+// time 0 at the current wall clock, and sets the default planning
+// objective ("" keeps carbon). Emissions accrued so far are settled
+// against the previous signal first, and all forecast and
+// rolling-horizon re-planning state is dropped: a forecast of the old
+// trace priced on the new one — or a frozen schedule prefix measured
+// against the old anchor — would silently corrupt every predicted
+// account downstream. Operators re-POST /grid/forecast after a signal
+// change. The plan-cache epoch advances, so every cached plan of the
+// old signal is invalidated.
+func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalResponse, error) {
+	obj, err := grid.ParseObjective(objective)
+	if err != nil {
+		return GridSignalResponse{}, err
+	}
+	if err := sig.Validate(); err != nil {
+		return GridSignalResponse{}, err
+	}
+	// Settle every job's accounting under the old signal before the
+	// rates change.
+	gs := s.st.gridState()
+	s.st.settleAll(gs)
+	st := s.st
+	st.mu.Lock()
+	st.signal = &sig
+	st.sigStart = gs.now
+	st.objective = obj
+	st.fspec = nil
+	st.fcast = nil
+	st.fcastAt = time.Time{}
+	st.epoch++
+	st.mu.Unlock()
+	s.cache.clear()
+	s.replanMu.Lock()
+	s.replans = map[string]*replanState{}
+	s.replanMu.Unlock()
+	s.ctrl.reset()
+	return GridSignalResponse{
+		Name:      sig.Name,
+		Intervals: len(sig.Intervals),
+		HorizonS:  sig.Horizon(),
+		Objective: string(obj),
+	}, nil
+}
+
+func (s *Server) handleGridPlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/grid/plan/")
+	if id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query()
+	parse := func(key string) (float64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	target, err := parse("iterations")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad iterations: %v", err), http.StatusBadRequest)
+		return
+	}
+	deadline, err := parse("deadline")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad deadline: %v", err), http.StatusBadRequest)
+		return
+	}
+	plan, err := s.GridPlan(id, target, deadline, q.Get("objective"))
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := s.st.job(id); !ok {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, plan)
+}
+
+// GridPlan plans a job's temporal schedule over the installed signal:
+// complete target iterations by the deadline (seconds in signal time;
+// 0 means the signal horizon) minimizing the objective ("" uses the
+// server default). The job must be characterized and a signal
+// installed.
+//
+// Results are cached by (plan epoch, frontier hash, request params)
+// with single-flight de-duplication: identical concurrent requests
+// solve once and share the plan; any signal re-install, forecast
+// revision, or frontier re-characterization changes the key.
+func (s *Server) GridPlan(id string, target, deadline float64, objective string) (*grid.Plan, error) {
+	j, ok := s.st.job(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown job %s", id)
+	}
+	s.st.mu.Lock()
+	sig := s.st.signal
+	obj := s.st.objective
+	epoch := s.st.epoch
+	s.st.mu.Unlock()
+	if sig == nil {
+		return nil, fmt.Errorf("server: no grid signal installed")
+	}
+	if objective != "" {
+		var err error
+		if obj, err = grid.ParseObjective(objective); err != nil {
+			return nil, err
+		}
+	}
+	j.mu.Lock()
+	table := j.table
+	tableHash := j.tableHash
+	pipes := j.req.DataParallel
+	j.mu.Unlock()
+	if table == nil {
+		return nil, fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	if pipes <= 0 {
+		pipes = 1
+	}
+	key := planKey{
+		epoch:     epoch,
+		table:     tableHash,
+		target:    target,
+		deadline:  deadline,
+		objective: obj,
+		scale:     pipes,
+	}
+	return s.cache.do(key, func() (*grid.Plan, error) {
+		res, err := (&grid.Planner{Table: table, Signal: sig}).Plan(pln.Request{
+			Target:     target,
+			DeadlineS:  deadline,
+			Objective:  obj,
+			PowerScale: float64(pipes),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.(*grid.Plan), nil
+	})
+}
+
+// Emissions settles and returns a job's cumulative emissions
+// accounting.
+func (s *Server) Emissions(id string) (EmissionsResponse, error) {
+	j, ok := s.st.job(id)
+	if !ok {
+		return EmissionsResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	gs := s.st.gridState()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.accrueLocked(gs)
+	resp := EmissionsResponse{JobID: id}
+	if !j.accSince.IsZero() {
+		resp.Ready = true
+		resp.SinceS = j.accAt.Sub(j.accSince).Seconds()
+		resp.EnergyJ = j.energyAccJ
+		resp.CarbonG = j.carbonAccG
+		resp.CostUSD = j.costAccUSD
+		resp.PredCarbonG = j.predCarbonG
+		resp.PredCostUSD = j.predCostUSD
+		resp.DriftCarbonG = j.predRealCarbonG - j.predCarbonG
+	}
+	return resp, nil
+}

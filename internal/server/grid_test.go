@@ -186,7 +186,7 @@ func TestGridPlanEndpoint(t *testing.T) {
 func TestEmissionsAccounting(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)

@@ -1,0 +1,512 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"perseus/internal/dag"
+	"perseus/internal/frontier"
+	"perseus/internal/gpu"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+)
+
+// JobRequest registers a training job: its pipeline schedule (from which
+// the server reconstructs the computation DAG) and accelerator type.
+type JobRequest struct {
+	Schedule     string  `json:"schedule"` // "1f1b", "gpipe", ...
+	Stages       int     `json:"stages"`
+	Microbatches int     `json:"microbatches"`
+	Chunks       int     `json:"chunks,omitempty"`
+	GPU          string  `json:"gpu"`            // gpu preset name
+	Unit         float64 `json:"unit,omitempty"` // optimizer τ seconds
+
+	// DataParallel is the number of pipeline replicas; the fleet
+	// allocator scales the job's power draw by it. 0 means 1.
+	DataParallel int `json:"data_parallel,omitempty"`
+
+	// Weight scales the job's throughput loss in the fleet objective
+	// (fleet.Job.Weight). 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// JobResponse returns the job handle.
+type JobResponse struct {
+	JobID string `json:"job_id"`
+}
+
+// MeasurementJSON is one profiler observation (client → server).
+type MeasurementJSON struct {
+	Virtual int     `json:"virtual"`
+	Kind    string  `json:"kind"` // "forward" | "backward"
+	Freq    int     `json:"freq_mhz"`
+	Time    float64 `json:"time_s"`
+	Energy  float64 `json:"energy_j"`
+}
+
+// ProfileUpload carries a job's complete online profile.
+type ProfileUpload struct {
+	PBlocking    float64           `json:"p_blocking_w"`
+	Measurements []MeasurementJSON `json:"measurements"`
+}
+
+// StragglerNotice is the set_straggler payload (paper Table 2): the
+// infrastructure anticipates accelerator id becoming Degree times slower
+// after Delay seconds. Degree 1 communicates a recovery.
+type StragglerNotice struct {
+	ID     string  `json:"id"`
+	Delay  float64 `json:"delay_s"`
+	Degree float64 `json:"degree"`
+}
+
+// ScheduleResponse is the energy schedule for the current T_opt.
+type ScheduleResponse struct {
+	Ready bool `json:"ready"`
+	// Time is the planned iteration time of the deployed schedule.
+	Time float64 `json:"time_s"`
+	// Tmin and TStar bound the frontier.
+	Tmin  float64 `json:"tmin_s"`
+	TStar float64 `json:"tstar_s"`
+	// Freqs is the per-op frequency plan, indexed by schedule op id.
+	Freqs []int `json:"freqs_mhz"`
+	// Version increments whenever the deployed schedule changes — on
+	// characterization, stragglers, fleet floors, and controller
+	// re-plans — so clients can poll cheaply or long-poll via
+	// If-None-Match.
+	Version int `json:"version"`
+}
+
+// FrontierResponse lists the characterized frontier.
+type FrontierResponse struct {
+	Ready  bool      `json:"ready"`
+	Time   []float64 `json:"time_s"`
+	Energy []float64 `json:"energy_j"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.Register(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, JobResponse{JobID: j})
+}
+
+// Register creates a job and returns its id (the non-HTTP entry point).
+func (s *Server) Register(req JobRequest) (string, error) {
+	g, err := gpu.ByName(req.GPU)
+	if err != nil {
+		return "", err
+	}
+	if req.Chunks == 0 {
+		req.Chunks = 1
+	}
+	sc, err := sched.ByName(req.Schedule, req.Stages, req.Microbatches, req.Chunks)
+	if err != nil {
+		return "", err
+	}
+	st := s.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	id := fmt.Sprintf("job-%d", st.next)
+	st.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, done: make(chan struct{})}
+	st.ord = append(st.ord, id)
+	return id, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 {
+		http.NotFound(w, r)
+		return
+	}
+	j, ok := s.st.job(parts[0])
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	switch parts[1] {
+	case "profile":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var up ProfileUpload
+		if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.UploadProfile(j.id, up); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	case "schedule":
+		s.handleSchedule(w, r, j)
+	case "straggler":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var n StragglerNotice
+		if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.SetStraggler(j.id, n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case "frontier":
+		writeJSON(w, s.FrontierOf(j.id))
+	case "table":
+		lt, err := s.Table(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, lt)
+	case "allocation":
+		resp, err := s.AllocationOf(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	case "emissions":
+		resp, err := s.Emissions(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	case "rollout":
+		resp, err := s.Rollout(j.id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, resp)
+	case "placement":
+		switch r.Method {
+		case http.MethodPost:
+			var req PlacementRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resp, err := s.PlaceJob(j.id, req.Region)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, resp)
+		case http.MethodGet:
+			resp, err := s.PlacementOf(j.id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, resp)
+		default:
+			http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// maxScheduleWait caps how long a schedule long-poll may block.
+const maxScheduleWait = 30 * time.Second
+
+// handleSchedule serves the deployed schedule with version
+// concurrency-control: every response carries an ETag `"v<version>"`;
+// a request with If-None-Match and a positive ?wait=<seconds> blocks
+// (in real time, bounded by maxScheduleWait) until the version moves
+// past the matched one, and answers 304 Not Modified if it never does
+// — so trainers observe controller version bumps without polling or
+// ever issuing replan calls themselves.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, j *job) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	have, conditional := parseETag(r.Header.Get("If-None-Match"))
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || sec < 0 {
+			http.Error(w, fmt.Sprintf("bad wait: %q", v), http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(sec * float64(time.Second))
+		if wait > maxScheduleWait {
+			wait = maxScheduleWait
+		}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		j.mu.Lock()
+		ver := j.version
+		var watch chan struct{}
+		if conditional && ver == have {
+			watch = j.watchLocked()
+		}
+		j.mu.Unlock()
+		if watch == nil {
+			break // version differs (or unconditional): serve it
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			w.Header().Set("ETag", etag(ver))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-watch:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	resp, err := s.Schedule(j.id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("ETag", etag(resp.Version))
+	writeJSON(w, resp)
+}
+
+// etag renders a schedule version as an entity tag.
+func etag(version int) string { return fmt.Sprintf("%q", "v"+strconv.Itoa(version)) }
+
+// parseETag extracts the version from a `"v<N>"` entity tag (quoted or
+// bare); ok is false when the header is absent or unparseable.
+func parseETag(h string) (version int, ok bool) {
+	h = strings.TrimSpace(h)
+	h = strings.Trim(h, `"`)
+	if !strings.HasPrefix(h, "v") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(h[1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// UploadProfile stores a job's profiling results and kicks off
+// asynchronous frontier characterization (paper §3.2 step 2): training
+// continues while the server optimizes.
+func (s *Server) UploadProfile(id string, up ProfileUpload) error {
+	j, ok := s.st.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	var ms []profile.Measurement
+	for _, m := range up.Measurements {
+		kind, err := parseKind(m.Kind)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, profile.Measurement{
+			Virtual: m.Virtual, Kind: kind,
+			Freq: gpu.Frequency(m.Freq), Time: m.Time, Energy: m.Energy,
+		})
+	}
+	prof, err := profile.Assemble(j.gpu, up.PBlocking, ms)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.characterizing || j.front != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("server: job %s already profiled", id)
+	}
+	j.characterizing = true
+	j.mu.Unlock()
+
+	go func() {
+		graph, err := dag.Build(j.sched, func(op sched.Op) int64 { return 1 })
+		var front *frontier.Frontier
+		if err == nil {
+			front, err = frontier.Characterize(graph, prof, frontier.Options{Unit: j.req.Unit})
+		}
+		now := s.st.now()
+		j.mu.Lock()
+		j.front, j.charErr = front, err
+		if front != nil {
+			j.table = front.Table()
+			j.tableHash = hashTable(j.table)
+			// The job now has a deployed schedule drawing power:
+			// emissions accounting starts here.
+			j.accSince, j.accAt = now, now
+		}
+		j.characterizing = false
+		j.bumpLocked()
+		j.mu.Unlock()
+		close(j.done)
+		// The fleet gained a characterized member: under a cap, power
+		// must be re-divided.
+		s.recomputeFleet()
+	}()
+	return nil
+}
+
+// WaitCharacterized blocks until the job's frontier is ready (test hook
+// and CLI convenience).
+func (s *Server) WaitCharacterized(id string) error {
+	j, ok := s.st.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.charErr
+}
+
+// SetStraggler records a straggler notification and moves the deployed
+// schedule to T_opt = min(T*, T') (paper §3.2 steps 4-5). Degree <= 1
+// clears the straggler. A positive Delay defers the switch: the
+// infrastructure anticipates the straggler Delay seconds ahead (Table 2),
+// so the server arms a timer and flips the deployed schedule when it
+// fires.
+func (s *Server) SetStraggler(id string, n StragglerNotice) error {
+	j, ok := s.st.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	if n.Degree <= 0 {
+		return fmt.Errorf("server: straggler degree must be positive, got %v", n.Degree)
+	}
+	gs := s.st.gridState()
+	j.mu.Lock()
+	if j.front == nil {
+		j.mu.Unlock()
+		return fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	// The deployed operating point (and so the power draw) is about to
+	// move: settle emissions at the old point first.
+	apply := func(gs gridState) {
+		j.accrueLocked(gs)
+		if n.Degree <= 1 {
+			j.tPrime = 0
+		} else {
+			j.tPrime = j.front.Tmin() * n.Degree
+		}
+		j.bumpLocked()
+	}
+	if n.Delay <= 0 {
+		apply(gs)
+		j.mu.Unlock()
+		// A straggler moves the job's T_opt floor, freeing (or taking)
+		// fleet power; re-divide it.
+		s.recomputeFleet()
+		return nil
+	}
+	if j.pending != nil {
+		j.pending.Stop()
+	}
+	j.pending = time.AfterFunc(time.Duration(n.Delay*float64(time.Second)), func() {
+		gs := s.st.gridState()
+		j.mu.Lock()
+		apply(gs)
+		j.mu.Unlock()
+		s.recomputeFleet()
+	})
+	j.mu.Unlock()
+	return nil
+}
+
+// Schedule returns the currently deployed energy schedule: the Tmin
+// schedule in normal operation, or the T_opt schedule under a straggler.
+func (s *Server) Schedule(id string) (ScheduleResponse, error) {
+	j, ok := s.st.job(id)
+	if !ok {
+		return ScheduleResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.charErr != nil {
+		return ScheduleResponse{}, j.charErr
+	}
+	if j.front == nil {
+		return ScheduleResponse{Ready: false, Version: j.version}, nil
+	}
+	pt := j.front.Lookup(j.deployedTimeLocked(j.front.Tmin()))
+	plan := pt.Plan()
+	freqs := make([]int, len(plan))
+	for i, f := range plan {
+		freqs[i] = int(f)
+	}
+	return ScheduleResponse{
+		Ready:   true,
+		Time:    pt.Time,
+		Tmin:    j.front.Tmin(),
+		TStar:   j.front.TStar(),
+		Freqs:   freqs,
+		Version: j.version,
+	}, nil
+}
+
+// Table returns the job's serializable energy-schedule lookup table
+// (paper §3.2), for persistence or external consumption.
+func (s *Server) Table(id string) (*frontier.LookupTable, error) {
+	j, ok := s.st.job(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.table == nil {
+		return nil, fmt.Errorf("server: job %s not characterized yet", id)
+	}
+	return j.table, nil
+}
+
+// FrontierOf returns the characterized frontier's (time, energy) points.
+func (s *Server) FrontierOf(id string) FrontierResponse {
+	j, ok := s.st.job(id)
+	if !ok {
+		return FrontierResponse{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.front == nil {
+		return FrontierResponse{}
+	}
+	resp := FrontierResponse{Ready: true}
+	for _, pt := range j.front.Points() {
+		resp.Time = append(resp.Time, pt.Time)
+		resp.Energy = append(resp.Energy, pt.Energy)
+	}
+	return resp
+}
+
+func parseKind(s string) (sched.Kind, error) {
+	switch strings.ToLower(s) {
+	case "forward", "f":
+		return sched.Forward, nil
+	case "backward", "b":
+		return sched.Backward, nil
+	}
+	return 0, fmt.Errorf("server: unknown computation kind %q (want forward or backward)", s)
+}

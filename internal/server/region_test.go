@@ -253,7 +253,7 @@ func TestRegionConcurrency(t *testing.T) {
 func TestEmissionsAcrossMigration(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
 	srv := New()
-	srv.clock = clock.Now
+	srv.SetClock(clock.Now)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.NewServerClient(ts.URL)

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"perseus/internal/grid"
+	pln "perseus/internal/plan"
+	"perseus/internal/region"
+)
+
+// RegionRequest registers a datacenter region: its GPU capacity,
+// facility power cap, and grid signal.
+type RegionRequest struct {
+	Name   string      `json:"name"`
+	GPUs   int         `json:"gpus,omitempty"`
+	CapW   float64     `json:"cap_w,omitempty"`
+	Signal grid.Signal `json:"signal"`
+}
+
+// RegionInfo summarizes one registered region.
+type RegionInfo struct {
+	Name      string  `json:"name"`
+	GPUs      int     `json:"gpus"`
+	CapW      float64 `json:"cap_w"`
+	Intervals int     `json:"intervals"`
+	HorizonS  float64 `json:"horizon_s"`
+}
+
+// PlacementRequest places a job into a region.
+type PlacementRequest struct {
+	Region string `json:"region"`
+}
+
+// PlacementEntry is one step of a job's placement history.
+type PlacementEntry struct {
+	Region  string  `json:"region"`
+	AtUnixS float64 `json:"at_unix_s"`
+}
+
+// PlacementResponse reports a job's current placement.
+type PlacementResponse struct {
+	JobID string `json:"job_id"`
+
+	// Region is the current placement ("" = unplaced).
+	Region string `json:"region"`
+
+	// Migrations counts region changes after the initial placement.
+	Migrations int `json:"migrations"`
+
+	// History lists every placement in time order.
+	History []PlacementEntry `json:"history,omitempty"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req RegionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		info, err := s.RegisterRegion(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, info)
+	case http.MethodGet:
+		writeJSON(w, s.Regions())
+	default:
+		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+	}
+}
+
+// RegisterRegion validates and registers a datacenter region, anchoring
+// its signal's time 0 at the current wall clock.
+func (s *Server) RegisterRegion(req RegionRequest) (RegionInfo, error) {
+	if req.Name == "" {
+		return RegionInfo{}, fmt.Errorf("server: region needs a name")
+	}
+	if req.GPUs < 0 {
+		return RegionInfo{}, fmt.Errorf("server: region %s capacity must be non-negative, got %d", req.Name, req.GPUs)
+	}
+	if math.IsNaN(req.CapW) || math.IsInf(req.CapW, 0) || req.CapW < 0 {
+		return RegionInfo{}, fmt.Errorf("server: region %s cap must be a finite non-negative number of watts, got %v", req.Name, req.CapW)
+	}
+	if err := req.Signal.Validate(); err != nil {
+		return RegionInfo{}, err
+	}
+	now := s.st.now()
+	sig := req.Signal
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	if _, ok := s.st.regions[req.Name]; ok {
+		return RegionInfo{}, fmt.Errorf("server: region %s already registered", req.Name)
+	}
+	s.st.regions[req.Name] = &serverRegion{
+		name: req.Name, gpus: req.GPUs, capW: req.CapW, sig: &sig, anchor: now,
+	}
+	s.st.regOrd = append(s.st.regOrd, req.Name)
+	return RegionInfo{
+		Name: req.Name, GPUs: req.GPUs, CapW: req.CapW,
+		Intervals: len(sig.Intervals), HorizonS: sig.Horizon(),
+	}, nil
+}
+
+// Regions lists the registered regions in registration order.
+func (s *Server) Regions() []RegionInfo {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	out := make([]RegionInfo, 0, len(s.st.regOrd))
+	for _, name := range s.st.regOrd {
+		r := s.st.regions[name]
+		out = append(out, RegionInfo{
+			Name: r.name, GPUs: r.gpus, CapW: r.capW,
+			Intervals: len(r.sig.Intervals), HorizonS: r.sig.Horizon(),
+		})
+	}
+	return out
+}
+
+// PlaceJob places (or migrates) a job into a registered region.
+// Emissions accrued so far are settled at the old placement's rates
+// first, so the migration boundary splits the account exactly.
+func (s *Server) PlaceJob(id, regionName string) (PlacementResponse, error) {
+	j, ok := s.st.job(id)
+	if !ok {
+		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	s.st.mu.Lock()
+	_, ok = s.st.regions[regionName]
+	s.st.mu.Unlock()
+	if !ok {
+		return PlacementResponse{}, fmt.Errorf("server: unknown region %q", regionName)
+	}
+	gs := s.st.gridState()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.region != regionName {
+		j.accrueLocked(gs)
+		j.region = regionName
+		j.placements = append(j.placements, placementEvent{region: regionName, at: gs.now})
+	}
+	return placementLocked(j), nil
+}
+
+// PlacementOf returns a job's current placement and history.
+func (s *Server) PlacementOf(id string) (PlacementResponse, error) {
+	j, ok := s.st.job(id)
+	if !ok {
+		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return placementLocked(j), nil
+}
+
+// placementLocked renders the placement view. Callers hold j.mu.
+func placementLocked(j *job) PlacementResponse {
+	resp := PlacementResponse{JobID: j.id, Region: j.region}
+	for _, p := range j.placements {
+		resp.History = append(resp.History, PlacementEntry{
+			Region:  p.region,
+			AtUnixS: float64(p.at.UnixNano()) / 1e9,
+		})
+	}
+	if n := len(j.placements); n > 1 {
+		resp.Migrations = n - 1
+	}
+	return resp
+}
+
+func (s *Server) handleRegionsPlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	parse := func(key string) (float64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	var target, deadline, downtime, migEnergy float64
+	var err error
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{
+		{"iterations", &target}, {"deadline", &deadline},
+		{"downtime", &downtime}, {"migration_j", &migEnergy},
+	} {
+		if *f.dst, err = parse(f.key); err != nil {
+			http.Error(w, fmt.Sprintf("bad %s: %v", f.key, err), http.StatusBadRequest)
+			return
+		}
+	}
+	plan, err := s.RegionsPlan(target, deadline, q.Get("objective"), region.MigrationCost{
+		DowntimeS: downtime, EnergyJ: migEnergy,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, plan)
+}
+
+// RegionsPlan plans every characterized job's spatio-temporal schedule
+// across the registered regions (internal/region): complete target
+// iterations per job by the deadline (seconds in signal time; 0 means
+// the longest region trace), minimizing the objective ("" uses the
+// server default), with migration modeled at the given pause-cost.
+// Each job occupies Stages × DataParallel GPUs of a region's capacity.
+func (s *Server) RegionsPlan(target, deadline float64, objective string, mig region.MigrationCost) (*region.Plan, error) {
+	s.st.mu.Lock()
+	obj := s.st.objective
+	regs := make([]region.Region, 0, len(s.st.regOrd))
+	for _, name := range s.st.regOrd {
+		r := s.st.regions[name]
+		regs = append(regs, region.Region{
+			Name: r.name, GPUs: r.gpus, Signal: r.sig, CapW: r.capW,
+		})
+	}
+	s.st.mu.Unlock()
+	jobs := s.st.jobsInOrder()
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("server: no regions registered")
+	}
+	if objective != "" {
+		var err error
+		if obj, err = grid.ParseObjective(objective); err != nil {
+			return nil, err
+		}
+	}
+	var rjobs []region.Job
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.table != nil {
+			pipes := j.req.DataParallel
+			if pipes <= 0 {
+				pipes = 1
+			}
+			rjobs = append(rjobs, region.Job{
+				ID:         j.id,
+				Table:      j.table,
+				GPUs:       j.req.Stages * pipes,
+				PowerScale: float64(pipes),
+				Target:     target,
+				DeadlineS:  deadline,
+			})
+		}
+		j.mu.Unlock()
+	}
+	if len(rjobs) == 0 {
+		return nil, fmt.Errorf("server: no characterized jobs to plan")
+	}
+	// The joint planner's descent cost grows with jobs × cells²; this
+	// endpoint runs it synchronously in the request, so bound the
+	// problem size rather than pin a CPU for minutes. Larger fleets
+	// should plan offline with internal/region directly.
+	if len(rjobs) > maxPlanJobs {
+		return nil, fmt.Errorf("server: %d characterized jobs exceed the synchronous planning limit of %d; plan offline with internal/region", len(rjobs), maxPlanJobs)
+	}
+	res, err := (&region.Planner{Regions: regs, Jobs: rjobs, Migration: mig}).Plan(pln.Request{
+		Target: target, DeadlineS: deadline, Objective: obj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*region.Plan), nil
+}
+
+// maxPlanJobs bounds the fleet size GET /regions/plan will plan
+// synchronously.
+const maxPlanJobs = 6

@@ -6,214 +6,75 @@
 // T_opt = min(T*, T') — updating it when the training infrastructure
 // reports a straggler via set_straggler (Table 2).
 //
-// On top of the per-job machinery, the server exposes the fleet layer
-// (internal/fleet): a facility power cap set via POST /fleet/cap makes
-// the marginal-cost allocator pick each characterized job's operating
-// point on its own frontier, and the allocated iteration time becomes a
-// floor under that job's deployed schedule — the fleet-level
-// generalization of the extrinsic straggler slowdown.
+// The server is organized as resource-oriented modules sharing one
+// concurrency-safe store (store.go):
+//
+//   - jobs.go      job registry, profiling, deployed schedules (with
+//     ETag/long-poll version fetching), stragglers, frontiers
+//   - fleet.go     facility power cap and the fleet allocator
+//   - grid.go      grid signal install, cached temporal planning,
+//     emissions accounting
+//   - regions.go   datacenter regions, placement, joint planning
+//   - forecast.go  forecast issuing and rolling-horizon re-planning
+//   - controller.go the background MPC controller runtime: a loop that
+//     ticks at signal-interval boundaries, re-plans every managed job
+//     with the executed prefix frozen, and bumps schedule versions
+//   - cache.go     the single-flight plan cache keyed by
+//     (plan epoch, frontier hash, request params)
+//
+// The grid and region planning endpoints drive the shared
+// internal/plan planners (grid.Planner, region.Planner); the fleet
+// recompute and the controller's incremental roll-forward use the same
+// layers through their native entry points (fleet.Allocate and
+// grid.Optimize over forecast windows — the controller is the
+// deployable, prefix-freezing counterpart of forecast.Planner).
 package server
 
 import (
 	"encoding/json"
-	"fmt"
-	"math"
 	"net/http"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
-
-	"perseus/internal/dag"
-	"perseus/internal/fleet"
-	"perseus/internal/forecast"
-	"perseus/internal/frontier"
-	"perseus/internal/gpu"
-	"perseus/internal/grid"
-	"perseus/internal/profile"
-	"perseus/internal/region"
-	"perseus/internal/sched"
 )
-
-// JobRequest registers a training job: its pipeline schedule (from which
-// the server reconstructs the computation DAG) and accelerator type.
-type JobRequest struct {
-	Schedule     string  `json:"schedule"` // "1f1b", "gpipe", ...
-	Stages       int     `json:"stages"`
-	Microbatches int     `json:"microbatches"`
-	Chunks       int     `json:"chunks,omitempty"`
-	GPU          string  `json:"gpu"`            // gpu preset name
-	Unit         float64 `json:"unit,omitempty"` // optimizer τ seconds
-
-	// DataParallel is the number of pipeline replicas; the fleet
-	// allocator scales the job's power draw by it. 0 means 1.
-	DataParallel int `json:"data_parallel,omitempty"`
-
-	// Weight scales the job's throughput loss in the fleet objective
-	// (fleet.Job.Weight). 0 means 1.
-	Weight float64 `json:"weight,omitempty"`
-}
-
-// JobResponse returns the job handle.
-type JobResponse struct {
-	JobID string `json:"job_id"`
-}
-
-// MeasurementJSON is one profiler observation (client → server).
-type MeasurementJSON struct {
-	Virtual int     `json:"virtual"`
-	Kind    string  `json:"kind"` // "forward" | "backward"
-	Freq    int     `json:"freq_mhz"`
-	Time    float64 `json:"time_s"`
-	Energy  float64 `json:"energy_j"`
-}
-
-// ProfileUpload carries a job's complete online profile.
-type ProfileUpload struct {
-	PBlocking    float64           `json:"p_blocking_w"`
-	Measurements []MeasurementJSON `json:"measurements"`
-}
-
-// StragglerNotice is the set_straggler payload (paper Table 2): the
-// infrastructure anticipates accelerator id becoming Degree times slower
-// after Delay seconds. Degree 1 communicates a recovery.
-type StragglerNotice struct {
-	ID     string  `json:"id"`
-	Delay  float64 `json:"delay_s"`
-	Degree float64 `json:"degree"`
-}
-
-// ScheduleResponse is the energy schedule for the current T_opt.
-type ScheduleResponse struct {
-	Ready bool `json:"ready"`
-	// Time is the planned iteration time of the deployed schedule.
-	Time float64 `json:"time_s"`
-	// Tmin and TStar bound the frontier.
-	Tmin  float64 `json:"tmin_s"`
-	TStar float64 `json:"tstar_s"`
-	// Freqs is the per-op frequency plan, indexed by schedule op id.
-	Freqs []int `json:"freqs_mhz"`
-	// Version increments whenever the deployed schedule changes, so
-	// clients can poll cheaply.
-	Version int `json:"version"`
-}
-
-// FrontierResponse lists the characterized frontier.
-type FrontierResponse struct {
-	Ready  bool      `json:"ready"`
-	Time   []float64 `json:"time_s"`
-	Energy []float64 `json:"energy_j"`
-}
-
-type job struct {
-	id    string
-	req   JobRequest
-	gpu   *gpu.Model
-	sched *sched.Schedule
-
-	mu             sync.Mutex
-	characterizing bool
-	charErr        error
-	front          *frontier.Frontier
-	table          *frontier.LookupTable // cached front.Table() for the fleet
-	tPrime         float64               // anticipated straggler iteration time; 0 = none
-	capTime        float64               // fleet-allocated iteration-time floor; 0 = none
-	alloc          *fleet.JobAlloc       // latest fleet allocation, if any
-	version        int
-	pending        *time.Timer   // armed delayed straggler switch, if any
-	done           chan struct{} // closed when characterization finishes
-
-	// Emissions accounting: the deployed schedule's power draw is
-	// integrated against the grid signal from characterization on.
-	// When a forecast is installed, the same draw is also integrated
-	// against the forecast's rates (while the job is unplaced), so
-	// predicted and realized accrual reconcile.
-	accSince    time.Time // accounting start (characterization time)
-	accAt       time.Time // last accrual
-	energyAccJ  float64
-	carbonAccG  float64
-	costAccUSD  float64
-	predCarbonG float64
-	predCostUSD float64
-	// predRealCarbonG is the realized carbon over exactly the spans the
-	// predicted account covers, so drift compares like with like even
-	// when the forecast predicted zero.
-	predRealCarbonG float64
-
-	// Placement: the datacenter region the job currently runs in ("" =
-	// unplaced; emissions then accrue against the global signal) and
-	// the placement history.
-	region     string
-	placements []placementEvent
-}
-
-// placementEvent is one entry of a job's placement history.
-type placementEvent struct {
-	region string
-	at     time.Time
-}
-
-// serverRegion is one registered datacenter region: its capacity, cap,
-// and grid signal, with the signal's time 0 anchored at registration.
-type serverRegion struct {
-	name   string
-	gpus   int
-	capW   float64
-	sig    *grid.Signal
-	anchor time.Time
-}
 
 // Server is the Perseus server. Create with New and expose via Handler.
 type Server struct {
-	mu   sync.Mutex
-	jobs map[string]*job
-	ord  []string // registration order, for deterministic fleet output
-	next int
-	capW float64 // fleet power cap; 0 = uncapped
+	st    *store
+	cache *planCache
 
 	// fleetMu serializes whole fleet recomputations (read cap →
 	// allocate → deploy floors), so concurrent recomputes cannot
 	// interleave their write-backs and deploy floors for a stale cap.
 	fleetMu sync.Mutex
 
-	// signal is the current grid trace (nil until uploaded); sigStart
-	// anchors its time 0 to the wall clock, and objective is the
-	// default temporal-planning objective.
-	signal    *grid.Signal
-	sigStart  time.Time
-	objective grid.Objective
-
-	// Forecast state: the installed model, the latest issued forecast
-	// (signal time, anchored like the signal itself), and the default
-	// robust planning quantile. replans holds per-job rolling-horizon
-	// re-planning state; replanMu serializes re-planning (read state →
-	// plan → write back).
-	fmodel   forecast.Model
-	flevel   float64
-	fquant   float64
-	fcast    *forecast.Forecast
-	fcastAt  time.Time
-	replans  map[string]*replanState
+	// replanMu serializes rolling-horizon re-planning (read state →
+	// freeze → plan → write back) across client calls and controller
+	// ticks; replans holds per-job rolling-horizon state.
 	replanMu sync.Mutex
+	replans  map[string]*replanState
 
-	// regions are the registered datacenter regions, by name and in
-	// registration order.
-	regions map[string]*serverRegion
-	regOrd  []string
-
-	// clock supplies wall-clock time (replaceable in tests).
-	clock func() time.Time
+	// ctrl is the background MPC controller runtime.
+	ctrl controller
 }
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{
-		jobs:      map[string]*job{},
-		regions:   map[string]*serverRegion{},
-		replans:   map[string]*replanState{},
-		objective: grid.ObjectiveCarbon,
-		clock:     time.Now,
+	s := &Server{
+		st:      newStore(),
+		cache:   newPlanCache(),
+		replans: map[string]*replanState{},
 	}
+	s.ctrl.s = s
+	s.ctrl.managed = map[string]managedJob{}
+	return s
+}
+
+// SetClock replaces the server's wall clock — the hook fake-clock
+// tests and compressed-timescale demos drive the controller with.
+func (s *Server) SetClock(fn func() time.Time) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	s.st.clock = fn
 }
 
 // Handler returns the HTTP API:
@@ -221,17 +82,21 @@ func New() *Server {
 //	POST /jobs                      register a job
 //	POST /jobs/{id}/profile        upload profiling results
 //	GET  /jobs/{id}/schedule       fetch the deployed energy schedule
+//	                               (ETag; If-None-Match + ?wait long-polls)
 //	POST /jobs/{id}/straggler      set_straggler notification
 //	GET  /jobs/{id}/frontier       fetch the characterized frontier
 //	GET  /jobs/{id}/table          fetch the full energy-schedule lookup table
 //	GET  /jobs/{id}/allocation     fetch the job's fleet allocation
 //	GET  /jobs/{id}/emissions      fetch the job's cumulative emissions
+//	GET  /jobs/{id}/rollout        fetch the job's rolling-horizon schedule
+//	                               state without triggering a re-plan
 //	POST /fleet/cap                set the fleet power cap
 //	GET  /fleet/status             fetch the fleet-wide allocation
 //	POST /grid/signal              install a grid signal (carbon/price/cap trace)
 //	GET  /grid/signal              fetch the installed grid signal
 //	GET  /grid/plan/{id}           plan a job's temporal schedule over the signal
-//	POST /grid/forecast            install a forecast model and issue a forecast
+//	                               (cached; identical concurrent requests solve once)
+//	POST /grid/forecast            install a forecast issuer and issue a forecast
 //	GET  /grid/forecast            fetch the latest issued forecast
 //	GET  /grid/replan/{id}         roll a job's schedule forward: freeze the executed
 //	                               prefix, re-plan the rest on the latest forecast
@@ -240,6 +105,11 @@ func New() *Server {
 //	GET  /regions/plan             plan all jobs' spatio-temporal schedules across regions
 //	POST /jobs/{id}/placement      place (or migrate) a job into a region
 //	GET  /jobs/{id}/placement      fetch a job's placement and history
+//	GET  /controller               fetch the controller runtime status
+//	POST /controller/jobs          put a job's rolling schedule under controller management
+//	POST /controller/start         start the background tick loop
+//	POST /controller/stop          stop the background tick loop
+//	POST /controller/tick          run one controller tick synchronously
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
@@ -252,1131 +122,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/grid/replan/", s.handleGridReplan)
 	mux.HandleFunc("/regions", s.handleRegions)
 	mux.HandleFunc("/regions/plan", s.handleRegionsPlan)
+	mux.HandleFunc("/controller", s.handleController)
+	mux.HandleFunc("/controller/", s.handleControllerAction)
 	return mux
-}
-
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	j, err := s.Register(req)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, JobResponse{JobID: j})
-}
-
-// Register creates a job and returns its id (the non-HTTP entry point).
-func (s *Server) Register(req JobRequest) (string, error) {
-	g, err := gpu.ByName(req.GPU)
-	if err != nil {
-		return "", err
-	}
-	if req.Chunks == 0 {
-		req.Chunks = 1
-	}
-	sc, err := sched.ByName(req.Schedule, req.Stages, req.Microbatches, req.Chunks)
-	if err != nil {
-		return "", err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.next++
-	id := fmt.Sprintf("job-%d", s.next)
-	s.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, done: make(chan struct{})}
-	s.ord = append(s.ord, id)
-	return id, nil
-}
-
-func (s *Server) job(id string) (*job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
-}
-
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
-	parts := strings.SplitN(rest, "/", 2)
-	if len(parts) != 2 {
-		http.NotFound(w, r)
-		return
-	}
-	j, ok := s.job(parts[0])
-	if !ok {
-		http.NotFound(w, r)
-		return
-	}
-	switch parts[1] {
-	case "profile":
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var up ProfileUpload
-		if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := s.UploadProfile(j.id, up); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.WriteHeader(http.StatusAccepted)
-	case "schedule":
-		resp, err := s.Schedule(j.id)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, resp)
-	case "straggler":
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var n StragglerNotice
-		if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := s.SetStraggler(j.id, n); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-	case "frontier":
-		writeJSON(w, s.FrontierOf(j.id))
-	case "table":
-		lt, err := s.Table(j.id)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
-			return
-		}
-		writeJSON(w, lt)
-	case "allocation":
-		resp, err := s.AllocationOf(j.id)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, resp)
-	case "emissions":
-		resp, err := s.Emissions(j.id)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, resp)
-	case "placement":
-		switch r.Method {
-		case http.MethodPost:
-			var req PlacementRequest
-			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			resp, err := s.PlaceJob(j.id, req.Region)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			writeJSON(w, resp)
-		case http.MethodGet:
-			resp, err := s.PlacementOf(j.id)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			writeJSON(w, resp)
-		default:
-			http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
-		}
-	default:
-		http.NotFound(w, r)
-	}
-}
-
-// UploadProfile stores a job's profiling results and kicks off
-// asynchronous frontier characterization (paper §3.2 step 2): training
-// continues while the server optimizes.
-func (s *Server) UploadProfile(id string, up ProfileUpload) error {
-	j, ok := s.job(id)
-	if !ok {
-		return fmt.Errorf("server: unknown job %s", id)
-	}
-	var ms []profile.Measurement
-	for _, m := range up.Measurements {
-		kind, err := parseKind(m.Kind)
-		if err != nil {
-			return err
-		}
-		ms = append(ms, profile.Measurement{
-			Virtual: m.Virtual, Kind: kind,
-			Freq: gpu.Frequency(m.Freq), Time: m.Time, Energy: m.Energy,
-		})
-	}
-	prof, err := profile.Assemble(j.gpu, up.PBlocking, ms)
-	if err != nil {
-		return err
-	}
-	j.mu.Lock()
-	if j.characterizing || j.front != nil {
-		j.mu.Unlock()
-		return fmt.Errorf("server: job %s already profiled", id)
-	}
-	j.characterizing = true
-	j.mu.Unlock()
-
-	go func() {
-		graph, err := dag.Build(j.sched, func(op sched.Op) int64 { return 1 })
-		var front *frontier.Frontier
-		if err == nil {
-			front, err = frontier.Characterize(graph, prof, frontier.Options{Unit: j.req.Unit})
-		}
-		now := s.clock()
-		j.mu.Lock()
-		j.front, j.charErr = front, err
-		if front != nil {
-			j.table = front.Table()
-			// The job now has a deployed schedule drawing power:
-			// emissions accounting starts here.
-			j.accSince, j.accAt = now, now
-		}
-		j.characterizing = false
-		j.version++
-		j.mu.Unlock()
-		close(j.done)
-		// The fleet gained a characterized member: under a cap, power
-		// must be re-divided.
-		s.recomputeFleet()
-	}()
-	return nil
-}
-
-// WaitCharacterized blocks until the job's frontier is ready (test hook
-// and CLI convenience).
-func (s *Server) WaitCharacterized(id string) error {
-	j, ok := s.job(id)
-	if !ok {
-		return fmt.Errorf("server: unknown job %s", id)
-	}
-	<-j.done
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.charErr
-}
-
-// SetStraggler records a straggler notification and moves the deployed
-// schedule to T_opt = min(T*, T') (paper §3.2 steps 4-5). Degree <= 1
-// clears the straggler. A positive Delay defers the switch: the
-// infrastructure anticipates the straggler Delay seconds ahead (Table 2),
-// so the server arms a timer and flips the deployed schedule when it
-// fires.
-func (s *Server) SetStraggler(id string, n StragglerNotice) error {
-	j, ok := s.job(id)
-	if !ok {
-		return fmt.Errorf("server: unknown job %s", id)
-	}
-	if n.Degree <= 0 {
-		return fmt.Errorf("server: straggler degree must be positive, got %v", n.Degree)
-	}
-	st := s.gridState()
-	j.mu.Lock()
-	if j.front == nil {
-		j.mu.Unlock()
-		return fmt.Errorf("server: job %s not characterized yet", id)
-	}
-	// The deployed operating point (and so the power draw) is about to
-	// move: settle emissions at the old point first.
-	apply := func(st gridState) {
-		j.accrueLocked(st)
-		if n.Degree <= 1 {
-			j.tPrime = 0
-		} else {
-			j.tPrime = j.front.Tmin() * n.Degree
-		}
-		j.version++
-	}
-	if n.Delay <= 0 {
-		apply(st)
-		j.mu.Unlock()
-		// A straggler moves the job's T_opt floor, freeing (or taking)
-		// fleet power; re-divide it.
-		s.recomputeFleet()
-		return nil
-	}
-	if j.pending != nil {
-		j.pending.Stop()
-	}
-	j.pending = time.AfterFunc(time.Duration(n.Delay*float64(time.Second)), func() {
-		st := s.gridState()
-		j.mu.Lock()
-		apply(st)
-		j.mu.Unlock()
-		s.recomputeFleet()
-	})
-	j.mu.Unlock()
-	return nil
-}
-
-// Schedule returns the currently deployed energy schedule: the Tmin
-// schedule in normal operation, or the T_opt schedule under a straggler.
-func (s *Server) Schedule(id string) (ScheduleResponse, error) {
-	j, ok := s.job(id)
-	if !ok {
-		return ScheduleResponse{}, fmt.Errorf("server: unknown job %s", id)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.charErr != nil {
-		return ScheduleResponse{}, j.charErr
-	}
-	if j.front == nil {
-		return ScheduleResponse{Ready: false}, nil
-	}
-	pt := j.front.Lookup(j.deployedTimeLocked(j.front.Tmin()))
-	plan := pt.Plan()
-	freqs := make([]int, len(plan))
-	for i, f := range plan {
-		freqs[i] = int(f)
-	}
-	return ScheduleResponse{
-		Ready:   true,
-		Time:    pt.Time,
-		Tmin:    j.front.Tmin(),
-		TStar:   j.front.TStar(),
-		Freqs:   freqs,
-		Version: j.version,
-	}, nil
-}
-
-// Table returns the job's serializable energy-schedule lookup table
-// (paper §3.2), for persistence or external consumption.
-func (s *Server) Table(id string) (*frontier.LookupTable, error) {
-	j, ok := s.job(id)
-	if !ok {
-		return nil, fmt.Errorf("server: unknown job %s", id)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.table == nil {
-		return nil, fmt.Errorf("server: job %s not characterized yet", id)
-	}
-	return j.table, nil
-}
-
-// FrontierOf returns the characterized frontier's (time, energy) points.
-func (s *Server) FrontierOf(id string) FrontierResponse {
-	j, ok := s.job(id)
-	if !ok {
-		return FrontierResponse{}
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.front == nil {
-		return FrontierResponse{}
-	}
-	resp := FrontierResponse{Ready: true}
-	for _, pt := range j.front.Points() {
-		resp.Time = append(resp.Time, pt.Time)
-		resp.Energy = append(resp.Energy, pt.Energy)
-	}
-	return resp
-}
-
-// FleetCapRequest sets the facility power cap (watts); 0 uncaps.
-type FleetCapRequest struct {
-	CapW float64 `json:"cap_w"`
-}
-
-// JobAllocationResponse is one job's fleet allocation.
-type JobAllocationResponse struct {
-	JobID string `json:"job_id"`
-
-	// Ready is false until the job is characterized; an unready job
-	// draws no planned power and takes no part in the allocation.
-	Ready bool `json:"ready"`
-
-	// Time is the allocated planned iteration time; the job's deployed
-	// schedule never runs faster while a cap is in force.
-	Time float64 `json:"time_s"`
-
-	// PowerW is the job's allocated power draw (all pipelines).
-	PowerW float64 `json:"power_w"`
-
-	// FloorTime and Loss mirror fleet.JobAlloc.
-	FloorTime float64 `json:"floor_s"`
-	Loss      float64 `json:"loss"`
-}
-
-// FleetStatusResponse is the fleet-wide allocation.
-type FleetStatusResponse struct {
-	CapW     float64                 `json:"cap_w"`
-	PowerW   float64                 `json:"power_w"`
-	Loss     float64                 `json:"loss"`
-	Feasible bool                    `json:"feasible"`
-	Jobs     []JobAllocationResponse `json:"jobs"`
-}
-
-func (s *Server) handleFleetCap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req FleetCapRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	st, err := s.SetFleetCap(req.CapW)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, st)
-}
-
-func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	writeJSON(w, s.FleetStatus())
-}
-
-// SetFleetCap sets the facility power cap and re-divides it across the
-// characterized jobs; capW = 0 uncaps the fleet. NaN, infinite, or
-// negative watts are rejected (HTTP 400 at the POST /fleet/cap layer) —
-// a malformed cap must not silently lift the facility envelope.
-func (s *Server) SetFleetCap(capW float64) (FleetStatusResponse, error) {
-	if math.IsNaN(capW) || math.IsInf(capW, 0) || capW < 0 {
-		return FleetStatusResponse{}, fmt.Errorf("server: fleet cap must be a finite non-negative number of watts, got %v", capW)
-	}
-	s.mu.Lock()
-	s.capW = capW
-	s.mu.Unlock()
-	return s.recomputeFleet(), nil
-}
-
-// FleetStatus recomputes and returns the fleet-wide allocation under
-// the current cap.
-func (s *Server) FleetStatus() FleetStatusResponse {
-	return s.recomputeFleet()
-}
-
-// AllocationOf returns a job's latest fleet allocation.
-func (s *Server) AllocationOf(id string) (JobAllocationResponse, error) {
-	j, ok := s.job(id)
-	if !ok {
-		return JobAllocationResponse{}, fmt.Errorf("server: unknown job %s", id)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.alloc == nil {
-		return JobAllocationResponse{JobID: id}, nil
-	}
-	return JobAllocationResponse{
-		JobID:     id,
-		Ready:     true,
-		Time:      j.alloc.Time,
-		PowerW:    j.alloc.PowerW,
-		FloorTime: j.alloc.FloorTime,
-		Loss:      j.alloc.Loss,
-	}, nil
-}
-
-// recomputeFleet runs the fleet allocator over every characterized job
-// under the current cap, deploys each job's allocated iteration-time
-// floor (bumping its schedule version when it changes), and returns the
-// fleet-wide view. Jobs still characterizing appear with Ready false.
-// The whole recomputation is serialized: the deployed floors always
-// reflect one allocation of the cap current when it ran.
-func (s *Server) recomputeFleet() FleetStatusResponse {
-	s.fleetMu.Lock()
-	defer s.fleetMu.Unlock()
-	gs := s.gridState()
-	s.mu.Lock()
-	capW := s.capW
-	jobs := make([]*job, 0, len(s.ord))
-	for _, id := range s.ord {
-		jobs = append(jobs, s.jobs[id])
-	}
-	s.mu.Unlock()
-
-	var fjobs []fleet.Job
-	var ready []int // indices into jobs, aligned with fjobs
-	for i, j := range jobs {
-		j.mu.Lock()
-		if j.table != nil {
-			fjobs = append(fjobs, fleet.Job{
-				ID:        j.id,
-				Table:     j.table,
-				Pipelines: j.req.DataParallel,
-				Weight:    j.req.Weight,
-				TPrime:    j.tPrime,
-			})
-			ready = append(ready, i)
-		}
-		j.mu.Unlock()
-	}
-	alloc := fleet.Allocate(fjobs, capW)
-
-	st := FleetStatusResponse{
-		CapW:     alloc.CapW,
-		PowerW:   alloc.PowerW,
-		Loss:     alloc.Loss,
-		Feasible: alloc.Feasible,
-	}
-	byID := map[string]JobAllocationResponse{}
-	for k, ja := range alloc.Jobs {
-		j := jobs[ready[k]]
-		// Only an actual cap constrains deployment; uncapped allocations
-		// sit at the job's own floor, which Schedule derives itself.
-		var capTime float64
-		if capW > 0 {
-			capTime = ja.Time
-		}
-		j.mu.Lock()
-		if j.capTime != capTime {
-			// The fleet floor moves the deployed operating point: settle
-			// emissions at the old point first.
-			j.accrueLocked(gs)
-			j.capTime = capTime
-			j.version++
-		}
-		a := ja
-		j.alloc = &a
-		j.mu.Unlock()
-		byID[j.id] = JobAllocationResponse{
-			JobID:     j.id,
-			Ready:     true,
-			Time:      ja.Time,
-			PowerW:    ja.PowerW,
-			FloorTime: ja.FloorTime,
-			Loss:      ja.Loss,
-		}
-	}
-	for _, j := range jobs {
-		if resp, ok := byID[j.id]; ok {
-			st.Jobs = append(st.Jobs, resp)
-		} else {
-			st.Jobs = append(st.Jobs, JobAllocationResponse{JobID: j.id})
-		}
-	}
-	return st
-}
-
-// gridState is a consistent snapshot of the grid signal, the region
-// signals, and the clock, taken (under s.mu) before a job's j.mu so
-// accrual never nests the two locks.
-type gridState struct {
-	sig     *grid.Signal
-	fsig    *grid.Signal // latest issued point forecast (signal time, same anchor)
-	start   time.Time
-	now     time.Time
-	regions map[string]*serverRegion
-}
-
-func (s *Server) gridState() gridState {
-	now := s.clock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Copy the map: the snapshot outlives s.mu, and concurrent region
-	// registrations mutate s.regions (entries themselves are immutable).
-	regions := make(map[string]*serverRegion, len(s.regions))
-	for name, r := range s.regions {
-		regions[name] = r
-	}
-	st := gridState{sig: s.signal, start: s.sigStart, now: now, regions: regions}
-	if s.fcast != nil {
-		st.fsig = s.fcast.Signal
-	}
-	return st
-}
-
-// deployedTimeLocked returns the anticipated iteration time the
-// deployed schedule is selected for: T' under a straggler (Tmin
-// otherwise), floored by the fleet-allocated capTime — a power-capped
-// job may not run faster than its share of the facility envelope
-// allows. Shared by Schedule and the emissions accrual so the two can
-// never charge different operating points. Callers hold j.mu.
-func (j *job) deployedTimeLocked(tmin float64) float64 {
-	t := j.tPrime
-	if t <= 0 {
-		t = tmin
-	}
-	if j.capTime > t {
-		t = j.capTime
-	}
-	return t
-}
-
-// deployedPowerLocked returns the power draw of the job's currently
-// deployed schedule (all pipelines). Callers hold j.mu.
-func (j *job) deployedPowerLocked() float64 {
-	if j.table == nil || len(j.table.Points) == 0 {
-		return 0
-	}
-	t := j.deployedTimeLocked(j.table.Tmin())
-	pipes := j.req.DataParallel
-	if pipes <= 0 {
-		pipes = 1
-	}
-	return float64(pipes) * j.table.AvgPower(j.table.LookupIndex(t))
-}
-
-// accrueLocked integrates the deployed schedule's power draw since the
-// last accrual into the job's emissions accumulators: at the placed
-// region's rates when the job has a placement, at the global signal's
-// otherwise (energy only before either exists). Callers hold j.mu and
-// must call it before any change to the deployed operating point or
-// placement, so each span is charged at the rates that actually
-// applied.
-func (j *job) accrueLocked(st gridState) {
-	if j.accAt.IsZero() || !st.now.After(j.accAt) {
-		return
-	}
-	power := j.deployedPowerLocked()
-	sig, start := st.sig, st.start
-	if j.region != "" {
-		if r, ok := st.regions[j.region]; ok {
-			sig, start = r.sig, r.anchor
-		}
-	}
-	var t0, t1 float64
-	if sig != nil {
-		t0 = j.accAt.Sub(start).Seconds()
-		t1 = st.now.Sub(start).Seconds()
-	} else {
-		t1 = st.now.Sub(j.accAt).Seconds()
-	}
-	e, c, usd := grid.Accrue(sig, t0, t1, power)
-	j.energyAccJ += e
-	j.carbonAccG += c
-	j.costAccUSD += usd
-	// Predicted accrual: the same draw priced at the latest issued
-	// forecast's rates. Only meaningful against the global signal, so
-	// placed jobs (accruing at a region's rates) are skipped.
-	if st.fsig != nil && j.region == "" && st.sig != nil {
-		_, pc, pusd := grid.Accrue(st.fsig, j.accAt.Sub(st.start).Seconds(), st.now.Sub(st.start).Seconds(), power)
-		j.predCarbonG += pc
-		j.predCostUSD += pusd
-		j.predRealCarbonG += c
-	}
-	j.accAt = st.now
-}
-
-// GridSignalRequest installs a grid trace and (optionally) the default
-// temporal-planning objective.
-type GridSignalRequest struct {
-	Signal    grid.Signal `json:"signal"`
-	Objective string      `json:"objective,omitempty"`
-}
-
-// GridSignalResponse summarizes the installed signal.
-type GridSignalResponse struct {
-	Name      string  `json:"name"`
-	Intervals int     `json:"intervals"`
-	HorizonS  float64 `json:"horizon_s"`
-	Objective string  `json:"objective"`
-}
-
-// EmissionsResponse is a job's cumulative emissions accounting since
-// characterization: deployed-schedule energy integrated against the
-// grid signal (cyclically beyond its horizon).
-type EmissionsResponse struct {
-	JobID string `json:"job_id"`
-
-	// Ready is false until the job is characterized and drawing power.
-	Ready bool `json:"ready"`
-
-	// SinceS is the accounted wall-clock span in seconds.
-	SinceS float64 `json:"since_s"`
-
-	// EnergyJ, CarbonG, and CostUSD are the cumulative totals. Carbon
-	// and cost stay zero while no signal is installed.
-	EnergyJ float64 `json:"energy_j"`
-	CarbonG float64 `json:"carbon_g"`
-	CostUSD float64 `json:"cost_usd"`
-
-	// PredCarbonG and PredCostUSD accrue the same draw at the latest
-	// issued forecast's rates (zero until POST /grid/forecast; global
-	// signal only — a placed job accrues at its region's rates, which
-	// the forecast does not cover). DriftCarbonG is realized minus
-	// predicted over exactly the forecast-covered spans: positive means
-	// the grid ran dirtier than forecast.
-	PredCarbonG  float64 `json:"pred_carbon_g"`
-	PredCostUSD  float64 `json:"pred_cost_usd"`
-	DriftCarbonG float64 `json:"drift_carbon_g"`
-}
-
-func (s *Server) handleGridSignal(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		var req GridSignalRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, err := s.SetGridSignal(req.Signal, req.Objective)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, resp)
-	case http.MethodGet:
-		s.mu.Lock()
-		sig := s.signal
-		s.mu.Unlock()
-		if sig == nil {
-			http.Error(w, "no grid signal installed", http.StatusNotFound)
-			return
-		}
-		writeJSON(w, sig)
-	default:
-		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
-	}
-}
-
-// SetGridSignal validates and installs a grid trace, anchoring its
-// time 0 at the current wall clock, and sets the default planning
-// objective ("" keeps carbon). Emissions accrued so far are settled
-// against the previous signal first, and all forecast and
-// rolling-horizon re-planning state is dropped: a forecast of the old
-// trace priced on the new one — or a frozen schedule prefix measured
-// against the old anchor — would silently corrupt every predicted
-// account downstream. Operators re-POST /grid/forecast after a signal
-// change.
-func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalResponse, error) {
-	obj, err := grid.ParseObjective(objective)
-	if err != nil {
-		return GridSignalResponse{}, err
-	}
-	if err := sig.Validate(); err != nil {
-		return GridSignalResponse{}, err
-	}
-	// Settle every job's accounting under the old signal before the
-	// rates change.
-	st := s.gridState()
-	s.mu.Lock()
-	jobs := make([]*job, 0, len(s.ord))
-	for _, id := range s.ord {
-		jobs = append(jobs, s.jobs[id])
-	}
-	s.mu.Unlock()
-	for _, j := range jobs {
-		j.mu.Lock()
-		j.accrueLocked(st)
-		j.mu.Unlock()
-	}
-	s.mu.Lock()
-	s.signal = &sig
-	s.sigStart = st.now
-	s.objective = obj
-	s.fmodel = nil
-	s.flevel = 0
-	s.fquant = 0
-	s.fcast = nil
-	s.fcastAt = time.Time{}
-	s.mu.Unlock()
-	s.replanMu.Lock()
-	s.replans = map[string]*replanState{}
-	s.replanMu.Unlock()
-	return GridSignalResponse{
-		Name:      sig.Name,
-		Intervals: len(sig.Intervals),
-		HorizonS:  sig.Horizon(),
-		Objective: string(obj),
-	}, nil
-}
-
-func (s *Server) handleGridPlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	id := strings.TrimPrefix(r.URL.Path, "/grid/plan/")
-	if id == "" || strings.Contains(id, "/") {
-		http.NotFound(w, r)
-		return
-	}
-	q := r.URL.Query()
-	parse := func(key string) (float64, error) {
-		v := q.Get(key)
-		if v == "" {
-			return 0, nil
-		}
-		return strconv.ParseFloat(v, 64)
-	}
-	target, err := parse("iterations")
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad iterations: %v", err), http.StatusBadRequest)
-		return
-	}
-	deadline, err := parse("deadline")
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad deadline: %v", err), http.StatusBadRequest)
-		return
-	}
-	plan, err := s.GridPlan(id, target, deadline, q.Get("objective"))
-	if err != nil {
-		status := http.StatusBadRequest
-		if _, ok := s.job(id); !ok {
-			status = http.StatusNotFound
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	writeJSON(w, plan)
-}
-
-// GridPlan plans a job's temporal schedule over the installed signal:
-// complete target iterations by the deadline (seconds in signal time;
-// 0 means the signal horizon) minimizing the objective ("" uses the
-// server default). The job must be characterized and a signal
-// installed.
-func (s *Server) GridPlan(id string, target, deadline float64, objective string) (*grid.Plan, error) {
-	j, ok := s.job(id)
-	if !ok {
-		return nil, fmt.Errorf("server: unknown job %s", id)
-	}
-	s.mu.Lock()
-	sig := s.signal
-	obj := s.objective
-	s.mu.Unlock()
-	if sig == nil {
-		return nil, fmt.Errorf("server: no grid signal installed")
-	}
-	if objective != "" {
-		var err error
-		if obj, err = grid.ParseObjective(objective); err != nil {
-			return nil, err
-		}
-	}
-	j.mu.Lock()
-	table := j.table
-	pipes := j.req.DataParallel
-	j.mu.Unlock()
-	if table == nil {
-		return nil, fmt.Errorf("server: job %s not characterized yet", id)
-	}
-	if pipes <= 0 {
-		pipes = 1
-	}
-	return grid.Optimize(table, sig, grid.Options{
-		Target:     target,
-		DeadlineS:  deadline,
-		Objective:  obj,
-		PowerScale: float64(pipes),
-	})
-}
-
-// Emissions settles and returns a job's cumulative emissions
-// accounting.
-func (s *Server) Emissions(id string) (EmissionsResponse, error) {
-	j, ok := s.job(id)
-	if !ok {
-		return EmissionsResponse{}, fmt.Errorf("server: unknown job %s", id)
-	}
-	st := s.gridState()
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.accrueLocked(st)
-	resp := EmissionsResponse{JobID: id}
-	if !j.accSince.IsZero() {
-		resp.Ready = true
-		resp.SinceS = j.accAt.Sub(j.accSince).Seconds()
-		resp.EnergyJ = j.energyAccJ
-		resp.CarbonG = j.carbonAccG
-		resp.CostUSD = j.costAccUSD
-		resp.PredCarbonG = j.predCarbonG
-		resp.PredCostUSD = j.predCostUSD
-		resp.DriftCarbonG = j.predRealCarbonG - j.predCarbonG
-	}
-	return resp, nil
-}
-
-// RegionRequest registers a datacenter region: its GPU capacity,
-// facility power cap, and grid signal.
-type RegionRequest struct {
-	Name   string      `json:"name"`
-	GPUs   int         `json:"gpus,omitempty"`
-	CapW   float64     `json:"cap_w,omitempty"`
-	Signal grid.Signal `json:"signal"`
-}
-
-// RegionInfo summarizes one registered region.
-type RegionInfo struct {
-	Name      string  `json:"name"`
-	GPUs      int     `json:"gpus"`
-	CapW      float64 `json:"cap_w"`
-	Intervals int     `json:"intervals"`
-	HorizonS  float64 `json:"horizon_s"`
-}
-
-// PlacementRequest places a job into a region.
-type PlacementRequest struct {
-	Region string `json:"region"`
-}
-
-// PlacementEntry is one step of a job's placement history.
-type PlacementEntry struct {
-	Region  string  `json:"region"`
-	AtUnixS float64 `json:"at_unix_s"`
-}
-
-// PlacementResponse reports a job's current placement.
-type PlacementResponse struct {
-	JobID string `json:"job_id"`
-
-	// Region is the current placement ("" = unplaced).
-	Region string `json:"region"`
-
-	// Migrations counts region changes after the initial placement.
-	Migrations int `json:"migrations"`
-
-	// History lists every placement in time order.
-	History []PlacementEntry `json:"history,omitempty"`
-}
-
-func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		var req RegionRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		info, err := s.RegisterRegion(req)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, info)
-	case http.MethodGet:
-		writeJSON(w, s.Regions())
-	default:
-		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
-	}
-}
-
-// RegisterRegion validates and registers a datacenter region, anchoring
-// its signal's time 0 at the current wall clock.
-func (s *Server) RegisterRegion(req RegionRequest) (RegionInfo, error) {
-	if req.Name == "" {
-		return RegionInfo{}, fmt.Errorf("server: region needs a name")
-	}
-	if req.GPUs < 0 {
-		return RegionInfo{}, fmt.Errorf("server: region %s capacity must be non-negative, got %d", req.Name, req.GPUs)
-	}
-	if math.IsNaN(req.CapW) || math.IsInf(req.CapW, 0) || req.CapW < 0 {
-		return RegionInfo{}, fmt.Errorf("server: region %s cap must be a finite non-negative number of watts, got %v", req.Name, req.CapW)
-	}
-	if err := req.Signal.Validate(); err != nil {
-		return RegionInfo{}, err
-	}
-	now := s.clock()
-	sig := req.Signal
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.regions[req.Name]; ok {
-		return RegionInfo{}, fmt.Errorf("server: region %s already registered", req.Name)
-	}
-	s.regions[req.Name] = &serverRegion{
-		name: req.Name, gpus: req.GPUs, capW: req.CapW, sig: &sig, anchor: now,
-	}
-	s.regOrd = append(s.regOrd, req.Name)
-	return RegionInfo{
-		Name: req.Name, GPUs: req.GPUs, CapW: req.CapW,
-		Intervals: len(sig.Intervals), HorizonS: sig.Horizon(),
-	}, nil
-}
-
-// Regions lists the registered regions in registration order.
-func (s *Server) Regions() []RegionInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]RegionInfo, 0, len(s.regOrd))
-	for _, name := range s.regOrd {
-		r := s.regions[name]
-		out = append(out, RegionInfo{
-			Name: r.name, GPUs: r.gpus, CapW: r.capW,
-			Intervals: len(r.sig.Intervals), HorizonS: r.sig.Horizon(),
-		})
-	}
-	return out
-}
-
-// PlaceJob places (or migrates) a job into a registered region.
-// Emissions accrued so far are settled at the old placement's rates
-// first, so the migration boundary splits the account exactly.
-func (s *Server) PlaceJob(id, regionName string) (PlacementResponse, error) {
-	j, ok := s.job(id)
-	if !ok {
-		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
-	}
-	s.mu.Lock()
-	_, ok = s.regions[regionName]
-	s.mu.Unlock()
-	if !ok {
-		return PlacementResponse{}, fmt.Errorf("server: unknown region %q", regionName)
-	}
-	st := s.gridState()
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.region != regionName {
-		j.accrueLocked(st)
-		j.region = regionName
-		j.placements = append(j.placements, placementEvent{region: regionName, at: st.now})
-	}
-	return placementLocked(j), nil
-}
-
-// PlacementOf returns a job's current placement and history.
-func (s *Server) PlacementOf(id string) (PlacementResponse, error) {
-	j, ok := s.job(id)
-	if !ok {
-		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return placementLocked(j), nil
-}
-
-// placementLocked renders the placement view. Callers hold j.mu.
-func placementLocked(j *job) PlacementResponse {
-	resp := PlacementResponse{JobID: j.id, Region: j.region}
-	for _, p := range j.placements {
-		resp.History = append(resp.History, PlacementEntry{
-			Region:  p.region,
-			AtUnixS: float64(p.at.UnixNano()) / 1e9,
-		})
-	}
-	if n := len(j.placements); n > 1 {
-		resp.Migrations = n - 1
-	}
-	return resp
-}
-
-func (s *Server) handleRegionsPlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	q := r.URL.Query()
-	parse := func(key string) (float64, error) {
-		v := q.Get(key)
-		if v == "" {
-			return 0, nil
-		}
-		return strconv.ParseFloat(v, 64)
-	}
-	var target, deadline, downtime, migEnergy float64
-	var err error
-	for _, f := range []struct {
-		key string
-		dst *float64
-	}{
-		{"iterations", &target}, {"deadline", &deadline},
-		{"downtime", &downtime}, {"migration_j", &migEnergy},
-	} {
-		if *f.dst, err = parse(f.key); err != nil {
-			http.Error(w, fmt.Sprintf("bad %s: %v", f.key, err), http.StatusBadRequest)
-			return
-		}
-	}
-	plan, err := s.RegionsPlan(target, deadline, q.Get("objective"), region.MigrationCost{
-		DowntimeS: downtime, EnergyJ: migEnergy,
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, plan)
-}
-
-// RegionsPlan plans every characterized job's spatio-temporal schedule
-// across the registered regions (internal/region): complete target
-// iterations per job by the deadline (seconds in signal time; 0 means
-// the longest region trace), minimizing the objective ("" uses the
-// server default), with migration modeled at the given pause-cost.
-// Each job occupies Stages × DataParallel GPUs of a region's capacity.
-func (s *Server) RegionsPlan(target, deadline float64, objective string, mig region.MigrationCost) (*region.Plan, error) {
-	s.mu.Lock()
-	obj := s.objective
-	regs := make([]region.Region, 0, len(s.regOrd))
-	for _, name := range s.regOrd {
-		r := s.regions[name]
-		regs = append(regs, region.Region{
-			Name: r.name, GPUs: r.gpus, Signal: r.sig, CapW: r.capW,
-		})
-	}
-	jobs := make([]*job, 0, len(s.ord))
-	for _, id := range s.ord {
-		jobs = append(jobs, s.jobs[id])
-	}
-	s.mu.Unlock()
-	if len(regs) == 0 {
-		return nil, fmt.Errorf("server: no regions registered")
-	}
-	if objective != "" {
-		var err error
-		if obj, err = grid.ParseObjective(objective); err != nil {
-			return nil, err
-		}
-	}
-	var rjobs []region.Job
-	for _, j := range jobs {
-		j.mu.Lock()
-		if j.table != nil {
-			pipes := j.req.DataParallel
-			if pipes <= 0 {
-				pipes = 1
-			}
-			rjobs = append(rjobs, region.Job{
-				ID:         j.id,
-				Table:      j.table,
-				GPUs:       j.req.Stages * pipes,
-				PowerScale: float64(pipes),
-				Target:     target,
-				DeadlineS:  deadline,
-			})
-		}
-		j.mu.Unlock()
-	}
-	if len(rjobs) == 0 {
-		return nil, fmt.Errorf("server: no characterized jobs to plan")
-	}
-	// The joint planner's descent cost grows with jobs × cells²; this
-	// endpoint runs it synchronously in the request, so bound the
-	// problem size rather than pin a CPU for minutes. Larger fleets
-	// should plan offline with internal/region directly.
-	if len(rjobs) > maxPlanJobs {
-		return nil, fmt.Errorf("server: %d characterized jobs exceed the synchronous planning limit of %d; plan offline with internal/region", len(rjobs), maxPlanJobs)
-	}
-	return region.Optimize(regs, rjobs, region.Options{Objective: obj, Migration: mig})
-}
-
-// maxPlanJobs bounds the fleet size GET /regions/plan will plan
-// synchronously.
-const maxPlanJobs = 6
-
-func parseKind(s string) (sched.Kind, error) {
-	switch strings.ToLower(s) {
-	case "forward", "f":
-		return sched.Forward, nil
-	case "backward", "b":
-		return sched.Backward, nil
-	}
-	return 0, fmt.Errorf("server: unknown computation kind %q (want forward or backward)", s)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

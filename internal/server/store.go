@@ -1,0 +1,310 @@
+package server
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"perseus/internal/fleet"
+	"perseus/internal/forecast"
+	"perseus/internal/frontier"
+	"perseus/internal/gpu"
+	"perseus/internal/grid"
+	"perseus/internal/sched"
+)
+
+// store is the concurrency-safe state every resource module of the
+// server shares: the job registry, the grid signal and its anchor, the
+// installed forecast issuer, the datacenter regions, and the wall
+// clock. One mutex guards it all; per-job mutable state lives behind
+// each job's own lock so accrual never holds the store lock.
+type store struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	ord  []string // registration order, for deterministic fleet output
+	next int
+	capW float64 // fleet power cap; 0 = uncapped
+
+	// signal is the current grid trace (nil until uploaded); sigStart
+	// anchors its time 0 to the wall clock, and objective is the
+	// default temporal-planning objective.
+	signal    *grid.Signal
+	sigStart  time.Time
+	objective grid.Objective
+
+	// epoch counts plan-input generations: it bumps whenever the signal
+	// is re-installed or a forecast is (re-)issued, and the plan cache
+	// keys on it, so stale plans can never be served after the inputs
+	// they were solved against changed.
+	epoch int
+
+	// Forecast state: the installed issuer (nil until POST
+	// /grid/forecast), the latest issued forecast (signal time, anchored
+	// like the signal itself), the default robust planning quantile, and
+	// frev counting forecast revisions (installs), which rolling
+	// schedules use to decide whether a fresh re-plan is warranted.
+	fspec   *forecastSpec
+	fcast   *forecast.Forecast
+	fcastAt time.Time
+	frev    int
+
+	// regions are the registered datacenter regions, by name and in
+	// registration order.
+	regions map[string]*serverRegion
+	regOrd  []string
+
+	// clock supplies wall-clock time (replaceable via Server.SetClock).
+	clock func() time.Time
+}
+
+func newStore() *store {
+	return &store{
+		jobs:      map[string]*job{},
+		regions:   map[string]*serverRegion{},
+		objective: grid.ObjectiveCarbon,
+		clock:     time.Now,
+	}
+}
+
+// now reads the wall clock. The function pointer is fetched under the
+// lock so SetClock can race a running controller loop safely.
+func (st *store) now() time.Time {
+	st.mu.Lock()
+	fn := st.clock
+	st.mu.Unlock()
+	return fn()
+}
+
+func (st *store) job(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// jobsInOrder snapshots the job list in registration order.
+func (st *store) jobsInOrder() []*job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	jobs := make([]*job, 0, len(st.ord))
+	for _, id := range st.ord {
+		jobs = append(jobs, st.jobs[id])
+	}
+	return jobs
+}
+
+// settleAll accrues every job's emissions at the given snapshot —
+// called before any change to the rates (signal or forecast install)
+// so each span is charged at the rates that actually applied.
+func (st *store) settleAll(gs gridState) {
+	for _, j := range st.jobsInOrder() {
+		j.mu.Lock()
+		j.accrueLocked(gs)
+		j.mu.Unlock()
+	}
+}
+
+// job is one registered training job and its per-job mutable state.
+type job struct {
+	id    string
+	req   JobRequest
+	gpu   *gpu.Model
+	sched *sched.Schedule
+
+	mu             sync.Mutex
+	characterizing bool
+	charErr        error
+	front          *frontier.Frontier
+	table          *frontier.LookupTable // cached front.Table() for the fleet
+	tableHash      uint64                // content hash of table, for the plan cache
+	tPrime         float64               // anticipated straggler iteration time; 0 = none
+	capTime        float64               // fleet-allocated iteration-time floor; 0 = none
+	alloc          *fleet.JobAlloc       // latest fleet allocation, if any
+	version        int
+	verWatch       chan struct{} // closed on version bump (long-poll wakeup)
+	pending        *time.Timer   // armed delayed straggler switch, if any
+	done           chan struct{} // closed when characterization finishes
+
+	// Emissions accounting: the deployed schedule's power draw is
+	// integrated against the grid signal from characterization on.
+	// When a forecast is installed, the same draw is also integrated
+	// against the forecast's rates (while the job is unplaced), so
+	// predicted and realized accrual reconcile.
+	accSince    time.Time // accounting start (characterization time)
+	accAt       time.Time // last accrual
+	energyAccJ  float64
+	carbonAccG  float64
+	costAccUSD  float64
+	predCarbonG float64
+	predCostUSD float64
+	// predRealCarbonG is the realized carbon over exactly the spans the
+	// predicted account covers, so drift compares like with like even
+	// when the forecast predicted zero.
+	predRealCarbonG float64
+
+	// Placement: the datacenter region the job currently runs in ("" =
+	// unplaced; emissions then accrue against the global signal) and
+	// the placement history.
+	region     string
+	placements []placementEvent
+}
+
+// bumpLocked advances the job's schedule version and wakes every
+// long-poller waiting on it. Callers hold j.mu.
+func (j *job) bumpLocked() {
+	j.version++
+	if j.verWatch != nil {
+		close(j.verWatch)
+		j.verWatch = nil
+	}
+}
+
+// watchLocked returns the channel closed at the next version bump.
+// Callers hold j.mu.
+func (j *job) watchLocked() chan struct{} {
+	if j.verWatch == nil {
+		j.verWatch = make(chan struct{})
+	}
+	return j.verWatch
+}
+
+// placementEvent is one entry of a job's placement history.
+type placementEvent struct {
+	region string
+	at     time.Time
+}
+
+// serverRegion is one registered datacenter region: its capacity, cap,
+// and grid signal, with the signal's time 0 anchored at registration.
+type serverRegion struct {
+	name   string
+	gpus   int
+	capW   float64
+	sig    *grid.Signal
+	anchor time.Time
+}
+
+// gridState is a consistent snapshot of the grid signal, the region
+// signals, and the clock, taken (under st.mu) before a job's j.mu so
+// accrual never nests the two locks.
+type gridState struct {
+	sig     *grid.Signal
+	fsig    *grid.Signal // latest issued point forecast (signal time, same anchor)
+	start   time.Time
+	now     time.Time
+	regions map[string]*serverRegion
+}
+
+func (st *store) gridState() gridState {
+	now := st.now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Copy the map: the snapshot outlives st.mu, and concurrent region
+	// registrations mutate st.regions (entries themselves are immutable).
+	regions := make(map[string]*serverRegion, len(st.regions))
+	for name, r := range st.regions {
+		regions[name] = r
+	}
+	gs := gridState{sig: st.signal, start: st.sigStart, now: now, regions: regions}
+	if st.fcast != nil {
+		gs.fsig = st.fcast.Signal
+	}
+	return gs
+}
+
+// deployedTimeLocked returns the anticipated iteration time the
+// deployed schedule is selected for: T' under a straggler (Tmin
+// otherwise), floored by the fleet-allocated capTime — a power-capped
+// job may not run faster than its share of the facility envelope
+// allows. Shared by Schedule and the emissions accrual so the two can
+// never charge different operating points. Callers hold j.mu.
+func (j *job) deployedTimeLocked(tmin float64) float64 {
+	t := j.tPrime
+	if t <= 0 {
+		t = tmin
+	}
+	if j.capTime > t {
+		t = j.capTime
+	}
+	return t
+}
+
+// deployedPowerLocked returns the power draw of the job's currently
+// deployed schedule (all pipelines). Callers hold j.mu.
+func (j *job) deployedPowerLocked() float64 {
+	if j.table == nil || len(j.table.Points) == 0 {
+		return 0
+	}
+	t := j.deployedTimeLocked(j.table.Tmin())
+	pipes := j.req.DataParallel
+	if pipes <= 0 {
+		pipes = 1
+	}
+	return float64(pipes) * j.table.AvgPower(j.table.LookupIndex(t))
+}
+
+// accrueLocked integrates the deployed schedule's power draw since the
+// last accrual into the job's emissions accumulators: at the placed
+// region's rates when the job has a placement, at the global signal's
+// otherwise (energy only before either exists). Callers hold j.mu and
+// must call it before any change to the deployed operating point or
+// placement, so each span is charged at the rates that actually
+// applied.
+func (j *job) accrueLocked(gs gridState) {
+	if j.accAt.IsZero() || !gs.now.After(j.accAt) {
+		return
+	}
+	power := j.deployedPowerLocked()
+	sig, start := gs.sig, gs.start
+	if j.region != "" {
+		if r, ok := gs.regions[j.region]; ok {
+			sig, start = r.sig, r.anchor
+		}
+	}
+	var t0, t1 float64
+	if sig != nil {
+		t0 = j.accAt.Sub(start).Seconds()
+		t1 = gs.now.Sub(start).Seconds()
+	} else {
+		t1 = gs.now.Sub(j.accAt).Seconds()
+	}
+	e, c, usd := grid.Accrue(sig, t0, t1, power)
+	j.energyAccJ += e
+	j.carbonAccG += c
+	j.costAccUSD += usd
+	// Predicted accrual: the same draw priced at the latest issued
+	// forecast's rates. Only meaningful against the global signal, so
+	// placed jobs (accruing at a region's rates) are skipped.
+	if gs.fsig != nil && j.region == "" && gs.sig != nil {
+		_, pc, pusd := grid.Accrue(gs.fsig, j.accAt.Sub(gs.start).Seconds(), gs.now.Sub(gs.start).Seconds(), power)
+		j.predCarbonG += pc
+		j.predCostUSD += pusd
+		j.predRealCarbonG += c
+	}
+	j.accAt = gs.now
+}
+
+// hashTable content-hashes a characterized lookup table so the plan
+// cache can key on the frontier a plan was solved against: any
+// re-characterization yields a different key.
+func hashTable(lt *frontier.LookupTable) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	put(math.Float64bits(lt.Unit))
+	put(uint64(lt.TminUnits))
+	put(uint64(lt.TStarUnits))
+	for _, pt := range lt.Points {
+		put(uint64(pt.TimeUnits))
+		put(math.Float64bits(pt.Energy))
+		for _, f := range pt.Freqs {
+			put(uint64(f))
+		}
+	}
+	return h.Sum64()
+}
