@@ -2,20 +2,36 @@
 // a cluster-wide singleton that registers training jobs, receives online
 // profiling results, characterizes time-energy frontiers asynchronously,
 // and serves energy schedules over HTTP — including straggler reactions
-// via POST /jobs/{id}/straggler.
+// via POST /jobs/{id}/straggler. Metrics, health, and recent events are
+// served at /metrics, /healthz, and /debug/events; -pprof additionally
+// mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	"perseus/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":7787", "listen address")
+	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	handler := server.New().Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	log.Printf("perseus server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New().Handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

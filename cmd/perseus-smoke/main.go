@@ -1,0 +1,150 @@
+// Command perseus-smoke is the CI observability smoke test: it boots
+// the server in-process, drives one end-to-end planning flow over HTTP
+// (register → profile → signal → plan ×2 → controller tick), then
+// scrapes /metrics and /healthz and exits non-zero unless every core
+// series is present with a sane value. It guards the contract dashboards
+// and alerting would be built on: the exposition endpoint keeps serving
+// the documented metric catalog after real traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"perseus/internal/client"
+	"perseus/internal/gpu"
+	"perseus/internal/grid"
+	"perseus/internal/model"
+	"perseus/internal/partition"
+	"perseus/internal/profile"
+	"perseus/internal/sched"
+	"perseus/internal/server"
+)
+
+// buildProfile synthesizes the measurements a client-side profiler
+// would report (the same construction the demos and server tests use).
+func buildProfile(g *gpu.Model, stages, mbSize int) ([]profile.Measurement, float64, error) {
+	m, err := model.GPT3("1.3b")
+	if err != nil {
+		return nil, 0, err
+	}
+	part, err := partition.MinImbalance(m.LayerCosts(), stages)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := profile.Workload{
+		Model: m, GPU: g, Stages: stages, Chunks: 1,
+		Partition: part.Boundaries, MicrobatchSize: mbSize, TensorParallel: 1,
+	}
+	refs, err := w.StageRefTimes()
+	if err != nil {
+		return nil, 0, err
+	}
+	var ms []profile.Measurement
+	for v, ref := range refs {
+		for _, f := range g.Frequencies() {
+			ms = append(ms,
+				profile.Measurement{Virtual: v, Kind: sched.Forward, Freq: f,
+					Time: g.Time(ref, f, g.MemBoundFwd), Energy: g.Energy(ref, f, g.MemBoundFwd)},
+				profile.Measurement{Virtual: v, Kind: sched.Backward, Freq: f,
+					Time: g.Time(2*ref, f, g.MemBoundBwd), Energy: g.Energy(2*ref, f, g.MemBoundBwd)})
+		}
+	}
+	return ms, profile.MeasurePBlocking(g), nil
+}
+
+func main() {
+	srv := server.New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	cl := client.NewServerClient("http://" + ln.Addr().String())
+
+	// Drive the flow the metrics should record.
+	id, err := cl.RegisterJob(client.JobRequest{
+		Schedule: "1f1b", Stages: 2, Microbatches: 4, GPU: "A100-PCIe", Unit: 5e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := gpu.ByName("A100-PCIe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, pBlocking, err := buildProfile(g, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.UploadProfile(id, pBlocking, ms); err != nil {
+		log.Fatal(err)
+	}
+	dep, err := cl.WaitSchedule(id, 200, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig := grid.Diurnal24h()
+	if _, err := cl.UploadGridSignal(*sig, "carbon"); err != nil {
+		log.Fatal(err)
+	}
+	target := math.Floor(0.5 * sig.Horizon() / dep.Tmin)
+	// Twice: one cache miss, one hit.
+	if _, err := cl.FetchGridPlan(id, target, 0, ""); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.FetchGridPlan(id, target, 0, ""); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.TickController(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scrape and assert.
+	h, err := cl.FetchHealth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if h.Status != "ok" || h.Jobs != 1 || !h.SignalInstalled {
+		log.Fatalf("smoke: bad health view %+v", h)
+	}
+	text, err := cl.FetchMetrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	core := []string{
+		`perseus_http_requests_total{route="/grid/plan/{id}",method="GET",code="200"} 2`,
+		"perseus_plan_cache_hits_total 1",
+		"perseus_plan_cache_misses_total 1",
+		"perseus_controller_ticks_total 1",
+		"perseus_jobs_registered_total 1",
+		`perseus_characterizations_total{outcome="ok"} 1`,
+		`perseus_planner_plan_duration_seconds_count{planner="grid",objective="carbon"} 1`,
+	}
+	var missing []string
+	for _, want := range core {
+		if !strings.Contains(text, want) {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("smoke: /metrics missing core series:\n  %s\nfull exposition:\n%s",
+			strings.Join(missing, "\n  "), text)
+	}
+	events, err := cl.FetchEvents(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(events) == 0 {
+		log.Fatal("smoke: /debug/events returned no events after the flow")
+	}
+	fmt.Printf("smoke ok: %d core series present, %d events recorded, uptime %.2fs\n",
+		len(core), len(events), h.UptimeS)
+}

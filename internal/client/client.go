@@ -652,13 +652,16 @@ type ControllerJobStatus struct {
 	RemainingIterations float64 `json:"remaining_iterations"`
 	Feasible            bool    `json:"feasible"`
 	LastError           string  `json:"last_error,omitempty"`
+	LastReplanUnixS     float64 `json:"last_replan_unix_s,omitempty"`
 }
 
 // CacheStats mirrors the server's plan-cache counters.
 type CacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
 }
 
 // ControllerStatus mirrors the server's controller runtime status.
@@ -668,6 +671,7 @@ type ControllerStatus struct {
 	Running       bool                  `json:"running"`
 	Ticks         int                   `json:"ticks"`
 	LastTickUnixS float64               `json:"last_tick_unix_s,omitempty"`
+	LastTickError string                `json:"last_tick_error,omitempty"`
 	NextBoundaryS float64               `json:"next_boundary_s"`
 	Jobs          []ControllerJobStatus `json:"jobs"`
 	Cache         CacheStats            `json:"cache"`
@@ -716,4 +720,66 @@ func (c *ServerClient) FetchControllerStatus() (ControllerStatus, error) {
 	var st ControllerStatus
 	err := c.get("/controller", &st)
 	return st, err
+}
+
+// Health mirrors the server's GET /healthz liveness view.
+type Health struct {
+	Status            string  `json:"status"`
+	UptimeS           float64 `json:"uptime_s"`
+	Jobs              int     `json:"jobs"`
+	Regions           int     `json:"regions"`
+	SignalInstalled   bool    `json:"signal_installed"`
+	ForecastInstalled bool    `json:"forecast_installed"`
+	ControllerRunning bool    `json:"controller_running"`
+}
+
+// FetchHealth returns the server's liveness summary.
+func (c *ServerClient) FetchHealth() (Health, error) {
+	var h Health
+	err := c.get("/healthz", &h)
+	return h, err
+}
+
+// FetchMetrics returns the server's /metrics endpoint verbatim:
+// Prometheus text exposition format 0.0.4.
+func (c *ServerClient) FetchMetrics() (string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("client: GET /metrics: %s", resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// Event mirrors one structured event from the server's bounded event
+// ring (GET /debug/events).
+type Event struct {
+	Seq     uint64            `json:"seq"`
+	AtUnixS float64           `json:"at_unix_s"`
+	Name    string            `json:"name"`
+	DurS    float64           `json:"dur_s"`
+	Labels  map[string]string `json:"labels,omitempty"`
+}
+
+// FetchEvents returns the server's most recent structured events,
+// oldest first; limit <= 0 fetches the whole retained window.
+func (c *ServerClient) FetchEvents(limit int) ([]Event, error) {
+	path := "/debug/events"
+	if limit > 0 {
+		path += "?n=" + strconv.Itoa(limit)
+	}
+	var resp struct {
+		Events []Event `json:"events"`
+	}
+	if err := c.get(path, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
 }

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(3)
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 5; i++ {
+		r.Emit(base.Add(time.Duration(i)*time.Second), "e", 0, "i", string(rune('0'+i)))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring retained %d events, want 3", r.Len())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 3 {
+		t.Fatalf("snapshot returned %d events, want 3", len(got))
+	}
+	// Oldest retained is event #3 (seq numbering starts at 1).
+	for i, e := range got {
+		if want := uint64(3 + i); e.Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if got[0].Labels["i"] != "2" {
+		t.Errorf("oldest retained label = %q, want \"2\"", got[0].Labels["i"])
+	}
+}
+
+func TestRingSnapshotLimit(t *testing.T) {
+	r := NewRing(10)
+	at := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 6; i++ {
+		r.Emit(at, "e", time.Duration(i)*time.Millisecond)
+	}
+	got := r.Snapshot(2)
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("limited snapshot = %+v, want the two newest (seq 5, 6)", got)
+	}
+	if r.Snapshot(100); len(r.Snapshot(100)) != 6 {
+		t.Error("limit beyond retention should return everything")
+	}
+}
+
+func TestRingTimestampAndDuration(t *testing.T) {
+	r := NewRing(0) // default capacity
+	at := time.Unix(1_700_000_000, 500_000_000)
+	r.Emit(at, "tick", 250*time.Millisecond, "jobs", "3")
+	e := r.Snapshot(0)[0]
+	if e.AtUnixS != 1_700_000_000.5 {
+		t.Errorf("AtUnixS = %v", e.AtUnixS)
+	}
+	if e.DurS != 0.25 {
+		t.Errorf("DurS = %v", e.DurS)
+	}
+	if e.Name != "tick" || e.Labels["jobs"] != "3" {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestRingRace(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Emit(time.Unix(int64(i), 0), "e", 0)
+				_ = r.Snapshot(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("ring retained %d, want full capacity 64", r.Len())
+	}
+}

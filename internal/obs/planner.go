@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"time"
+
+	"perseus/internal/plan"
+)
+
+// InstrumentPlanner wraps a plan.Planner so every Plan call is timed
+// into latency — labeled (planner, objective) — and failures counted
+// into errors (labeled planner). All four planning layers (grid,
+// region, forecast-MPC, fleet) report through this one decorator, so
+// per-objective planning latency is comparable across them without any
+// layer knowing about metrics. as overrides the reported planner label
+// ("" uses p.Name()) — the server labels the rolling-horizon re-plan
+// solve "forecast-mpc" even though the inner solver is the grid
+// planner. Either metric may be nil to skip that side.
+func InstrumentPlanner(p plan.Planner, as string, latency *HistogramVec, errors *CounterVec) plan.Planner {
+	name := as
+	if name == "" {
+		name = p.Name()
+	}
+	return &instrumentedPlanner{inner: p, name: name, latency: latency, errors: errors}
+}
+
+type instrumentedPlanner struct {
+	inner   plan.Planner
+	name    string
+	latency *HistogramVec
+	errors  *CounterVec
+}
+
+// Name implements plan.Planner, reporting the instrumented label.
+func (p *instrumentedPlanner) Name() string { return p.name }
+
+// Plan implements plan.Planner.
+func (p *instrumentedPlanner) Plan(req plan.Request) (plan.Result, error) {
+	obj, objErr := plan.ParseObjective(string(req.Objective))
+	if objErr != nil {
+		obj = req.Objective // surfaced as-is; the inner planner rejects it
+	}
+	start := time.Now()
+	res, err := p.inner.Plan(req)
+	if p.latency != nil {
+		p.latency.With(p.name, string(obj)).Observe(time.Since(start).Seconds())
+	}
+	if err != nil && p.errors != nil {
+		p.errors.With(p.name).Inc()
+	}
+	return res, err
+}

@@ -1,0 +1,430 @@
+// Package obs is the repository's dependency-free observability layer:
+// typed Counter/Gauge/Histogram metrics in a concurrency-safe Registry
+// with hand-rolled Prometheus text exposition (no external modules), a
+// bounded in-memory event ring for tracing controller ticks, re-plans,
+// and migrations (events.go), and an instrumenting decorator over the
+// shared plan.Planner contract (planner.go).
+//
+// The server (internal/server) owns one Registry and one Ring and
+// exposes them at GET /metrics and GET /debug/events; everything here
+// is also usable standalone from experiments and CLIs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default fixed histogram buckets for latency
+// observations in seconds: they span sub-microsecond cache hits through
+// multi-second planner solves.
+var LatencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing float64. The zero value is
+// usable; Registry.Counter hands out registered ones.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas are ignored (counters never decrease).
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observation counts per
+// upper bound plus sum and count, with quantile estimation by linear
+// interpolation inside the crossing bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	upper  []float64 // sorted finite upper bounds; +Inf is implicit
+	counts []uint64  // per-bucket (non-cumulative), len(upper)+1
+	count  uint64
+	sum    float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (e.g. 0.5, 0.99) by linear
+// interpolation within the bucket the cumulative count crosses in —
+// the same estimate Prometheus's histogram_quantile computes. Returns
+// NaN with no observations; observations beyond the last finite bound
+// report that bound (the estimate saturates, as histogram_quantile's
+// does).
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i >= len(h.upper) { // +Inf bucket: saturate at last finite bound
+				if len(h.upper) == 0 {
+					return math.NaN()
+				}
+				return h.upper[len(h.upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + (h.upper[i]-lo)*frac
+		}
+		cum = next
+	}
+	if len(h.upper) == 0 {
+		return math.NaN()
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// snapshot returns cumulative bucket counts aligned with upper (+Inf
+// last), the total count, and the sum.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.count, h.sum
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one named metric and its label-partitioned series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // rendered label block ("" or `{k="v",...}`) → *Counter | *Gauge | *Histogram
+}
+
+// newSeries materializes an empty series of the family's kind.
+func (f *family) newSeries() any {
+	switch f.kind {
+	case kindCounter:
+		return &Counter{}
+	case kindGauge:
+		return &Gauge{}
+	default:
+		return &Histogram{upper: f.buckets, counts: make([]uint64, len(f.buckets)+1)}
+	}
+}
+
+// with returns (creating if needed) the series for the label values.
+func (f *family) with(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = f.newSeries()
+		f.series[key] = s
+	}
+	return s
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values (created on first use).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).(*Counter) }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).(*Gauge) }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values (created on first use).
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).(*Histogram) }
+
+// Registry is a concurrency-safe set of metric families. Registration
+// is idempotent for an identical (name, kind) pair; re-registering a
+// name as a different kind panics — that is a programming error, not a
+// runtime condition.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if name == "" || strings.ContainsAny(name, " \n\"{}") {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as a different kind or label set", name))
+		}
+		return f
+	}
+	if kind == kindHistogram {
+		if len(buckets) == 0 {
+			buckets = LatencyBuckets
+		}
+		buckets = append([]float64(nil), buckets...)
+		sort.Float64s(buckets)
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		series: map[string]any{},
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).with(nil).(*Counter)
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).with(nil).(*Gauge)
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram; nil buckets
+// use LatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, kindHistogram, nil, buckets).with(nil).(*Histogram)
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family; nil
+// buckets use LatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labels, buckets)}
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label block, HELP text and label values escaped per the format's
+// rules. The output is deterministic for a given registry state — the
+// property the golden exposition test pins.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make([]*family, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(keys) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for i, key := range keys {
+			switch s := series[i].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, key, formatFloat(s.Value()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, key, formatFloat(s.Value()))
+			case *Histogram:
+				cum, count, sum := s.snapshot()
+				for j, ub := range f.buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, addLabel(key, "le", formatFloat(ub)), cum[j])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, addLabel(key, "le", "+Inf"), count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, key, formatFloat(sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, key, count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderLabels builds the `{k="v",...}` block ("" with no labels).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// addLabel appends one more label pair to a rendered block (for the
+// histogram `le` bound).
+func addLabel(block, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if block == "" {
+		return "{" + pair + "}"
+	}
+	return block[:len(block)-1] + "," + pair + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes HELP text: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every metric kind, label
+// sorting, and the exposition escaping rules. Observed values are
+// binary-exact floats so the rendered sums are stable across platforms.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.").Add(3)
+
+	cv := r.CounterVec("test_cache_ops_total", "Cache operations.", "op")
+	cv.With("miss").Inc()
+	cv.With("hit").Add(5) // registered after "miss": output must still sort hit first
+
+	r.Gauge("test_in_flight", "In-flight requests.").Set(2)
+
+	gv := r.GaugeVec("test_weird_labels", "Escaping: backslash \\ and\nnewline.", "path")
+	gv.With("a\\b\"c\nd").Set(1)
+
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.0078125, 0.0625, 0.5, 4} {
+		h.Observe(v)
+	}
+
+	hv := r.HistogramVec("test_op_seconds", "Per-op latency.", []float64{1}, "op")
+	hv.With("plan").Observe(0.5)
+	return r
+}
+
+// TestWritePrometheusGolden pins the full exposition output — family
+// and series ordering, histogram bucket/sum/count layout, HELP and
+// label escaping — against testdata/exposition.golden.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionDeterministic re-renders the same registry and demands
+// byte-identical output — scrapes must be stable under map iteration.
+func TestExpositionDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of one registry differ")
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	a.Add(2)
+	if got := r.Counter("x_total", "x").Value(); got != 2 {
+		t.Errorf("re-registration returned a fresh counter: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "q", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("quantile of an empty histogram should be NaN")
+	}
+	// 10 observations in (1,2]: cumulative crosses anywhere inside that
+	// bucket, interpolated linearly from 1 to 2.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("p50 = %v, want 1.5 (midpoint of the (1,2] bucket)", got)
+	}
+	// Push 10 more into (2,4]: p99 lands near that bucket's top.
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 2 || p99 > 4 {
+		t.Errorf("p99 = %v, want inside (2,4]", p99)
+	}
+	// Beyond the last finite bound: saturates at it.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("q1 with an overflow observation = %v, want the last bound 4", got)
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	c.Add(math.NaN())
+	if c.Value() != 5 {
+		t.Errorf("counter after negative/NaN adds = %v, want 5", c.Value())
+	}
+}
+
+// TestRegistryRace hammers one registry from concurrent writers and
+// scrapers; run under -race (CI does) it proves the registry is safe
+// to share between HTTP handlers, controller ticks, and /metrics
+// scrapes.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "race")
+	g := r.Gauge("race_gauge", "race")
+	cv := r.CounterVec("race_vec_total", "race", "who")
+	h := r.Histogram("race_seconds", "race", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			who := string(rune('a' + w))
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				cv.With(who).Inc()
+				h.Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*500 {
+		t.Errorf("racing counter = %v, want %d", got, 8*500)
+	}
+	if got := h.Count(); got != 8*500 {
+		t.Errorf("racing histogram count = %v, want %d", got, 8*500)
+	}
+}

@@ -41,14 +41,28 @@ const maxPlanCacheEntries = 1024
 // fresh key, clear() drops the dead generations wholesale, and the
 // size cap flushes parameter sweeps.
 type planCache struct {
-	mu      sync.Mutex
-	entries map[planKey]*cacheEntry
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	entries   map[planKey]*cacheEntry
+	hits      int64
+	misses    int64
+	coalesced int64 // hits that waited on an in-flight solve
+	evictions int64 // entries dropped by cap flushes and clear()
+	obs       *serverObs
 }
 
-func newPlanCache() *planCache {
-	return &planCache{entries: map[planKey]*cacheEntry{}}
+// newPlanCache returns an empty cache mirroring its counters into o
+// (nil skips the mirroring — direct unit tests construct bare caches).
+func newPlanCache(o *serverObs) *planCache {
+	return &planCache{entries: map[planKey]*cacheEntry{}, obs: o}
+}
+
+// syncObsLocked pushes the counter state into the metric registry.
+// Callers hold c.mu.
+func (c *planCache) syncObsLocked() {
+	if c.obs == nil {
+		return
+	}
+	c.obs.cacheEntries.Set(float64(len(c.entries)))
 }
 
 // do returns the cached plan for key, or runs solve exactly once per
@@ -59,16 +73,40 @@ func (c *planCache) do(key planKey, solve func() (*grid.Plan, error)) (*grid.Pla
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		// A hit whose flight has not finished is a coalesced follower:
+		// it parks on done instead of solving — the single-flight half
+		// of the cache's value, counted separately from plain hits.
+		inflight := false
+		select {
+		case <-e.done:
+		default:
+			inflight = true
+			c.coalesced++
+		}
+		if c.obs != nil {
+			c.obs.cacheHits.Inc()
+			if inflight {
+				c.obs.cacheCoalesced.Inc()
+			}
+		}
 		c.mu.Unlock()
 		<-e.done
 		return e.plan, e.err
 	}
 	if len(c.entries) >= maxPlanCacheEntries {
+		c.evictions += int64(len(c.entries))
+		if c.obs != nil {
+			c.obs.cacheEvictions.Add(float64(len(c.entries)))
+		}
 		c.entries = map[planKey]*cacheEntry{}
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
+	if c.obs != nil {
+		c.obs.cacheMisses.Inc()
+	}
+	c.syncObsLocked()
 	c.mu.Unlock()
 
 	e.plan, e.err = solve()
@@ -80,25 +118,37 @@ func (c *planCache) do(key planKey, solve func() (*grid.Plan, error)) (*grid.Pla
 		if c.entries[key] == e {
 			delete(c.entries, key)
 		}
+		c.syncObsLocked()
 		c.mu.Unlock()
 	}
 	close(e.done)
 	return e.plan, e.err
 }
 
-// clear drops every entry (the plan inputs changed).
+// clear drops every entry (the plan inputs changed). The drop counts
+// as eviction: an epoch bump invalidates the whole resident
+// generation.
 func (c *planCache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.evictions += int64(len(c.entries))
+	if c.obs != nil {
+		c.obs.cacheEvictions.Add(float64(len(c.entries)))
+	}
 	c.entries = map[planKey]*cacheEntry{}
+	c.syncObsLocked()
 }
 
-// CacheStats reports the plan cache's cumulative hit/miss counters and
-// current size.
+// CacheStats reports the plan cache's cumulative counters and current
+// size. Coalesced counts the subset of hits that waited on an
+// in-flight solve; evictions counts entries dropped by epoch
+// invalidation and size-cap flushes.
 type CacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
 }
 
 // CacheStats returns the plan cache counters (test and ops hook; also
@@ -107,5 +157,9 @@ func (s *Server) CacheStats() CacheStats {
 	c := s.cache
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Coalesced: c.coalesced, Evictions: c.evictions,
+		Entries: len(c.entries),
+	}
 }

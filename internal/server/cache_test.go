@@ -140,7 +140,7 @@ func TestPlanCacheSingleFlight(t *testing.T) {
 // TestPlanCacheErrorNotCached pins the retry rule: a failed solve is
 // not memoized — the next identical request runs the solver again.
 func TestPlanCacheErrorNotCached(t *testing.T) {
-	c := newPlanCache()
+	c := newPlanCache(nil)
 	key := planKey{epoch: 1, table: 42, target: 10}
 	calls := 0
 	solve := func() (*grid.Plan, error) {

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -33,14 +33,15 @@ type managedJob struct {
 type controller struct {
 	s *Server
 
-	mu       sync.Mutex
-	managed  map[string]managedJob
-	order    []string
-	running  bool
-	stop     chan struct{}
-	done     chan struct{}
-	ticks    int
-	lastTick time.Time
+	mu          sync.Mutex
+	managed     map[string]managedJob
+	order       []string
+	running     bool
+	stop        chan struct{}
+	done        chan struct{}
+	ticks       int
+	lastTick    time.Time
+	lastTickErr string // first per-job error of the last tick ("" = clean)
 }
 
 // ControllerJobStatus is one managed job's view in the controller
@@ -53,6 +54,10 @@ type ControllerJobStatus struct {
 	RemainingIterations float64 `json:"remaining_iterations"`
 	Feasible            bool    `json:"feasible"`
 	LastError           string  `json:"last_error,omitempty"`
+
+	// LastReplanUnixS is the wall-clock time of the job's last
+	// successful re-plan (0 = never re-planned).
+	LastReplanUnixS float64 `json:"last_replan_unix_s,omitempty"`
 }
 
 // ControllerStatus is the controller runtime's observable state.
@@ -64,6 +69,10 @@ type ControllerStatus struct {
 
 	// LastTickUnixS is the wall-clock time of the last tick (0 = none).
 	LastTickUnixS float64 `json:"last_tick_unix_s,omitempty"`
+
+	// LastTickError is the first per-job error of the last tick, empty
+	// when the tick advanced every managed job cleanly.
+	LastTickError string `json:"last_tick_error,omitempty"`
 
 	// NextBoundaryS is the countdown, in seconds from now, to the next
 	// interval boundary the background loop would tick at (-1 without
@@ -137,6 +146,7 @@ func (s *Server) TickController() ControllerStatus {
 	ids := append([]string(nil), c.order...)
 	c.mu.Unlock()
 
+	tickStart := time.Now()
 	errs := map[string]string{}
 	for _, id := range ids {
 		if !c.manages(id) {
@@ -148,13 +158,20 @@ func (s *Server) TickController() ControllerStatus {
 	}
 
 	now := s.st.now()
+	dur := time.Since(tickStart)
 	c.mu.Lock()
 	c.ticks++
 	c.lastTick = now
-	for id, msg := range errs {
-		if mj, ok := c.managed[id]; ok {
-			mj.lastErr = msg
-			c.managed[id] = mj
+	c.lastTickErr = ""
+	for _, id := range ids {
+		if msg, bad := errs[id]; bad {
+			if c.lastTickErr == "" {
+				c.lastTickErr = id + ": " + msg
+			}
+			if mj, ok := c.managed[id]; ok {
+				mj.lastErr = msg
+				c.managed[id] = mj
+			}
 		}
 	}
 	// Clear errors for jobs that recovered.
@@ -165,6 +182,10 @@ func (s *Server) TickController() ControllerStatus {
 		}
 	}
 	c.mu.Unlock()
+	s.obs.ticks.Inc()
+	s.obs.tickDur.Observe(dur.Seconds())
+	s.obs.ring.Emit(now, "controller.tick", dur,
+		"jobs", strconv.Itoa(len(ids)), "errors", strconv.Itoa(len(errs)))
 	return s.ControllerStatus()
 }
 
@@ -260,7 +281,7 @@ func (s *Server) nextBoundary() (float64, bool) {
 func (s *Server) ControllerStatus() ControllerStatus {
 	c := &s.ctrl
 	c.mu.Lock()
-	st := ControllerStatus{Running: c.running, Ticks: c.ticks}
+	st := ControllerStatus{Running: c.running, Ticks: c.ticks, LastTickError: c.lastTickErr}
 	if !c.lastTick.IsZero() {
 		st.LastTickUnixS = float64(c.lastTick.UnixNano()) / 1e9
 	}
@@ -284,6 +305,9 @@ func (s *Server) ControllerStatus() ControllerStatus {
 			js.DoneIterations = view.DoneIterations
 			js.RemainingIterations = view.RemainingIterations
 			js.Feasible = view.Feasible
+			if !rs.lastPlanAt.IsZero() {
+				js.LastReplanUnixS = float64(rs.lastPlanAt.UnixNano()) / 1e9
+			}
 		}
 		s.replanMu.Unlock()
 		if j, ok := s.st.job(id); ok {

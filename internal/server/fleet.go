@@ -7,6 +7,8 @@ import (
 	"net/http"
 
 	"perseus/internal/fleet"
+	"perseus/internal/obs"
+	pln "perseus/internal/plan"
 )
 
 // FleetCapRequest sets the facility power cap (watts); 0 uncaps.
@@ -141,7 +143,17 @@ func (s *Server) recomputeFleet() FleetStatusResponse {
 		}
 		j.mu.Unlock()
 	}
-	alloc := fleet.Allocate(fjobs, capW)
+	// The allocation runs through the instrumented fleet planner so the
+	// capacity layer reports planning latency like the temporal and
+	// spatial layers. The cap was validated at the API boundary, but a
+	// planner error must still not crash the recompute: fall back to an
+	// empty (infeasible) allocation.
+	p := obs.InstrumentPlanner(&fleet.Planner{Jobs: fjobs},
+		"fleet", s.obs.planLatency, s.obs.planErrors)
+	var alloc fleet.Allocation
+	if res, err := p.Plan(pln.Request{CapW: capW}); err == nil {
+		alloc = *res.(*fleet.Allocation)
+	}
 
 	st := FleetStatusResponse{
 		CapW:     alloc.CapW,

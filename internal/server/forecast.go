@@ -12,6 +12,8 @@ import (
 	"perseus/internal/forecast"
 	"perseus/internal/frontier"
 	"perseus/internal/grid"
+	"perseus/internal/obs"
+	pln "perseus/internal/plan"
 )
 
 // ForecastRequest installs a forecast issuer over the installed grid
@@ -147,6 +149,10 @@ type replanState struct {
 	frevSeen  int  // forecast revision the remaining plan was built on
 	feasible  bool // latest feasibility verdict
 	needPlan  bool // last re-plan failed; retry on the next roll-forward
+
+	// lastPlanAt is the wall-clock time of the last successful re-plan
+	// (zero before the first), surfaced per job in GET /controller.
+	lastPlanAt time.Time
 }
 
 func (s *Server) handleGridForecast(w http.ResponseWriter, r *http.Request) {
@@ -234,6 +240,8 @@ func (s *Server) SetForecast(req ForecastRequest) (ForecastResponse, error) {
 	s.st.epoch++
 	s.st.mu.Unlock()
 	s.cache.clear()
+	s.obs.ring.Emit(gs.now, "forecast.revise", 0,
+		"model", spec.name, "intervals", strconv.Itoa(len(fc.Signal.Intervals)))
 	return ForecastResponse{
 		Model:     spec.name,
 		Level:     level,
@@ -562,6 +570,7 @@ func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.Look
 		if fc == nil {
 			var err error
 			if fc, err = issueForecast(sig, spec, t, st.reqDeadline); err != nil {
+				s.obs.replanFails.Inc()
 				return err
 			}
 		}
@@ -569,20 +578,33 @@ func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.Look
 		if q == 0 {
 			q = 0.5
 		}
+		// The re-plan runs through the instrumented grid planner over
+		// the forecast window — the MPC counterpart of forecast.Planner,
+		// reported as its own planning layer.
 		suffix := forecast.Window(fc.At(q), t, st.deadlineS)
-		plan, err := grid.Optimize(table, suffix, grid.Options{
+		p := obs.InstrumentPlanner(&grid.Planner{Table: table, Signal: suffix},
+			"forecast-mpc", s.obs.planLatency, s.obs.planErrors)
+		res, err := p.Plan(pln.Request{
 			Target:     remaining,
 			Objective:  st.objective,
 			PowerScale: float64(pipes),
 		})
 		if err != nil {
+			s.obs.replanFails.Inc()
 			return err
 		}
+		plan := res.(*grid.Plan)
+		now := s.st.now()
 		st.remaining = plan
 		st.predSig = fc.Signal
 		st.plans++
 		st.feasible = plan.Feasible
 		st.needPlan = false
+		st.lastPlanAt = now
+		s.obs.replans.Inc()
+		s.obs.ring.Emit(now, "controller.replan", 0,
+			"job", j.id, "plan", strconv.Itoa(st.plans),
+			"feasible", strconv.FormatBool(plan.Feasible))
 		// The rolling schedule changed: bump the job's version so
 		// long-polling trainers fetch the new deployment.
 		j.mu.Lock()

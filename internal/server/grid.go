@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"perseus/internal/grid"
+	"perseus/internal/obs"
 	pln "perseus/internal/plan"
 )
 
@@ -121,6 +122,9 @@ func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalRes
 	s.replans = map[string]*replanState{}
 	s.replanMu.Unlock()
 	s.ctrl.reset()
+	s.obs.ring.Emit(gs.now, "signal.install", 0,
+		"name", sig.Name, "intervals", strconv.Itoa(len(sig.Intervals)),
+		"objective", string(obj))
 	return GridSignalResponse{
 		Name:      sig.Name,
 		Intervals: len(sig.Intervals),
@@ -218,7 +222,9 @@ func (s *Server) GridPlan(id string, target, deadline float64, objective string)
 		scale:     pipes,
 	}
 	return s.cache.do(key, func() (*grid.Plan, error) {
-		res, err := (&grid.Planner{Table: table, Signal: sig}).Plan(pln.Request{
+		p := obs.InstrumentPlanner(&grid.Planner{Table: table, Signal: sig},
+			"grid", s.obs.planLatency, s.obs.planErrors)
+		res, err := p.Plan(pln.Request{
 			Target:     target,
 			DeadlineS:  deadline,
 			Objective:  obj,

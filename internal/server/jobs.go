@@ -123,8 +123,11 @@ func (s *Server) Register(req JobRequest) (string, error) {
 	defer st.mu.Unlock()
 	st.next++
 	id := fmt.Sprintf("job-%d", st.next)
-	st.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, done: make(chan struct{})}
+	st.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, obs: s.obs, done: make(chan struct{})}
 	st.ord = append(st.ord, id)
+	s.obs.jobsRegistered.Inc()
+	s.obs.ring.Emit(st.clock(), "job.register", 0,
+		"job", id, "schedule", req.Schedule, "gpu", req.GPU)
 	return id, nil
 }
 
@@ -279,11 +282,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, j *job) 
 			return
 		}
 		t := time.NewTimer(remain)
+		s.obs.waiters.Add(1)
+		parked := time.Now()
 		select {
 		case <-watch:
 			t.Stop()
+			s.obs.wakeDur.Observe(time.Since(parked).Seconds())
 		case <-t.C:
 		}
+		s.obs.waiters.Add(-1)
 	}
 	resp, err := s.Schedule(j.id)
 	if err != nil {
@@ -344,6 +351,7 @@ func (s *Server) UploadProfile(id string, up ProfileUpload) error {
 	j.mu.Unlock()
 
 	go func() {
+		charStart := time.Now()
 		graph, err := dag.Build(j.sched, func(op sched.Op) int64 { return 1 })
 		var front *frontier.Frontier
 		if err == nil {
@@ -362,6 +370,13 @@ func (s *Server) UploadProfile(id string, up ProfileUpload) error {
 		j.characterizing = false
 		j.bumpLocked()
 		j.mu.Unlock()
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		s.obs.characterized.With(outcome).Inc()
+		s.obs.ring.Emit(now, "job.characterize", time.Since(charStart),
+			"job", j.id, "outcome", outcome)
 		close(j.done)
 		// The fleet gained a characterized member: under a cap, power
 		// must be re-divided.
@@ -413,6 +428,8 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 			j.tPrime = j.front.Tmin() * n.Degree
 		}
 		j.bumpLocked()
+		s.obs.ring.Emit(gs.now, "job.straggler", 0,
+			"job", j.id, "degree", strconv.FormatFloat(n.Degree, 'g', -1, 64))
 	}
 	if n.Delay <= 0 {
 		apply(gs)

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"perseus/internal/obs"
+)
+
+// serverObs bundles the server's observability surface: one metric
+// registry and one event ring (internal/obs), plus the typed handles
+// every resource module records into. All handles are registered once
+// at construction, so hot paths never touch the registry map.
+//
+// The metric catalog (all names prefixed perseus_) is documented in
+// README.md's Observability section; the golden exposition test and
+// the CI smoke scrape both pin the core series.
+type serverObs struct {
+	reg     *obs.Registry
+	ring    *obs.Ring
+	started time.Time // real wall clock, for /healthz uptime
+
+	// HTTP middleware.
+	httpRequests *obs.CounterVec   // route, method, code
+	httpLatency  *obs.HistogramVec // route
+	httpInFlight *obs.Gauge
+
+	// Plan cache (cache.go).
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheCoalesced *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+
+	// Controller runtime (controller.go).
+	ticks       *obs.Counter
+	tickDur     *obs.Histogram
+	replans     *obs.Counter
+	replanFails *obs.Counter
+
+	// Job registry and deployment (jobs.go, store.go).
+	jobsRegistered *obs.Counter
+	characterized  *obs.CounterVec // outcome
+	versionBumps   *obs.Counter
+
+	// Long-poll schedule fetching (jobs.go).
+	waiters *obs.Gauge
+	wakeDur *obs.Histogram
+
+	// Planning layers, via the obs.InstrumentPlanner decorator.
+	planLatency *obs.HistogramVec // planner, objective
+	planErrors  *obs.CounterVec   // planner
+
+	// Per-job realized-minus-predicted carbon drift (store.go).
+	driftG *obs.GaugeVec // job
+}
+
+func newServerObs() *serverObs {
+	r := obs.NewRegistry()
+	return &serverObs{
+		reg:     r,
+		ring:    obs.NewRing(0),
+		started: time.Now(),
+
+		httpRequests: r.CounterVec("perseus_http_requests_total",
+			"HTTP requests served, by normalized route, method, and status code.",
+			"route", "method", "code"),
+		httpLatency: r.HistogramVec("perseus_http_request_duration_seconds",
+			"HTTP request latency by normalized route.", nil, "route"),
+		httpInFlight: r.Gauge("perseus_http_in_flight_requests",
+			"HTTP requests currently being served."),
+
+		cacheHits: r.Counter("perseus_plan_cache_hits_total",
+			"Plan-cache lookups answered from a cached or in-flight solve."),
+		cacheMisses: r.Counter("perseus_plan_cache_misses_total",
+			"Plan-cache lookups that started a fresh solve."),
+		cacheCoalesced: r.Counter("perseus_plan_cache_coalesced_total",
+			"Plan-cache hits that waited on an in-flight solve (single-flight followers)."),
+		cacheEvictions: r.Counter("perseus_plan_cache_evictions_total",
+			"Plan-cache entries dropped by epoch invalidation or the size-cap flush."),
+		cacheEntries: r.Gauge("perseus_plan_cache_entries",
+			"Plan-cache entries currently resident."),
+
+		ticks: r.Counter("perseus_controller_ticks_total",
+			"Completed controller ticks (background loop and synchronous)."),
+		tickDur: r.Histogram("perseus_controller_tick_duration_seconds",
+			"Wall-clock duration of one controller tick across every managed job.", nil),
+		replans: r.Counter("perseus_controller_replans_total",
+			"Successful rolling-horizon re-plans (client replans, ManageJob, and controller ticks)."),
+		replanFails: r.Counter("perseus_controller_replan_failures_total",
+			"Rolling-horizon roll-forwards that failed (forecast issue or solve error)."),
+
+		jobsRegistered: r.Counter("perseus_jobs_registered_total",
+			"Training jobs registered."),
+		characterized: r.CounterVec("perseus_characterizations_total",
+			"Frontier characterizations finished, by outcome.", "outcome"),
+		versionBumps: r.Counter("perseus_schedule_version_bumps_total",
+			"Deployed-schedule version bumps across all jobs (each wakes that job's long-pollers)."),
+
+		waiters: r.Gauge("perseus_longpoll_waiters",
+			"Schedule long-poll requests currently parked on a version watch."),
+		wakeDur: r.Histogram("perseus_longpoll_wake_seconds",
+			"Time a schedule long-poller waited before a version bump woke it.", nil),
+
+		planLatency: r.HistogramVec("perseus_planner_plan_duration_seconds",
+			"Planning latency through the plan.Planner contract, by layer and objective.",
+			nil, "planner", "objective"),
+		planErrors: r.CounterVec("perseus_planner_plan_errors_total",
+			"Failed Plan calls by layer.", "planner"),
+
+		driftG: r.GaugeVec("perseus_job_carbon_drift_g",
+			"Realized minus forecast-predicted carbon over the forecast-covered spans, per job.",
+			"job"),
+	}
+}
+
+// routePattern normalizes a request path to a bounded label set, so
+// per-job and per-action paths cannot explode metric cardinality.
+func routePattern(path string) string {
+	switch path {
+	case "/jobs", "/fleet/cap", "/fleet/status", "/grid/signal", "/grid/forecast",
+		"/regions", "/regions/plan", "/controller",
+		"/metrics", "/healthz", "/debug/events":
+		return path
+	}
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	switch {
+	case parts[0] == "jobs" && len(parts) == 3:
+		switch parts[2] {
+		case "profile", "schedule", "straggler", "frontier", "table",
+			"allocation", "emissions", "rollout", "placement":
+			return "/jobs/{id}/" + parts[2]
+		}
+	case parts[0] == "grid" && len(parts) == 3 && parts[1] == "plan":
+		return "/grid/plan/{id}"
+	case parts[0] == "grid" && len(parts) == 3 && parts[1] == "replan":
+		return "/grid/replan/{id}"
+	case parts[0] == "controller" && len(parts) == 2:
+		switch parts[1] {
+		case "jobs", "start", "stop", "tick":
+			return "/controller/" + parts[1]
+		}
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status code for the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// middleware instruments every endpoint: request count by
+// (route, method, code), latency by route, and an in-flight gauge.
+func (o *serverObs) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routePattern(r.URL.Path)
+		o.httpInFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		o.httpInFlight.Add(-1)
+		o.httpLatency.With(route).Observe(time.Since(start).Seconds())
+		o.httpRequests.With(route, r.Method, strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// HealthResponse is the GET /healthz liveness view.
+type HealthResponse struct {
+	Status            string  `json:"status"`
+	UptimeS           float64 `json:"uptime_s"`
+	Jobs              int     `json:"jobs"`
+	Regions           int     `json:"regions"`
+	SignalInstalled   bool    `json:"signal_installed"`
+	ForecastInstalled bool    `json:"forecast_installed"`
+	ControllerRunning bool    `json:"controller_running"`
+}
+
+// Health reports the server's liveness summary.
+func (s *Server) Health() HealthResponse {
+	s.st.mu.Lock()
+	jobs := len(s.st.jobs)
+	regions := len(s.st.regions)
+	sig := s.st.signal != nil
+	fc := s.st.fspec != nil
+	s.st.mu.Unlock()
+	s.ctrl.mu.Lock()
+	running := s.ctrl.running
+	s.ctrl.mu.Unlock()
+	return HealthResponse{
+		Status:            "ok",
+		UptimeS:           time.Since(s.obs.started).Seconds(),
+		Jobs:              jobs,
+		Regions:           regions,
+		SignalInstalled:   sig,
+		ForecastInstalled: fc,
+		ControllerRunning: running,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.Health())
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format (hand-rolled — the module has zero external dependencies).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WritePrometheus(w)
+}
+
+// EventsResponse is the GET /debug/events view: the most recent
+// structured events, oldest first.
+type EventsResponse struct {
+	Events []obs.Event `json:"events"`
+}
+
+// Events returns the most recent events (limit <= 0 returns the whole
+// retained window).
+func (s *Server) Events(limit int) EventsResponse {
+	return EventsResponse{Events: s.obs.ring.Snapshot(limit)}
+}
+
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n: "+v, http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	resp := s.Events(limit)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Metrics exposes the server's registry (test and embedding hook).
+func (s *Server) Metrics() *obs.Registry { return s.obs.reg }

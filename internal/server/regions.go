@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"perseus/internal/grid"
+	"perseus/internal/obs"
 	pln "perseus/internal/plan"
 	"perseus/internal/region"
 )
@@ -141,9 +142,15 @@ func (s *Server) PlaceJob(id, regionName string) (PlacementResponse, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.region != regionName {
+		from := j.region
 		j.accrueLocked(gs)
 		j.region = regionName
 		j.placements = append(j.placements, placementEvent{region: regionName, at: gs.now})
+		name := "job.place"
+		if from != "" {
+			name = "job.migrate"
+		}
+		s.obs.ring.Emit(gs.now, name, 0, "job", j.id, "from", from, "to", regionName)
 	}
 	return placementLocked(j), nil
 }
@@ -267,7 +274,9 @@ func (s *Server) RegionsPlan(target, deadline float64, objective string, mig reg
 	if len(rjobs) > maxPlanJobs {
 		return nil, fmt.Errorf("server: %d characterized jobs exceed the synchronous planning limit of %d; plan offline with internal/region", len(rjobs), maxPlanJobs)
 	}
-	res, err := (&region.Planner{Regions: regs, Jobs: rjobs, Migration: mig}).Plan(pln.Request{
+	p := obs.InstrumentPlanner(&region.Planner{Regions: regs, Jobs: rjobs, Migration: mig},
+		"region", s.obs.planLatency, s.obs.planErrors)
+	res, err := p.Plan(pln.Request{
 		Target: target, DeadlineS: deadline, Objective: obj,
 	})
 	if err != nil {

@@ -21,6 +21,9 @@
 //     with the executed prefix frozen, and bumps schedule versions
 //   - cache.go     the single-flight plan cache keyed by
 //     (plan epoch, frontier hash, request params)
+//   - obs.go       the observability surface: the internal/obs metric
+//     registry and event ring, the HTTP instrumentation middleware,
+//     and the /metrics, /healthz, and /debug/events endpoints
 //
 // The grid and region planning endpoints drive the shared
 // internal/plan planners (grid.Planner, region.Planner); the fleet
@@ -55,15 +58,19 @@ type Server struct {
 
 	// ctrl is the background MPC controller runtime.
 	ctrl controller
+
+	// obs is the observability surface every module records into.
+	obs *serverObs
 }
 
 // New returns an empty server.
 func New() *Server {
 	s := &Server{
 		st:      newStore(),
-		cache:   newPlanCache(),
+		obs:     newServerObs(),
 		replans: map[string]*replanState{},
 	}
+	s.cache = newPlanCache(s.obs)
 	s.ctrl.s = s
 	s.ctrl.managed = map[string]managedJob{}
 	return s
@@ -110,6 +117,12 @@ func (s *Server) SetClock(fn func() time.Time) {
 //	POST /controller/start         start the background tick loop
 //	POST /controller/stop          stop the background tick loop
 //	POST /controller/tick          run one controller tick synchronously
+//	GET  /metrics                  Prometheus text exposition of every metric
+//	GET  /healthz                  liveness summary
+//	GET  /debug/events             recent structured event ring as JSON (?n= limit)
+//
+// Every endpoint is instrumented (request count/status/latency and an
+// in-flight gauge) by the observability middleware in obs.go.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
@@ -124,7 +137,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/regions/plan", s.handleRegionsPlan)
 	mux.HandleFunc("/controller", s.handleController)
 	mux.HandleFunc("/controller/", s.handleControllerAction)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/events", s.handleDebugEvents)
+	return s.obs.middleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

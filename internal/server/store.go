@@ -112,6 +112,7 @@ type job struct {
 	req   JobRequest
 	gpu   *gpu.Model
 	sched *sched.Schedule
+	obs   *serverObs // the owning server's observability surface
 
 	mu             sync.Mutex
 	characterizing bool
@@ -158,6 +159,9 @@ func (j *job) bumpLocked() {
 	if j.verWatch != nil {
 		close(j.verWatch)
 		j.verWatch = nil
+	}
+	if j.obs != nil {
+		j.obs.versionBumps.Inc()
 	}
 }
 
@@ -282,6 +286,11 @@ func (j *job) accrueLocked(gs gridState) {
 		j.predCarbonG += pc
 		j.predCostUSD += pusd
 		j.predRealCarbonG += c
+		if j.obs != nil {
+			// Realized-vs-predicted drift over exactly the forecast-
+			// covered spans, refreshed at every settle point.
+			j.obs.driftG.With(j.id).Set(j.predRealCarbonG - j.predCarbonG)
+		}
 	}
 	j.accAt = gs.now
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the planning-stack benchmark suite and writes a JSON trajectory
+# record (BENCH_PR6.json by default). Each PR that touches the planning
+# or serving hot paths appends a new BENCH_PR<N>.json so regressions
+# show up as a diff, not an anecdote.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR6.json}"
+pattern='^(BenchmarkGridOptimize|BenchmarkRegionPlan|BenchmarkFleetAllocate|BenchmarkServerPlanCold|BenchmarkServerPlanCached)$'
+
+raw=$(go test -run '^$' -bench "$pattern" -benchmem .)
+echo "$raw" >&2
+
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "benchmarks": [\n'
+  echo "$raw" | awk -v procs="${GOMAXPROCS:-$(nproc)}" '
+    /^Benchmark/ && /ns\/op/ {
+      name = $1
+      # Strip the -GOMAXPROCS suffix (absent when it is 1) without
+      # eating a sub-benchmark size that happens to end in a number.
+      if (procs != 1) sub("-" procs "$", "", name)
+      ns = ""; bytes = ""; allocs = ""
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      if (n++) printf ",\n"
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
+    }
+    END { printf "\n" }
+  '
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+
+echo "wrote $out" >&2
