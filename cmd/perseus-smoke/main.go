@@ -112,8 +112,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if h.Status != "ok" || h.Jobs != 1 || !h.SignalInstalled {
+	if h.Status != "ok" || h.Jobs != 1 || !h.SignalInstalled || !h.Ready {
 		log.Fatalf("smoke: bad health view %+v", h)
+	}
+	if len(h.SLOs) == 0 {
+		log.Fatalf("smoke: /healthz reports no SLO statuses: %+v", h)
+	}
+	for _, slo := range h.SLOs {
+		if slo.Status != "ok" {
+			log.Fatalf("smoke: SLO %s is %s after a clean flow (%+v)", slo.Name, slo.Status, slo)
+		}
+	}
+
+	// The plan request left a complete trace: the cache-miss request's
+	// span tree must hold at least the four documented layers
+	// (HTTP root → store snapshot + cache lookup → planner solve).
+	traces, err := cl.FetchTraces(0, 0, "planner.solve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var planTrace *client.Trace
+	for i := range traces {
+		for _, sp := range traces[i].Spans {
+			if sp.Name == "cache.lookup" {
+				planTrace = &traces[i]
+			}
+		}
+	}
+	if planTrace == nil {
+		log.Fatalf("smoke: no plan-request trace retained (got %d traces)", len(traces))
+	}
+	if len(planTrace.Spans) < 4 {
+		log.Fatalf("smoke: plan trace has %d spans, want >= 4: %+v", len(planTrace.Spans), planTrace.Spans)
+	}
+	for _, want := range []string{"http /grid/plan/{id}", "store.snapshot", "cache.lookup", "planner.solve"} {
+		found := false
+		for _, sp := range planTrace.Spans {
+			if sp.Name == want {
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("smoke: plan trace missing span %q: %+v", want, planTrace.Spans)
+		}
 	}
 	text, err := cl.FetchMetrics()
 	if err != nil {
@@ -127,6 +168,10 @@ func main() {
 		"perseus_jobs_registered_total 1",
 		`perseus_characterizations_total{outcome="ok"} 1`,
 		`perseus_planner_plan_duration_seconds_count{planner="grid",objective="carbon"} 1`,
+		`perseus_trace_spans_total{span="cache.lookup"} 2`,
+		`perseus_slo_status{slo="plan-latency-p99"} 0`,
+		`perseus_slo_status{slo="replan-failure-ratio"} 0`,
+		`perseus_slo_status{slo="longpoll-wake-p99"} 0`,
 	}
 	var missing []string
 	for _, want := range core {
@@ -145,6 +190,6 @@ func main() {
 	if len(events) == 0 {
 		log.Fatal("smoke: /debug/events returned no events after the flow")
 	}
-	fmt.Printf("smoke ok: %d core series present, %d events recorded, uptime %.2fs\n",
-		len(core), len(events), h.UptimeS)
+	fmt.Printf("smoke ok: %d core series present, %d events recorded, %d-span plan trace, %d SLOs ok, uptime %.2fs\n",
+		len(core), len(events), len(planTrace.Spans), len(h.SLOs), h.UptimeS)
 }

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 	"perseus/internal/forecast"
 	"perseus/internal/gpu"
 	"perseus/internal/grid"
+	"perseus/internal/obs"
 	"perseus/internal/profile"
 	"perseus/internal/region"
 	"perseus/internal/sched"
@@ -155,6 +157,13 @@ func (c *Controller) Close() {
 type ServerClient struct {
 	BaseURL string
 	HTTP    *http.Client
+
+	// Traceparent, when non-empty, is attached as the W3C traceparent
+	// header on every request, so the server's spans for all of this
+	// client's calls share one trace ID (obs.NewTraceparent mints one).
+	// When empty no header is sent and each request roots its own
+	// server-side trace.
+	Traceparent string
 }
 
 // NewServerClient targets a server at baseURL.
@@ -162,12 +171,52 @@ func NewServerClient(baseURL string) *ServerClient {
 	return &ServerClient{BaseURL: baseURL, HTTP: http.DefaultClient}
 }
 
+// NewTracedServerClient targets a server at baseURL with a freshly
+// minted traceparent, correlating every call the client makes under
+// one trace ID (retrievable from TraceID).
+func NewTracedServerClient(baseURL string) *ServerClient {
+	return &ServerClient{BaseURL: baseURL, HTTP: http.DefaultClient, Traceparent: obs.NewTraceparent()}
+}
+
+// TraceID returns the trace ID of the client's traceparent ("" when
+// the client is untraced) — the handle to look the client's requests
+// up in GET /debug/traces.
+func (c *ServerClient) TraceID() string {
+	id, _, ok := obs.ParseTraceparent(c.Traceparent)
+	if !ok {
+		return ""
+	}
+	return id
+}
+
+// newRequest builds a request against the server, attaching the
+// client's traceparent when one is set.
+func (c *ServerClient) newRequest(method, path string, body *bytes.Reader) (*http.Request, error) {
+	var r io.Reader
+	if body != nil {
+		r = body
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, r)
+	if err != nil {
+		return nil, err
+	}
+	if c.Traceparent != "" {
+		req.Header.Set("Traceparent", c.Traceparent)
+	}
+	return req, nil
+}
+
 func (c *ServerClient) post(path string, body, out any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	req, err := c.newRequest(http.MethodPost, path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -184,7 +233,11 @@ func (c *ServerClient) post(path string, body, out any) error {
 }
 
 func (c *ServerClient) get(path string, out any) error {
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+	req, err := c.newRequest(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -602,11 +655,12 @@ func (c *ServerClient) FetchReplan(jobID string, iterations, deadline float64, o
 // current schedule. This is how a trainer observes the background
 // controller's re-plans without ever calling /grid/replan.
 func (c *ServerClient) FetchScheduleIfChanged(jobID string, haveVersion int, wait time.Duration) (s Schedule, changed bool, err error) {
-	u := c.BaseURL + "/jobs/" + jobID + "/schedule"
+	path := "/jobs/" + jobID + "/schedule"
 	if wait > 0 {
-		u += "?wait=" + strconv.FormatFloat(wait.Seconds(), 'g', -1, 64)
+		path += "?wait=" + strconv.FormatFloat(wait.Seconds(), 'g', -1, 64)
 	}
-	req, err := http.NewRequest(http.MethodGet, u, nil)
+	u := c.BaseURL + path
+	req, err := c.newRequest(http.MethodGet, path, nil)
 	if err != nil {
 		return Schedule{}, false, err
 	}
@@ -722,15 +776,33 @@ func (c *ServerClient) FetchControllerStatus() (ControllerStatus, error) {
 	return st, err
 }
 
-// Health mirrors the server's GET /healthz liveness view.
+// SLOStatus mirrors one SLO rule's multi-window burn-rate status
+// (GET /debug/slo and the healthz slos list).
+type SLOStatus struct {
+	Name         string  `json:"name"`
+	Objective    string  `json:"objective,omitempty"`
+	Status       string  `json:"status"`
+	Value        float64 `json:"value"`
+	ShortValue   float64 `json:"short_value"`
+	Threshold    float64 `json:"threshold"`
+	BurnRate     float64 `json:"burn_rate"`
+	WorstTraceID string  `json:"worst_trace_id,omitempty"`
+	SinceUnixS   float64 `json:"since_unix_s"`
+}
+
+// Health mirrors the server's GET /healthz liveness and readiness
+// view: Status is the worst per-SLO level (ok, warn, breach) and
+// Ready is false while any SLO is in breach.
 type Health struct {
-	Status            string  `json:"status"`
-	UptimeS           float64 `json:"uptime_s"`
-	Jobs              int     `json:"jobs"`
-	Regions           int     `json:"regions"`
-	SignalInstalled   bool    `json:"signal_installed"`
-	ForecastInstalled bool    `json:"forecast_installed"`
-	ControllerRunning bool    `json:"controller_running"`
+	Status            string      `json:"status"`
+	Ready             bool        `json:"ready"`
+	UptimeS           float64     `json:"uptime_s"`
+	Jobs              int         `json:"jobs"`
+	Regions           int         `json:"regions"`
+	SignalInstalled   bool        `json:"signal_installed"`
+	ForecastInstalled bool        `json:"forecast_installed"`
+	ControllerRunning bool        `json:"controller_running"`
+	SLOs              []SLOStatus `json:"slos"`
 }
 
 // FetchHealth returns the server's liveness summary.
@@ -743,7 +815,11 @@ func (c *ServerClient) FetchHealth() (Health, error) {
 // FetchMetrics returns the server's /metrics endpoint verbatim:
 // Prometheus text exposition format 0.0.4.
 func (c *ServerClient) FetchMetrics() (string, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/metrics")
+	req, err := c.newRequest(http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return "", err
 	}
@@ -782,4 +858,85 @@ func (c *ServerClient) FetchEvents(limit int) ([]Event, error) {
 		return nil, err
 	}
 	return resp.Events, nil
+}
+
+// FetchEventsSince returns the retained events with Seq > since,
+// oldest first, capped at limit (<= 0 uncapped) — the cursor read a
+// poller advances with: pass the last event's Seq back as since and
+// only newer events come back.
+func (c *ServerClient) FetchEventsSince(since uint64, limit int) ([]Event, error) {
+	q := url.Values{}
+	q.Set("since", strconv.FormatUint(since, 10))
+	if limit > 0 {
+		q.Set("n", strconv.Itoa(limit))
+	}
+	var resp struct {
+		Events []Event `json:"events"`
+	}
+	if err := c.get("/debug/events?"+q.Encode(), &resp); err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
+// Span mirrors one finished span of a server-side trace.
+type Span struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	StartUnixS float64           `json:"start_unix_s"`
+	DurS       float64           `json:"dur_s"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// Trace mirrors one assembled span tree from GET /debug/traces.
+type Trace struct {
+	TraceID    string  `json:"trace_id"`
+	Root       string  `json:"root,omitempty"`
+	StartUnixS float64 `json:"start_unix_s"`
+	DurS       float64 `json:"dur_s"`
+	Err        bool    `json:"err,omitempty"`
+	Spans      []Span  `json:"spans"`
+}
+
+// FetchTraces returns the server's retained traces, newest first.
+// limit <= 0 fetches every retained trace; minMs keeps only traces at
+// least that many milliseconds long; op keeps only traces containing a
+// span with that exact name ("" keeps all).
+func (c *ServerClient) FetchTraces(limit int, minMs float64, op string) ([]Trace, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("n", strconv.Itoa(limit))
+	}
+	if minMs > 0 {
+		q.Set("min_ms", strconv.FormatFloat(minMs, 'g', -1, 64))
+	}
+	if op != "" {
+		q.Set("op", op)
+	}
+	path := "/debug/traces"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp struct {
+		Traces []Trace `json:"traces"`
+	}
+	if err := c.get(path, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// FetchSLOs evaluates the server's SLO rules now and returns the
+// per-rule multi-window burn-rate statuses (GET /debug/slo).
+func (c *ServerClient) FetchSLOs() ([]SLOStatus, error) {
+	var resp struct {
+		SLOs []SLOStatus `json:"slos"`
+	}
+	if err := c.get("/debug/slo", &resp); err != nil {
+		return nil, err
+	}
+	return resp.SLOs, nil
 }

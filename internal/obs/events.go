@@ -102,6 +102,42 @@ func (r *Ring) Snapshot(limit int) []Event {
 	return out
 }
 
+// SnapshotSince copies the retained events with Seq > since, oldest
+// first, capped at limit (limit <= 0 returns all of them) — the cursor
+// read GET /debug/events?since= serves. Unlike Snapshot's limit (which
+// keeps the newest events), the cap here keeps the OLDEST qualifying
+// events, so a poller advancing its cursor by the last Seq it received
+// reads the stream contiguously and re-reads nothing. A since at or
+// beyond the newest retained Seq returns an empty slice; a since older
+// than the retained window returns the whole window (the gap is
+// detectable from the first returned Seq exceeding since+1).
+func (r *Ring) SnapshotSince(since uint64, limit int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Seqs are assigned contiguously, so the count of retained events
+	// newer than since is computable without scanning: the retained
+	// Seqs are (r.seq-r.n, r.seq].
+	n := r.n
+	if since >= r.seq {
+		n = 0
+	} else if avail := r.seq - since; uint64(n) > avail {
+		n = int(avail)
+	}
+	// The n qualifying events end at head-1; keep the oldest limit.
+	start := r.head - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
 // Len reports how many events are currently retained.
 func (r *Ring) Len() int {
 	r.mu.Lock()

@@ -61,6 +61,47 @@ func TestRingTimestampAndDuration(t *testing.T) {
 	}
 }
 
+// TestRingSnapshotSince pins the cursor read: only events with
+// Seq > since come back, oldest first, and the limit keeps the OLDEST
+// qualifying events so a poller pages forward without gaps (unlike
+// Snapshot, whose limit keeps the newest).
+func TestRingSnapshotSince(t *testing.T) {
+	r := NewRing(10)
+	at := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 6; i++ { // seq 1..6
+		r.Emit(at.Add(time.Duration(i)*time.Second), "e", 0)
+	}
+
+	got := r.SnapshotSince(0, 0)
+	if len(got) != 6 || got[0].Seq != 1 {
+		t.Fatalf("since=0 returned %d events from seq %d, want all 6", len(got), got[0].Seq)
+	}
+	got = r.SnapshotSince(4, 0)
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("since=4 = %+v, want seq 5, 6", got)
+	}
+	got = r.SnapshotSince(2, 2)
+	if len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 4 {
+		t.Fatalf("since=2 limit=2 = %+v, want the oldest qualifying (seq 3, 4)", got)
+	}
+	if got = r.SnapshotSince(6, 0); len(got) != 0 {
+		t.Fatalf("since=newest returned %+v, want none", got)
+	}
+	if got = r.SnapshotSince(100, 0); len(got) != 0 {
+		t.Fatalf("since beyond newest returned %+v, want none", got)
+	}
+
+	// After overwrite, the cursor picks up from the retained window.
+	small := NewRing(3)
+	for i := 0; i < 5; i++ { // retains seq 3..5
+		small.Emit(at, "e", 0)
+	}
+	got = small.SnapshotSince(1, 0)
+	if len(got) != 3 || got[0].Seq != 3 {
+		t.Fatalf("overwritten ring since=1 = %+v, want seq 3..5", got)
+	}
+}
+
 func TestRingRace(t *testing.T) {
 	r := NewRing(64)
 	var wg sync.WaitGroup

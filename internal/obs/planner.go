@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"time"
 
 	"perseus/internal/plan"
@@ -15,15 +16,25 @@ import (
 // ("" uses p.Name()) — the server labels the rolling-horizon re-plan
 // solve "forecast-mpc" even though the inner solver is the grid
 // planner. Either metric may be nil to skip that side.
-func InstrumentPlanner(p plan.Planner, as string, latency *HistogramVec, errors *CounterVec) plan.Planner {
+//
+// The decorator is also span-aware: when ctx carries an active trace
+// span (the HTTP middleware's or the controller tick's), each Plan
+// call records a "planner.solve" child span with planner/objective
+// attrs, marked failed on error. With no active span the tracing side
+// costs one nil check — instrumented solves reached outside a traced
+// request (benchmarks, direct library use) stay at PR 6 overhead.
+// Instances are constructed per request, so capturing ctx at
+// construction is exact.
+func InstrumentPlanner(ctx context.Context, p plan.Planner, as string, latency *HistogramVec, errors *CounterVec) plan.Planner {
 	name := as
 	if name == "" {
 		name = p.Name()
 	}
-	return &instrumentedPlanner{inner: p, name: name, latency: latency, errors: errors}
+	return &instrumentedPlanner{ctx: ctx, inner: p, name: name, latency: latency, errors: errors}
 }
 
 type instrumentedPlanner struct {
+	ctx     context.Context
 	inner   plan.Planner
 	name    string
 	latency *HistogramVec
@@ -33,11 +44,20 @@ type instrumentedPlanner struct {
 // Name implements plan.Planner, reporting the instrumented label.
 func (p *instrumentedPlanner) Name() string { return p.name }
 
+// SpanPlannerSolve is the span name the decorator records solves under.
+const SpanPlannerSolve = "planner.solve"
+
 // Plan implements plan.Planner.
 func (p *instrumentedPlanner) Plan(req plan.Request) (plan.Result, error) {
 	obj, objErr := plan.ParseObjective(string(req.Objective))
 	if objErr != nil {
 		obj = req.Objective // surfaced as-is; the inner planner rejects it
+	}
+	var sp *ActiveSpan
+	if p.ctx != nil {
+		_, sp = Child(p.ctx, SpanPlannerSolve)
+		sp.SetAttr("planner", p.name)
+		sp.SetAttr("objective", string(obj))
 	}
 	start := time.Now()
 	res, err := p.inner.Plan(req)
@@ -47,5 +67,7 @@ func (p *instrumentedPlanner) Plan(req plan.Request) (plan.Result, error) {
 	if err != nil && p.errors != nil {
 		p.errors.With(p.name).Inc()
 	}
+	sp.Fail(err)
+	sp.End()
 	return res, err
 }

@@ -125,7 +125,14 @@ func (h *Histogram) Sum() float64 {
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.count == 0 || math.IsNaN(q) {
+	return bucketQuantile(h.upper, h.counts, h.count, q)
+}
+
+// bucketQuantile is Quantile's core over explicit (non-cumulative)
+// bucket counts — shared with the SLO engine, which computes windowed
+// quantiles from bucket-count deltas between snapshots.
+func bucketQuantile(upper []float64, counts []uint64, count uint64, q float64) float64 {
+	if count == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q < 0 {
@@ -134,30 +141,37 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(h.count)
+	rank := q * float64(count)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
-			if i >= len(h.upper) { // +Inf bucket: saturate at last finite bound
-				if len(h.upper) == 0 {
+			if i >= len(upper) { // +Inf bucket: saturate at last finite bound
+				if len(upper) == 0 {
 					return math.NaN()
 				}
-				return h.upper[len(h.upper)-1]
+				return upper[len(upper)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = h.upper[i-1]
+				lo = upper[i-1]
 			}
 			frac := (rank - cum) / float64(c)
-			return lo + (h.upper[i]-lo)*frac
+			return lo + (upper[i]-lo)*frac
 		}
 		cum = next
 	}
-	if len(h.upper) == 0 {
+	if len(upper) == 0 {
 		return math.NaN()
 	}
-	return h.upper[len(h.upper)-1]
+	return upper[len(upper)-1]
+}
+
+// raw copies the non-cumulative per-bucket counts and the total.
+func (h *Histogram) raw() (counts []uint64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.counts...), h.count
 }
 
 // snapshot returns cumulative bucket counts aligned with upper (+Inf
@@ -313,6 +327,58 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 // buckets use LatencyBuckets.
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
 	return &HistogramVec{r.family(name, help, kindHistogram, labels, buckets)}
+}
+
+// histogramFamilySnapshot aggregates every series of the named
+// histogram family into one bucket vector (all series of a family
+// share the same bounds): the SLO engine's view of "the" latency
+// distribution behind a labeled Vec. ok is false when the family is
+// absent, not a histogram, or has no series yet.
+func (r *Registry) histogramFamilySnapshot(name string) (upper []float64, counts []uint64, count uint64, ok bool) {
+	r.mu.Lock()
+	f, found := r.fams[name]
+	r.mu.Unlock()
+	if !found || f.kind != kindHistogram {
+		return nil, nil, 0, false
+	}
+	f.mu.Lock()
+	series := make([]any, 0, len(f.series))
+	for _, s := range f.series {
+		series = append(series, s)
+	}
+	f.mu.Unlock()
+	if len(series) == 0 {
+		return nil, nil, 0, false
+	}
+	counts = make([]uint64, len(f.buckets)+1)
+	for _, s := range series {
+		c, n := s.(*Histogram).raw()
+		for i := range c {
+			counts[i] += c[i]
+		}
+		count += n
+	}
+	return f.buckets, counts, count, true
+}
+
+// counterFamilyTotal sums every series of the named counter family
+// (the SLO engine's ratio inputs). ok is false when the family is
+// absent or not a counter; a registered family with no series yet
+// reports 0, true — the metric exists, nothing has happened.
+func (r *Registry) counterFamilyTotal(name string) (float64, bool) {
+	r.mu.Lock()
+	f, found := r.fams[name]
+	r.mu.Unlock()
+	if !found || f.kind != kindCounter {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total float64
+	for _, s := range f.series {
+		total += s.(*Counter).Value()
+	}
+	return total, true
 }
 
 // WritePrometheus renders every family in Prometheus text exposition

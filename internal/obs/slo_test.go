@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// sloHarness is a registry + tracer + engine triple with a fake clock.
+type sloHarness struct {
+	reg    *Registry
+	tracer *Tracer
+	eng    *SLOEngine
+	clk    *testClock
+}
+
+func newSLOHarness(t *testing.T, rules []SLO) *sloHarness {
+	t.Helper()
+	h := &sloHarness{reg: NewRegistry()}
+	h.tracer = NewTracer(32)
+	h.clk = &testClock{now: time.Unix(1_700_000_000, 0)}
+	h.tracer.SetClock(h.clk.Now)
+	h.eng = NewSLOEngine(h.reg, h.tracer, rules)
+	return h
+}
+
+// TestSLORatioTransitions walks a ratio rule through its full life:
+// no traffic is ok, a sustained failure burn breaches, recovery passes
+// back through warn (long window still dirty) to ok, and every
+// transition fires the hook exactly once with the right from/to.
+func TestSLORatioTransitions(t *testing.T) {
+	rule := SLO{
+		Name: "fail-ratio", BadMetric: "bad_total", GoodMetric: "good_total",
+		Max: 0.10, ShortWindow: time.Minute, LongWindow: 10 * time.Minute,
+	}
+	h := newSLOHarness(t, []SLO{rule})
+	bad := h.reg.Counter("bad_total", "")
+	good := h.reg.Counter("good_total", "")
+
+	type hop struct{ from, to string }
+	var hops []hop
+	h.eng.OnTransition(func(r SLO, from, to string, st SLOStatus) {
+		if r.Name != rule.Name {
+			t.Errorf("transition for %q", r.Name)
+		}
+		hops = append(hops, hop{from, to})
+	})
+
+	// No observations: ok, zero value (no traffic cannot violate).
+	st := h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusOK || st.Value != 0 || st.BurnRate != 0 {
+		t.Fatalf("idle status %+v", st)
+	}
+
+	// A failure burn inside both windows: immediate breach, burn rate
+	// value/threshold.
+	bad.Inc()
+	bad.Inc()
+	good.Add(2)
+	h.clk.Advance(30 * time.Second)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusBreach || st.Value != 0.5 || st.ShortValue != 0.5 {
+		t.Fatalf("burn status %+v", st)
+	}
+	if st.BurnRate < 4.9 || st.BurnRate > 5.1 {
+		t.Fatalf("burn rate %v, want ~5", st.BurnRate)
+	}
+
+	// A little healthy traffic pushes the short window clean while the
+	// long window still remembers the burn: warn, not ok.
+	h.clk.Advance(2 * time.Minute)
+	good.Add(10)
+	h.clk.Advance(30 * time.Second)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusWarn {
+		t.Fatalf("recovering status %+v", st)
+	}
+	if st.ShortValue != 0 || st.Value <= rule.Max {
+		t.Fatalf("recovering windows short=%v long=%v", st.ShortValue, st.Value)
+	}
+
+	// Once the burn ages out of the long window: ok again.
+	h.clk.Advance(11 * time.Minute)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusOK {
+		t.Fatalf("recovered status %+v", st)
+	}
+
+	want := []hop{{"ok", "breach"}, {"breach", "warn"}, {"warn", "ok"}}
+	if len(hops) != len(want) {
+		t.Fatalf("transitions %v, want %v", hops, want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("transition[%d] = %v, want %v", i, hops[i], want[i])
+		}
+	}
+}
+
+// TestSLOQuantileRule pins the histogram form: the p99 over the
+// window's bucket deltas is compared against Max, and observations
+// that age past the long window stop counting.
+func TestSLOQuantileRule(t *testing.T) {
+	rule := SLO{
+		Name: "lat-p99", Metric: "lat_seconds", Quantile: 0.99, Max: 1.0,
+		ShortWindow: time.Minute, LongWindow: 10 * time.Minute,
+	}
+	h := newSLOHarness(t, []SLO{rule})
+	hist := h.reg.Histogram("lat_seconds", "", []float64{0.1, 1, 10})
+
+	st := h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusOK || st.Value != 0 {
+		t.Fatalf("idle status %+v", st)
+	}
+
+	// 99 fast, 1 slow: p99 lands in the fast bucket — ok.
+	for i := 0; i < 99; i++ {
+		hist.Observe(0.05)
+	}
+	hist.Observe(5)
+	h.clk.Advance(30 * time.Second)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusOK || st.Value > rule.Max {
+		t.Fatalf("fast traffic status %+v", st)
+	}
+
+	// A slow burst dominates both windows: breach.
+	for i := 0; i < 50; i++ {
+		hist.Observe(5)
+	}
+	h.clk.Advance(30 * time.Second)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusBreach || st.Value <= rule.Max {
+		t.Fatalf("slow burst status %+v", st)
+	}
+
+	// After the burst ages out of both windows with no new traffic the
+	// deltas are empty: ok (not NaN, not sticky-breach).
+	h.clk.Advance(11 * time.Minute)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusOK || st.Value != 0 {
+		t.Fatalf("aged-out status %+v", st)
+	}
+}
+
+// TestSLOWorstTraceAttribution pins the breach → trace cross-link: a
+// violated ratio rule names the most recent errored span's trace, and
+// the link clears once the rule recovers.
+func TestSLOWorstTraceAttribution(t *testing.T) {
+	rule := SLO{
+		Name: "fail-ratio", BadMetric: "bad_total", GoodMetric: "good_total",
+		Max: 0.10, SpanName: "solve",
+		ShortWindow: time.Minute, LongWindow: 10 * time.Minute,
+	}
+	h := newSLOHarness(t, []SLO{rule})
+	bad := h.reg.Counter("bad_total", "")
+	good := h.reg.Counter("good_total", "")
+
+	_, sp := h.tracer.StartSpan(context.Background(), "solve")
+	sp.Fail(fmt.Errorf("injected"))
+	sp.End()
+	bad.Inc()
+
+	h.clk.Advance(time.Second)
+	st := h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusBreach || st.WorstTraceID != sp.TraceID() {
+		t.Fatalf("breach attribution %+v, want trace %s", st, sp.TraceID())
+	}
+
+	// Recovery clears the link.
+	h.clk.Advance(2 * time.Minute)
+	good.Add(100)
+	h.clk.Advance(12 * time.Minute)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusOK || st.WorstTraceID != "" {
+		t.Fatalf("recovered attribution %+v", st)
+	}
+}
+
+// TestSLOValidation pins the misconfiguration panics: a rule that is
+// neither form, a quantile out of range, and a duplicate name all
+// refuse to build.
+func TestSLOValidation(t *testing.T) {
+	expectPanic := func(name string, rules []SLO) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		NewSLOEngine(NewRegistry(), nil, rules)
+	}
+	expectPanic("empty name", []SLO{{Max: 1}})
+	expectPanic("no form", []SLO{{Name: "x", Max: 1}})
+	expectPanic("both forms", []SLO{{Name: "x", Metric: "m", Quantile: 0.9, BadMetric: "b", GoodMetric: "g", Max: 1}})
+	expectPanic("quantile out of range", []SLO{{Name: "x", Metric: "m", Quantile: 1.5, Max: 1}})
+	expectPanic("ratio missing good", []SLO{{Name: "x", BadMetric: "b", Max: 1}})
+	expectPanic("negative max", []SLO{{Name: "x", Metric: "m", Quantile: 0.9, Max: -1}})
+	expectPanic("duplicate", []SLO{
+		{Name: "x", Metric: "m", Quantile: 0.9, Max: 1},
+		{Name: "x", Metric: "m", Quantile: 0.5, Max: 1},
+	})
+	// A valid pair builds and evaluates in rule order.
+	eng := NewSLOEngine(NewRegistry(), nil, []SLO{
+		{Name: "a", Metric: "m", Quantile: 0.9, Max: 1},
+		{Name: "b", BadMetric: "bm", GoodMetric: "gm", Max: 0.5},
+	})
+	out := eng.Evaluate(time.Unix(1_700_000_000, 0))
+	if len(out) != 2 || out[0].Name != "a" || out[1].Name != "b" {
+		t.Fatalf("evaluate order %+v", out)
+	}
+}
+
+// TestSLOSinceTracksLevelChanges pins SinceUnixS: it is stamped at the
+// transition and held while the level is stable.
+func TestSLOSinceTracksLevelChanges(t *testing.T) {
+	rule := SLO{
+		Name: "fail-ratio", BadMetric: "bad_total", GoodMetric: "good_total",
+		Max: 0.10, ShortWindow: time.Minute, LongWindow: 10 * time.Minute,
+	}
+	h := newSLOHarness(t, []SLO{rule})
+	bad := h.reg.Counter("bad_total", "")
+	h.reg.Counter("good_total", "")
+
+	h.eng.Evaluate(h.clk.Now())
+	bad.Inc()
+	h.clk.Advance(time.Minute)
+	breachAt := h.clk.Now()
+	st := h.eng.Evaluate(breachAt)[0]
+	wantSince := float64(breachAt.UnixNano()) / 1e9
+	if st.Status != StatusBreach || st.SinceUnixS != wantSince {
+		t.Fatalf("breach since %v, want %v (%+v)", st.SinceUnixS, wantSince, st)
+	}
+	// Still breaching half a short-window later: since is unchanged.
+	h.clk.Advance(30 * time.Second)
+	st = h.eng.Evaluate(h.clk.Now())[0]
+	if st.Status != StatusBreach || st.SinceUnixS != wantSince {
+		t.Fatalf("held since %v, want %v", st.SinceUnixS, wantSince)
+	}
+}

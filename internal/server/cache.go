@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
+	"strconv"
 	"sync"
 
 	"perseus/internal/grid"
+	"perseus/internal/obs"
 )
 
 // planKey identifies one cacheable planning problem: the plan-input
@@ -68,8 +71,12 @@ func (c *planCache) syncObsLocked() {
 // do returns the cached plan for key, or runs solve exactly once per
 // key no matter how many callers arrive concurrently. Errors are not
 // cached: the failed entry is removed so a later identical request
-// retries.
-func (c *planCache) do(key planKey, solve func() (*grid.Plan, error)) (*grid.Plan, error) {
+// retries. When ctx carries an active trace span, the lookup records a
+// "cache.lookup" child span with hit/coalesced attrs; a miss's solve
+// runs under that span's context, so the planner's own span nests
+// below the lookup. Untraced callers pay a nil check.
+func (c *planCache) do(ctx context.Context, key planKey, solve func(context.Context) (*grid.Plan, error)) (*grid.Plan, error) {
+	ctx, sp := obs.Child(ctx, spanCacheLookup)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
@@ -90,7 +97,11 @@ func (c *planCache) do(key planKey, solve func() (*grid.Plan, error)) (*grid.Pla
 			}
 		}
 		c.mu.Unlock()
+		sp.SetAttr("hit", "true")
+		sp.SetAttr("coalesced", strconv.FormatBool(inflight))
 		<-e.done
+		sp.Fail(e.err)
+		sp.End()
 		return e.plan, e.err
 	}
 	if len(c.entries) >= maxPlanCacheEntries {
@@ -108,8 +119,12 @@ func (c *planCache) do(key planKey, solve func() (*grid.Plan, error)) (*grid.Pla
 	}
 	c.syncObsLocked()
 	c.mu.Unlock()
+	sp.SetAttr("hit", "false")
+	sp.SetAttr("coalesced", "false")
+	defer sp.End()
 
-	e.plan, e.err = solve()
+	e.plan, e.err = solve(ctx)
+	sp.Fail(e.err)
 	if e.err != nil {
 		c.mu.Lock()
 		// Only this flight owns the key (clear() may have dropped it

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http/httptest"
@@ -141,26 +142,27 @@ func TestPlanCacheSingleFlight(t *testing.T) {
 // not memoized — the next identical request runs the solver again.
 func TestPlanCacheErrorNotCached(t *testing.T) {
 	c := newPlanCache(nil)
+	ctx := context.Background()
 	key := planKey{epoch: 1, table: 42, target: 10}
 	calls := 0
-	solve := func() (*grid.Plan, error) {
+	solve := func(context.Context) (*grid.Plan, error) {
 		calls++
 		if calls == 1 {
 			return nil, fmt.Errorf("transient")
 		}
 		return &grid.Plan{Target: 10}, nil
 	}
-	if _, err := c.do(key, solve); err == nil {
+	if _, err := c.do(ctx, key, solve); err == nil {
 		t.Fatal("first solve should fail")
 	}
-	p, err := c.do(key, solve)
+	p, err := c.do(ctx, key, solve)
 	if err != nil || p == nil || p.Target != 10 {
 		t.Fatalf("retry after error: %v, %v", p, err)
 	}
 	if calls != 2 {
 		t.Fatalf("solver ran %d times, want 2", calls)
 	}
-	if _, err := c.do(key, solve); err != nil {
+	if _, err := c.do(ctx, key, solve); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 2 {

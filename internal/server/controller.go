@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -120,7 +121,11 @@ func (c *controller) reset() {
 // parameter change on GET /grid/replan; a signal re-install drops both
 // the schedule and the management, and the job must be re-managed.
 func (s *Server) ManageJob(id string, target, deadline float64, objective string, quantile float64) (*ReplanResponse, error) {
-	resp, err := s.Replan(id, target, deadline, objective, quantile)
+	return s.manageJob(context.Background(), id, target, deadline, objective, quantile)
+}
+
+func (s *Server) manageJob(ctx context.Context, id string, target, deadline float64, objective string, quantile float64) (*ReplanResponse, error) {
+	resp, err := s.replan(ctx, id, target, deadline, objective, quantile)
 	if err != nil {
 		return nil, err
 	}
@@ -141,18 +146,30 @@ func (s *Server) ManageJob(id string, target, deadline float64, objective string
 // errors are recorded in the status rather than aborting the tick —
 // one broken job must not stall the fleet's control loop.
 func (s *Server) TickController() ControllerStatus {
+	return s.tickController(context.Background())
+}
+
+// tickController runs the tick under a controller.tick trace span: a
+// child of ctx's active span when the tick came through a traced POST
+// /controller/tick, the root of a fresh trace when the background loop
+// fired it. Every managed job's roll-forward stages record child spans
+// below it, and the tick ends with one SLO evaluation, so burn-rate
+// status (and breach events) advance at control-loop cadence even when
+// nobody polls /debug/slo.
+func (s *Server) tickController(ctx context.Context) ControllerStatus {
 	c := &s.ctrl
 	c.mu.Lock()
 	ids := append([]string(nil), c.order...)
 	c.mu.Unlock()
 
+	ctx, root := s.obs.tracer.StartSpan(ctx, spanControllerTick)
 	tickStart := time.Now()
 	errs := map[string]string{}
 	for _, id := range ids {
 		if !c.manages(id) {
 			continue // un-managed since the snapshot (signal change)
 		}
-		if err := s.advanceManaged(id); err != nil {
+		if err := s.advanceManaged(ctx, id); err != nil {
 			errs[id] = err.Error()
 		}
 	}
@@ -184,8 +201,15 @@ func (s *Server) TickController() ControllerStatus {
 	c.mu.Unlock()
 	s.obs.ticks.Inc()
 	s.obs.tickDur.Observe(dur.Seconds())
-	s.obs.ring.Emit(now, "controller.tick", dur,
-		"jobs", strconv.Itoa(len(ids)), "errors", strconv.Itoa(len(errs)))
+	s.obs.ring.Emit(now, "controller.tick", dur, traceKV(ctx,
+		"jobs", strconv.Itoa(len(ids)), "errors", strconv.Itoa(len(errs)))...)
+	root.SetAttr("jobs", strconv.Itoa(len(ids)))
+	root.SetAttr("errors", strconv.Itoa(len(errs)))
+	if len(errs) > 0 {
+		root.Fail(fmt.Errorf("%d job(s) failed to roll forward", len(errs)))
+	}
+	root.End()
+	s.evalSLOs(now)
 	return s.ControllerStatus()
 }
 
@@ -342,7 +366,7 @@ func (s *Server) handleControllerAction(w http.ResponseWriter, r *http.Request) 
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := s.ManageJob(req.JobID, req.Target, req.DeadlineS, req.Objective, req.Quantile)
+		resp, err := s.manageJob(r.Context(), req.JobID, req.Target, req.DeadlineS, req.Objective, req.Quantile)
 		if err != nil {
 			status := http.StatusBadRequest
 			if _, ok := s.st.job(req.JobID); !ok {
@@ -359,7 +383,7 @@ func (s *Server) handleControllerAction(w http.ResponseWriter, r *http.Request) 
 		s.StopController()
 		writeJSON(w, s.ControllerStatus())
 	case "tick":
-		writeJSON(w, s.TickController())
+		writeJSON(w, s.tickController(r.Context()))
 	default:
 		http.Error(w, fmt.Sprintf("unknown controller action %q", action), http.StatusNotFound)
 	}

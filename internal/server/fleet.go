@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -55,7 +56,7 @@ func (s *Server) handleFleetCap(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	st, err := s.SetFleetCap(req.CapW)
+	st, err := s.setFleetCap(r.Context(), req.CapW)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -68,7 +69,7 @@ func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, s.FleetStatus())
+	writeJSON(w, s.recomputeFleet(r.Context()))
 }
 
 // SetFleetCap sets the facility power cap and re-divides it across the
@@ -76,19 +77,23 @@ func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
 // negative watts are rejected (HTTP 400 at the POST /fleet/cap layer) —
 // a malformed cap must not silently lift the facility envelope.
 func (s *Server) SetFleetCap(capW float64) (FleetStatusResponse, error) {
+	return s.setFleetCap(context.Background(), capW)
+}
+
+func (s *Server) setFleetCap(ctx context.Context, capW float64) (FleetStatusResponse, error) {
 	if math.IsNaN(capW) || math.IsInf(capW, 0) || capW < 0 {
 		return FleetStatusResponse{}, fmt.Errorf("server: fleet cap must be a finite non-negative number of watts, got %v", capW)
 	}
 	s.st.mu.Lock()
 	s.st.capW = capW
 	s.st.mu.Unlock()
-	return s.recomputeFleet(), nil
+	return s.recomputeFleet(ctx), nil
 }
 
 // FleetStatus recomputes and returns the fleet-wide allocation under
 // the current cap.
 func (s *Server) FleetStatus() FleetStatusResponse {
-	return s.recomputeFleet()
+	return s.recomputeFleet(context.Background())
 }
 
 // AllocationOf returns a job's latest fleet allocation.
@@ -118,7 +123,7 @@ func (s *Server) AllocationOf(id string) (JobAllocationResponse, error) {
 // fleet-wide view. Jobs still characterizing appear with Ready false.
 // The whole recomputation is serialized: the deployed floors always
 // reflect one allocation of the cap current when it ran.
-func (s *Server) recomputeFleet() FleetStatusResponse {
+func (s *Server) recomputeFleet(ctx context.Context) FleetStatusResponse {
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
 	gs := s.st.gridState()
@@ -148,7 +153,7 @@ func (s *Server) recomputeFleet() FleetStatusResponse {
 	// spatial layers. The cap was validated at the API boundary, but a
 	// planner error must still not crash the recompute: fall back to an
 	// empty (infeasible) allocation.
-	p := obs.InstrumentPlanner(&fleet.Planner{Jobs: fjobs},
+	p := obs.InstrumentPlanner(ctx, s.wrapPlanner(&fleet.Planner{Jobs: fjobs}),
 		"fleet", s.obs.planLatency, s.obs.planErrors)
 	var alloc fleet.Allocation
 	if res, err := p.Plan(pln.Request{CapW: capW}); err == nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -163,7 +164,7 @@ func (s *Server) handleGridForecast(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := s.SetForecast(req)
+		resp, err := s.setForecast(r.Context(), req)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -187,6 +188,10 @@ func (s *Server) handleGridForecast(w http.ResponseWriter, r *http.Request) {
 // against the previous forecast first, subsequent re-plans run against
 // the new issuer, and the plan-cache epoch advances.
 func (s *Server) SetForecast(req ForecastRequest) (ForecastResponse, error) {
+	return s.setForecast(context.Background(), req)
+}
+
+func (s *Server) setForecast(ctx context.Context, req ForecastRequest) (ForecastResponse, error) {
 	spec := &forecastSpec{name: req.Model, seed: req.Seed, sigma: req.Sigma}
 	if req.Model != "revisions" {
 		model, err := forecast.ModelByName(req.Model)
@@ -240,8 +245,8 @@ func (s *Server) SetForecast(req ForecastRequest) (ForecastResponse, error) {
 	s.st.epoch++
 	s.st.mu.Unlock()
 	s.cache.clear()
-	s.obs.ring.Emit(gs.now, "forecast.revise", 0,
-		"model", spec.name, "intervals", strconv.Itoa(len(fc.Signal.Intervals)))
+	s.obs.ring.Emit(gs.now, "forecast.revise", 0, traceKV(ctx,
+		"model", spec.name, "intervals", strconv.Itoa(len(fc.Signal.Intervals)))...)
 	return ForecastResponse{
 		Model:     spec.name,
 		Level:     level,
@@ -323,7 +328,7 @@ func (s *Server) handleGridReplan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp, err := s.Replan(id, target, deadline, q.Get("objective"), quant)
+	resp, err := s.replan(r.Context(), id, target, deadline, q.Get("objective"), quant)
 	if err != nil {
 		status := http.StatusBadRequest
 		if _, ok := s.st.job(id); !ok {
@@ -351,6 +356,14 @@ func (s *Server) handleGridReplan(w http.ResponseWriter, r *http.Request) {
 // call that finds time and forecast unchanged returns the current
 // state without re-planning.
 func (s *Server) Replan(id string, target, deadline float64, objective string, quantile float64) (*ReplanResponse, error) {
+	return s.replan(context.Background(), id, target, deadline, objective, quantile)
+}
+
+// replan is Replan with context: under a traced request or controller
+// tick, the roll-forward records its stage spans (replan.inputs,
+// replan.freeze, replan.forecast, replan.solve, replan.bump) as
+// children of the active span.
+func (s *Server) replan(ctx context.Context, id string, target, deadline float64, objective string, quantile float64) (*ReplanResponse, error) {
 	j, ok := s.st.job(id)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown job %s", id)
@@ -372,6 +385,8 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 		return nil, fmt.Errorf("server: replan deadline must be finite and non-negative, got %v", deadline)
 	}
 
+	_, insp := obs.Child(ctx, spanReplanInputs)
+	insp.SetAttr("job", id)
 	s.replanMu.Lock()
 	defer s.replanMu.Unlock()
 	// The signal/forecast snapshot AND the clock are read inside the
@@ -391,6 +406,8 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 	reqQuantile := quantile
 	sig, start, spec, obj, frev, err := s.planInputsLocked()
 	if err != nil {
+		insp.Fail(err)
+		insp.End()
 		return nil, err
 	}
 	if quantile == 0 {
@@ -398,10 +415,13 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 	}
 	if objective != "" {
 		if obj, err = grid.ParseObjective(objective); err != nil {
+			insp.Fail(err)
+			insp.End()
 			return nil, err
 		}
 	}
 	if math.IsNaN(quantile) || quantile < 0 || quantile >= 1 {
+		insp.End()
 		return nil, fmt.Errorf("server: replan quantile must be in [0, 1), got %v", quantile)
 	}
 
@@ -409,6 +429,7 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 	if t < 0 {
 		t = 0
 	}
+	insp.End()
 
 	st := s.replans[id]
 	// The restart check compares the *requested* deadline: with the 0
@@ -417,7 +438,10 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 	// later calls is not mistaken for a parameter change.
 	if st == nil || st.target != target || st.reqDeadline != deadline ||
 		st.objective != obj || st.reqQuantile != reqQuantile {
+		_, fsp := obs.Child(ctx, spanReplanFcast)
 		fc, err := issueForecast(sig, spec, t, deadline)
+		fsp.Fail(err)
+		fsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -437,7 +461,7 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 			offsetS: t, frevSeen: frev,
 		}
 		s.replans[id] = st
-		if err := s.rollForwardLocked(st, j, table, pipes, sig, spec, t, frev, fc); err != nil {
+		if err := s.rollForwardLocked(ctx, st, j, table, pipes, sig, spec, t, frev, fc); err != nil {
 			delete(s.replans, id)
 			return nil, err
 		}
@@ -453,7 +477,7 @@ func (s *Server) Replan(id string, target, deadline float64, objective string, q
 		t = st.offsetS
 	}
 	if t > st.offsetS+1e-9 || st.frevSeen != frev || st.needPlan {
-		if err := s.rollForwardLocked(st, j, table, pipes, sig, spec, t, frev, nil); err != nil {
+		if err := s.rollForwardLocked(ctx, st, j, table, pipes, sig, spec, t, frev, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -485,8 +509,9 @@ func (s *Server) planInputsLocked() (*grid.Signal, time.Time, *forecastSpec, gri
 // controller tick's path. Unlike Replan it never creates state: after
 // POST /grid/signal drops every schedule, a straggler tick iteration
 // must not resurrect one with stale parameters; the job has to be
-// re-managed explicitly.
-func (s *Server) advanceManaged(id string) error {
+// re-managed explicitly. Under the tick's trace, the roll-forward's
+// stage spans land as children of the controller.tick root.
+func (s *Server) advanceManaged(ctx context.Context, id string) error {
 	j, ok := s.st.job(id)
 	if !ok {
 		return fmt.Errorf("server: unknown job %s", id)
@@ -501,22 +526,30 @@ func (s *Server) advanceManaged(id string) error {
 	if pipes <= 0 {
 		pipes = 1
 	}
+	_, insp := obs.Child(ctx, spanReplanInputs)
+	insp.SetAttr("job", id)
 	s.replanMu.Lock()
 	defer s.replanMu.Unlock()
 	st := s.replans[id]
 	if st == nil {
-		return fmt.Errorf("server: job %s has no rolling schedule (a signal change drops them; re-manage the job)", id)
+		err := fmt.Errorf("server: job %s has no rolling schedule (a signal change drops them; re-manage the job)", id)
+		insp.Fail(err)
+		insp.End()
+		return err
 	}
 	sig, start, spec, _, frev, err := s.planInputsLocked()
 	if err != nil {
+		insp.Fail(err)
+		insp.End()
 		return err
 	}
 	t := s.st.now().Sub(start).Seconds()
 	if t < st.offsetS {
 		t = st.offsetS
 	}
+	insp.End()
 	if t > st.offsetS+1e-9 || st.frevSeen != frev || st.needPlan {
-		return s.rollForwardLocked(st, j, table, pipes, sig, spec, t, frev, nil)
+		return s.rollForwardLocked(ctx, st, j, table, pipes, sig, spec, t, frev, nil)
 	}
 	return nil
 }
@@ -525,10 +558,15 @@ func (s *Server) advanceManaged(id string) error {
 // re-plans the remainder against a freshly issued forecast (or the
 // pre-issued one the creation path already holds for this t). Callers
 // hold replanMu. On any re-plan the job's schedule version bumps, so
-// long-polling clients observe the change.
-func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.LookupTable, pipes int, sig *grid.Signal, spec *forecastSpec, t float64, frev int, issued *forecast.Forecast) error {
+// long-polling clients observe the change. Each stage records a child
+// span of ctx's active span (replan.freeze, replan.forecast,
+// replan.solve, replan.bump) — under a controller tick these are the
+// tick root's per-stage children.
+func (s *Server) rollForwardLocked(ctx context.Context, st *replanState, j *job, table *frontier.LookupTable, pipes int, sig *grid.Signal, spec *forecastSpec, t float64, frev int, issued *forecast.Forecast) error {
 	// Freeze the span executed since the last plan: walk the previous
 	// remaining plan's intervals up to now.
+	_, fz := obs.Child(ctx, spanReplanFreeze)
+	fz.SetAttr("job", j.id)
 	if st.remaining != nil {
 		for _, ip := range st.remaining.Intervals {
 			absStart, absEnd := st.offsetS+ip.StartS, st.offsetS+ip.EndS
@@ -543,6 +581,8 @@ func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.Look
 			st.doneIters += ei.Iterations
 		}
 	}
+	fz.SetAttr("frozen", strconv.Itoa(len(st.frozen)))
+	fz.End()
 
 	// Re-plan the remainder against the fresh forecast. The freeze
 	// commit above is valid on its own (those spans did execute);
@@ -568,11 +608,16 @@ func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.Look
 		st.needPlan = true
 		fc := issued
 		if fc == nil {
+			_, fsp := obs.Child(ctx, spanReplanFcast)
+			fsp.SetAttr("job", j.id)
 			var err error
 			if fc, err = issueForecast(sig, spec, t, st.reqDeadline); err != nil {
+				fsp.Fail(err)
+				fsp.End()
 				s.obs.replanFails.Inc()
 				return err
 			}
+			fsp.End()
 		}
 		q := st.quantile
 		if q == 0 {
@@ -582,7 +627,9 @@ func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.Look
 		// the forecast window — the MPC counterpart of forecast.Planner,
 		// reported as its own planning layer.
 		suffix := forecast.Window(fc.At(q), t, st.deadlineS)
-		p := obs.InstrumentPlanner(&grid.Planner{Table: table, Signal: suffix},
+		sctx, sv := obs.Child(ctx, spanReplanSolve)
+		sv.SetAttr("job", j.id)
+		p := obs.InstrumentPlanner(sctx, s.wrapPlanner(&grid.Planner{Table: table, Signal: suffix}),
 			"forecast-mpc", s.obs.planLatency, s.obs.planErrors)
 		res, err := p.Plan(pln.Request{
 			Target:     remaining,
@@ -590,9 +637,12 @@ func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.Look
 			PowerScale: float64(pipes),
 		})
 		if err != nil {
+			sv.Fail(err)
+			sv.End()
 			s.obs.replanFails.Inc()
 			return err
 		}
+		sv.End()
 		plan := res.(*grid.Plan)
 		now := s.st.now()
 		st.remaining = plan
@@ -602,14 +652,18 @@ func (s *Server) rollForwardLocked(st *replanState, j *job, table *frontier.Look
 		st.needPlan = false
 		st.lastPlanAt = now
 		s.obs.replans.Inc()
-		s.obs.ring.Emit(now, "controller.replan", 0,
+		s.obs.ring.Emit(now, "controller.replan", 0, traceKV(ctx,
 			"job", j.id, "plan", strconv.Itoa(st.plans),
-			"feasible", strconv.FormatBool(plan.Feasible))
+			"feasible", strconv.FormatBool(plan.Feasible))...)
 		// The rolling schedule changed: bump the job's version so
 		// long-polling trainers fetch the new deployment.
+		_, bsp := obs.Child(ctx, spanReplanBump)
+		bsp.SetAttr("job", j.id)
 		j.mu.Lock()
 		j.bumpLocked()
+		bsp.SetAttr("version", strconv.Itoa(j.version))
 		j.mu.Unlock()
+		bsp.End()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -65,7 +66,7 @@ func (s *Server) handleGridSignal(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := s.SetGridSignal(req.Signal, req.Objective)
+		resp, err := s.setGridSignal(r.Context(), req.Signal, req.Objective)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -96,6 +97,10 @@ func (s *Server) handleGridSignal(w http.ResponseWriter, r *http.Request) {
 // change. The plan-cache epoch advances, so every cached plan of the
 // old signal is invalidated.
 func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalResponse, error) {
+	return s.setGridSignal(context.Background(), sig, objective)
+}
+
+func (s *Server) setGridSignal(ctx context.Context, sig grid.Signal, objective string) (GridSignalResponse, error) {
 	obj, err := grid.ParseObjective(objective)
 	if err != nil {
 		return GridSignalResponse{}, err
@@ -122,9 +127,9 @@ func (s *Server) SetGridSignal(sig grid.Signal, objective string) (GridSignalRes
 	s.replans = map[string]*replanState{}
 	s.replanMu.Unlock()
 	s.ctrl.reset()
-	s.obs.ring.Emit(gs.now, "signal.install", 0,
+	s.obs.ring.Emit(gs.now, "signal.install", 0, traceKV(ctx,
 		"name", sig.Name, "intervals", strconv.Itoa(len(sig.Intervals)),
-		"objective", string(obj))
+		"objective", string(obj))...)
 	return GridSignalResponse{
 		Name:      sig.Name,
 		Intervals: len(sig.Intervals),
@@ -161,7 +166,7 @@ func (s *Server) handleGridPlan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad deadline: %v", err), http.StatusBadRequest)
 		return
 	}
-	plan, err := s.GridPlan(id, target, deadline, q.Get("objective"))
+	plan, err := s.gridPlan(r.Context(), id, target, deadline, q.Get("objective"))
 	if err != nil {
 		status := http.StatusBadRequest
 		if _, ok := s.st.job(id); !ok {
@@ -184,8 +189,20 @@ func (s *Server) handleGridPlan(w http.ResponseWriter, r *http.Request) {
 // solve once and share the plan; any signal re-install, forecast
 // revision, or frontier re-characterization changes the key.
 func (s *Server) GridPlan(id string, target, deadline float64, objective string) (*grid.Plan, error) {
+	return s.gridPlan(context.Background(), id, target, deadline, objective)
+}
+
+// gridPlan is GridPlan with context: under a traced request it records
+// store.snapshot (lock acquisition + state reads), cache.lookup, and
+// planner.solve child spans; from an untraced context every span site
+// is a nil-check no-op, which is what keeps the cached-plan hot path
+// at its PR 6 cost.
+func (s *Server) gridPlan(ctx context.Context, id string, target, deadline float64, objective string) (*grid.Plan, error) {
+	_, snap := obs.Child(ctx, spanStoreSnapshot)
+	snap.SetAttr("job", id)
 	j, ok := s.st.job(id)
 	if !ok {
+		snap.End()
 		return nil, fmt.Errorf("server: unknown job %s", id)
 	}
 	s.st.mu.Lock()
@@ -194,11 +211,13 @@ func (s *Server) GridPlan(id string, target, deadline float64, objective string)
 	epoch := s.st.epoch
 	s.st.mu.Unlock()
 	if sig == nil {
+		snap.End()
 		return nil, fmt.Errorf("server: no grid signal installed")
 	}
 	if objective != "" {
 		var err error
 		if obj, err = grid.ParseObjective(objective); err != nil {
+			snap.End()
 			return nil, err
 		}
 	}
@@ -207,6 +226,7 @@ func (s *Server) GridPlan(id string, target, deadline float64, objective string)
 	tableHash := j.tableHash
 	pipes := j.req.DataParallel
 	j.mu.Unlock()
+	snap.End()
 	if table == nil {
 		return nil, fmt.Errorf("server: job %s not characterized yet", id)
 	}
@@ -221,8 +241,8 @@ func (s *Server) GridPlan(id string, target, deadline float64, objective string)
 		objective: obj,
 		scale:     pipes,
 	}
-	return s.cache.do(key, func() (*grid.Plan, error) {
-		p := obs.InstrumentPlanner(&grid.Planner{Table: table, Signal: sig},
+	return s.cache.do(ctx, key, func(ctx context.Context) (*grid.Plan, error) {
+		p := obs.InstrumentPlanner(ctx, s.wrapPlanner(&grid.Planner{Table: table, Signal: sig}),
 			"grid", s.obs.planLatency, s.obs.planErrors)
 		res, err := p.Plan(pln.Request{
 			Target:     target,

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"perseus/internal/dag"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
+	"perseus/internal/obs"
 	"perseus/internal/profile"
 	"perseus/internal/sched"
 )
@@ -97,7 +99,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	j, err := s.Register(req)
+	j, err := s.register(r.Context(), req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -107,6 +109,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 // Register creates a job and returns its id (the non-HTTP entry point).
 func (s *Server) Register(req JobRequest) (string, error) {
+	return s.register(context.Background(), req)
+}
+
+func (s *Server) register(ctx context.Context, req JobRequest) (string, error) {
 	g, err := gpu.ByName(req.GPU)
 	if err != nil {
 		return "", err
@@ -126,8 +132,8 @@ func (s *Server) Register(req JobRequest) (string, error) {
 	st.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, obs: s.obs, done: make(chan struct{})}
 	st.ord = append(st.ord, id)
 	s.obs.jobsRegistered.Inc()
-	s.obs.ring.Emit(st.clock(), "job.register", 0,
-		"job", id, "schedule", req.Schedule, "gpu", req.GPU)
+	s.obs.ring.Emit(st.clock(), "job.register", 0, traceKV(ctx,
+		"job", id, "schedule", req.Schedule, "gpu", req.GPU)...)
 	return id, nil
 }
 
@@ -154,7 +160,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.UploadProfile(j.id, up); err != nil {
+		if err := s.uploadProfile(r.Context(), j.id, up); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -171,7 +177,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.SetStraggler(j.id, n); err != nil {
+		if err := s.setStraggler(r.Context(), j.id, n); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -214,7 +220,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			resp, err := s.PlaceJob(j.id, req.Region)
+			resp, err := s.placeJob(r.Context(), j.id, req.Region)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
@@ -284,12 +290,20 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, j *job) 
 		t := time.NewTimer(remain)
 		s.obs.waiters.Add(1)
 		parked := time.Now()
+		// Each park records a longpoll.park child span of the request's
+		// trace, marked woken=true when a version bump (not the wait
+		// timeout) released it.
+		_, park := obs.Child(r.Context(), spanLongpollPark)
+		park.SetAttr("job", j.id)
 		select {
 		case <-watch:
 			t.Stop()
 			s.obs.wakeDur.Observe(time.Since(parked).Seconds())
+			park.SetAttr("woken", "true")
 		case <-t.C:
+			park.SetAttr("woken", "false")
 		}
+		park.End()
 		s.obs.waiters.Add(-1)
 	}
 	resp, err := s.Schedule(j.id)
@@ -323,6 +337,10 @@ func parseETag(h string) (version int, ok bool) {
 // asynchronous frontier characterization (paper §3.2 step 2): training
 // continues while the server optimizes.
 func (s *Server) UploadProfile(id string, up ProfileUpload) error {
+	return s.uploadProfile(context.Background(), id, up)
+}
+
+func (s *Server) uploadProfile(ctx context.Context, id string, up ProfileUpload) error {
 	j, ok := s.st.job(id)
 	if !ok {
 		return fmt.Errorf("server: unknown job %s", id)
@@ -375,12 +393,15 @@ func (s *Server) UploadProfile(id string, up ProfileUpload) error {
 			outcome = "error"
 		}
 		s.obs.characterized.With(outcome).Inc()
-		s.obs.ring.Emit(now, "job.characterize", time.Since(charStart),
-			"job", j.id, "outcome", outcome)
+		// ctx outlives the HTTP request here only as a label source:
+		// context values stay readable after cancellation, so the
+		// characterize event still carries the registering trace's ID.
+		s.obs.ring.Emit(now, "job.characterize", time.Since(charStart), traceKV(ctx,
+			"job", j.id, "outcome", outcome)...)
 		close(j.done)
 		// The fleet gained a characterized member: under a cap, power
 		// must be re-divided.
-		s.recomputeFleet()
+		s.recomputeFleet(ctx)
 	}()
 	return nil
 }
@@ -405,6 +426,10 @@ func (s *Server) WaitCharacterized(id string) error {
 // so the server arms a timer and flips the deployed schedule when it
 // fires.
 func (s *Server) SetStraggler(id string, n StragglerNotice) error {
+	return s.setStraggler(context.Background(), id, n)
+}
+
+func (s *Server) setStraggler(ctx context.Context, id string, n StragglerNotice) error {
 	j, ok := s.st.job(id)
 	if !ok {
 		return fmt.Errorf("server: unknown job %s", id)
@@ -428,15 +453,15 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 			j.tPrime = j.front.Tmin() * n.Degree
 		}
 		j.bumpLocked()
-		s.obs.ring.Emit(gs.now, "job.straggler", 0,
-			"job", j.id, "degree", strconv.FormatFloat(n.Degree, 'g', -1, 64))
+		s.obs.ring.Emit(gs.now, "job.straggler", 0, traceKV(ctx,
+			"job", j.id, "degree", strconv.FormatFloat(n.Degree, 'g', -1, 64))...)
 	}
 	if n.Delay <= 0 {
 		apply(gs)
 		j.mu.Unlock()
 		// A straggler moves the job's T_opt floor, freeing (or taking)
 		// fleet power; re-divide it.
-		s.recomputeFleet()
+		s.recomputeFleet(ctx)
 		return nil
 	}
 	if j.pending != nil {
@@ -447,7 +472,7 @@ func (s *Server) SetStraggler(id string, n StragglerNotice) error {
 		j.mu.Lock()
 		apply(gs)
 		j.mu.Unlock()
-		s.recomputeFleet()
+		s.recomputeFleet(ctx)
 	})
 	j.mu.Unlock()
 	return nil

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -11,9 +13,10 @@ import (
 )
 
 // serverObs bundles the server's observability surface: one metric
-// registry and one event ring (internal/obs), plus the typed handles
-// every resource module records into. All handles are registered once
-// at construction, so hot paths never touch the registry map.
+// registry, one event ring, and one tracer (internal/obs), plus the
+// typed handles every resource module records into. All handles are
+// registered once at construction, so hot paths never touch the
+// registry map.
 //
 // The metric catalog (all names prefixed perseus_) is documented in
 // README.md's Observability section; the golden exposition test and
@@ -21,6 +24,8 @@ import (
 type serverObs struct {
 	reg     *obs.Registry
 	ring    *obs.Ring
+	tracer  *obs.Tracer
+	slo     *obs.SLOEngine
 	started time.Time // real wall clock, for /healthz uptime
 
 	// HTTP middleware.
@@ -56,13 +61,66 @@ type serverObs struct {
 
 	// Per-job realized-minus-predicted carbon drift (store.go).
 	driftG *obs.GaugeVec // job
+
+	// Tracing and SLO self-monitoring (this file).
+	traceSpans  *obs.CounterVec // span
+	traceDrops  *obs.Gauge
+	sloStatus   *obs.GaugeVec   // slo: 0 ok, 1 warn, 2 breach
+	sloBreaches *obs.CounterVec // slo
+}
+
+// Span names the server records (the full taxonomy is documented in
+// README.md's "Tracing & SLOs" section). obs.SpanPlannerSolve covers
+// the planner layer.
+const (
+	spanStoreSnapshot  = "store.snapshot"
+	spanCacheLookup    = "cache.lookup"
+	spanReplanInputs   = "replan.inputs"
+	spanReplanFreeze   = "replan.freeze"
+	spanReplanFcast    = "replan.forecast"
+	spanReplanSolve    = "replan.solve"
+	spanReplanBump     = "replan.bump"
+	spanControllerTick = "controller.tick"
+	spanLongpollPark   = "longpoll.park"
+)
+
+// Default server SLO rules. Thresholds are sized to the repo's
+// simulated workloads: a synchronous grid solve runs in milliseconds
+// (1 s p99 is pathological), a replan failure ratio above 10% means
+// the control loop is degrading schedules, and a long-poller should
+// always wake before the 30 s maxScheduleWait cap (25 s p99 leaves
+// headroom for slow ticks).
+func defaultSLOs() []obs.SLO {
+	return []obs.SLO{{
+		Name:      "plan-latency-p99",
+		Objective: "p99 planner solve latency stays at or below 1s",
+		Metric:    "perseus_planner_plan_duration_seconds",
+		Quantile:  0.99,
+		Max:       1.0,
+		SpanName:  obs.SpanPlannerSolve,
+	}, {
+		Name:       "replan-failure-ratio",
+		Objective:  "rolling-horizon re-plan failures stay at or below 10% of roll-forwards",
+		BadMetric:  "perseus_controller_replan_failures_total",
+		GoodMetric: "perseus_controller_replans_total",
+		Max:        0.10,
+		SpanName:   spanReplanSolve,
+	}, {
+		Name:      "longpoll-wake-p99",
+		Objective: "p99 long-poll park-to-wake stays at or below 25s",
+		Metric:    "perseus_longpoll_wake_seconds",
+		Quantile:  0.99,
+		Max:       25.0,
+		SpanName:  spanLongpollPark,
+	}}
 }
 
 func newServerObs() *serverObs {
 	r := obs.NewRegistry()
-	return &serverObs{
+	o := &serverObs{
 		reg:     r,
 		ring:    obs.NewRing(0),
+		tracer:  obs.NewTracer(0),
 		started: time.Now(),
 
 		httpRequests: r.CounterVec("perseus_http_requests_total",
@@ -114,7 +172,86 @@ func newServerObs() *serverObs {
 		driftG: r.GaugeVec("perseus_job_carbon_drift_g",
 			"Realized minus forecast-predicted carbon over the forecast-covered spans, per job.",
 			"job"),
+
+		traceSpans: r.CounterVec("perseus_trace_spans_total",
+			"Finished trace spans committed to the span ring, by span name.", "span"),
+		traceDrops: r.Gauge("perseus_trace_spans_dropped_total",
+			"Finished spans the bounded span ring has overwritten."),
+		sloStatus: r.GaugeVec("perseus_slo_status",
+			"Per-SLO multi-window burn-rate status: 0 ok, 1 warn, 2 breach.", "slo"),
+		sloBreaches: r.CounterVec("perseus_slo_breaches_total",
+			"Transitions of an SLO into breach.", "slo"),
 	}
+	o.tracer.OnPush(func(sp obs.Span) {
+		o.traceSpans.With(sp.Name).Inc()
+		o.traceDrops.Set(float64(o.tracer.Drops()))
+	})
+	o.slo = obs.NewSLOEngine(r, o.tracer, defaultSLOs())
+	o.slo.OnTransition(func(rule obs.SLO, from, to string, st obs.SLOStatus) {
+		if to == obs.StatusBreach {
+			o.sloBreaches.With(rule.Name).Inc()
+		}
+		kv := []string{
+			"slo", rule.Name, "from", from, "to", to,
+			"value", strconv.FormatFloat(st.Value, 'g', 4, 64),
+			"threshold", strconv.FormatFloat(st.Threshold, 'g', 4, 64),
+		}
+		if st.WorstTraceID != "" {
+			kv = append(kv, "trace_id", st.WorstTraceID)
+		}
+		o.ring.Emit(time.Unix(0, int64(st.SinceUnixS*1e9)), "slo."+to, 0, kv...)
+	})
+	return o
+}
+
+// traceKV appends a trace_id label to an event's key-value pairs when
+// ctx carries an active trace — the breach-to-trace cross-link every
+// emit site inside a traced request uses. A nil ctx passes through.
+func traceKV(ctx context.Context, kv ...string) []string {
+	if ctx == nil {
+		return kv
+	}
+	if tid := obs.TraceIDFromContext(ctx); tid != "" {
+		return append(kv, "trace_id", tid)
+	}
+	return kv
+}
+
+// sloLevel maps a status string to the perseus_slo_status gauge value.
+func sloLevel(status string) float64 {
+	switch status {
+	case obs.StatusWarn:
+		return 1
+	case obs.StatusBreach:
+		return 2
+	}
+	return 0
+}
+
+// evalSLOs runs one SLO evaluation at now, mirrors each rule's level
+// into the status gauge, and returns the statuses. Transitions fire
+// the engine hook (breach counter + slo.* events) inside the call.
+// Driven by the controller tick and the /debug/slo and /healthz
+// endpoints — the engine has no goroutine of its own.
+func (s *Server) evalSLOs(now time.Time) []obs.SLOStatus {
+	sts := s.obs.slo.Evaluate(now)
+	for _, st := range sts {
+		s.obs.sloStatus.With(st.Name).Set(sloLevel(st.Status))
+	}
+	return sts
+}
+
+// SLOs evaluates the server's SLO rules now and returns the per-rule
+// statuses (the non-HTTP entry point behind GET /debug/slo).
+func (s *Server) SLOs() []obs.SLOStatus {
+	return s.evalSLOs(s.st.now())
+}
+
+// Traces returns the assembled span trees, newest first (the non-HTTP
+// entry point behind GET /debug/traces). limit <= 0 returns every
+// retained trace; minDur and op filter like the endpoint parameters.
+func (s *Server) Traces(limit int, minDur time.Duration, op string) []obs.Trace {
+	return s.obs.tracer.Traces(limit, minDur, op)
 }
 
 // routePattern normalizes a request path to a bounded label set, so
@@ -123,7 +260,7 @@ func routePattern(path string) string {
 	switch path {
 	case "/jobs", "/fleet/cap", "/fleet/status", "/grid/signal", "/grid/forecast",
 		"/regions", "/regions/plan", "/controller",
-		"/metrics", "/healthz", "/debug/events":
+		"/metrics", "/healthz", "/debug/events", "/debug/traces", "/debug/slo":
 		return path
 	}
 	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
@@ -159,32 +296,59 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // middleware instruments every endpoint: request count by
-// (route, method, code), latency by route, and an in-flight gauge.
+// (route, method, code), latency by route, an in-flight gauge, and a
+// root trace span. An incoming W3C traceparent header joins the
+// request to the caller's trace (so client-side calls and the server's
+// spans share one trace ID); absent or malformed headers start a fresh
+// trace. The response carries X-Trace-Id and a traceparent of the root
+// span, so callers can fetch the assembled tree from /debug/traces.
 func (o *serverObs) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := routePattern(r.URL.Path)
 		o.httpInFlight.Add(1)
 		start := time.Now()
+		traceID, parentID, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		ctx, span := o.tracer.StartRemote(r.Context(), "http "+route, traceID, parentID)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("route", route)
+		w.Header().Set("X-Trace-Id", span.TraceID())
+		w.Header().Set("Traceparent", obs.FormatTraceparent(span.TraceID(), span.SpanID()))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		next.ServeHTTP(rec, r.WithContext(ctx))
 		o.httpInFlight.Add(-1)
 		o.httpLatency.With(route).Observe(time.Since(start).Seconds())
 		o.httpRequests.With(route, r.Method, strconv.Itoa(rec.code)).Inc()
+		span.SetAttr("code", strconv.Itoa(rec.code))
+		if rec.code >= http.StatusInternalServerError {
+			span.Fail(fmt.Errorf("HTTP %d", rec.code))
+		}
+		span.End()
 	})
 }
 
-// HealthResponse is the GET /healthz liveness view.
+// HealthResponse is the GET /healthz liveness and readiness view.
 type HealthResponse struct {
-	Status            string  `json:"status"`
+	// Status is the worst per-SLO status: ok, warn, or breach.
+	Status string `json:"status"`
+
+	// Ready is false while any SLO is in breach — the load-balancer
+	// readiness signal.
+	Ready bool `json:"ready"`
+
 	UptimeS           float64 `json:"uptime_s"`
 	Jobs              int     `json:"jobs"`
 	Regions           int     `json:"regions"`
 	SignalInstalled   bool    `json:"signal_installed"`
 	ForecastInstalled bool    `json:"forecast_installed"`
 	ControllerRunning bool    `json:"controller_running"`
+
+	// SLOs carries every rule's current multi-window status.
+	SLOs []obs.SLOStatus `json:"slos"`
 }
 
-// Health reports the server's liveness summary.
+// Health reports the server's liveness summary plus per-SLO status:
+// Status is the worst rule's level and Ready is false only on a
+// sustained (both-window) breach.
 func (s *Server) Health() HealthResponse {
 	s.st.mu.Lock()
 	jobs := len(s.st.jobs)
@@ -195,14 +359,23 @@ func (s *Server) Health() HealthResponse {
 	s.ctrl.mu.Lock()
 	running := s.ctrl.running
 	s.ctrl.mu.Unlock()
+	slos := s.evalSLOs(s.st.now())
+	worst := obs.StatusOK
+	for _, st := range slos {
+		if sloLevel(st.Status) > sloLevel(worst) {
+			worst = st.Status
+		}
+	}
 	return HealthResponse{
-		Status:            "ok",
+		Status:            worst,
+		Ready:             worst != obs.StatusBreach,
 		UptimeS:           time.Since(s.obs.started).Seconds(),
 		Jobs:              jobs,
 		Regions:           regions,
 		SignalInstalled:   sig,
 		ForecastInstalled: fc,
 		ControllerRunning: running,
+		SLOs:              slos,
 	}
 }
 
@@ -225,8 +398,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.obs.reg.WritePrometheus(w)
 }
 
-// EventsResponse is the GET /debug/events view: the most recent
-// structured events, oldest first.
+// EventsResponse is the GET /debug/events view: structured events,
+// oldest first.
 type EventsResponse struct {
 	Events []obs.Event `json:"events"`
 }
@@ -235,6 +408,13 @@ type EventsResponse struct {
 // retained window).
 func (s *Server) Events(limit int) EventsResponse {
 	return EventsResponse{Events: s.obs.ring.Snapshot(limit)}
+}
+
+// EventsSince returns the retained events with Seq > since, oldest
+// first, capped at limit — the cursor read a poller advances with (see
+// Ring.SnapshotSince for the cap and gap semantics).
+func (s *Server) EventsSince(since uint64, limit int) EventsResponse {
+	return EventsResponse{Events: s.obs.ring.SnapshotSince(since, limit)}
 }
 
 func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
@@ -251,9 +431,65 @@ func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	resp := s.Events(limit)
+	var resp EventsResponse
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+v, http.StatusBadRequest)
+			return
+		}
+		resp = s.EventsSince(since, limit)
+	} else {
+		resp = s.Events(limit)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// TracesResponse is the GET /debug/traces view: assembled span trees,
+// newest first.
+type TracesResponse struct {
+	Traces []obs.Trace `json:"traces"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n: "+v, http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad min_ms: "+v, http.StatusBadRequest)
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	writeJSON(w, TracesResponse{Traces: s.Traces(limit, minDur, q.Get("op"))})
+}
+
+// SLOResponse is the GET /debug/slo view: every rule evaluated now.
+type SLOResponse struct {
+	SLOs []obs.SLOStatus `json:"slos"`
+}
+
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, SLOResponse{SLOs: s.SLOs()})
 }
 
 // Metrics exposes the server's registry (test and embedding hook).

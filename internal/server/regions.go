@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -128,6 +129,10 @@ func (s *Server) Regions() []RegionInfo {
 // Emissions accrued so far are settled at the old placement's rates
 // first, so the migration boundary splits the account exactly.
 func (s *Server) PlaceJob(id, regionName string) (PlacementResponse, error) {
+	return s.placeJob(context.Background(), id, regionName)
+}
+
+func (s *Server) placeJob(ctx context.Context, id, regionName string) (PlacementResponse, error) {
 	j, ok := s.st.job(id)
 	if !ok {
 		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
@@ -150,7 +155,7 @@ func (s *Server) PlaceJob(id, regionName string) (PlacementResponse, error) {
 		if from != "" {
 			name = "job.migrate"
 		}
-		s.obs.ring.Emit(gs.now, name, 0, "job", j.id, "from", from, "to", regionName)
+		s.obs.ring.Emit(gs.now, name, 0, traceKV(ctx, "job", j.id, "from", from, "to", regionName)...)
 	}
 	return placementLocked(j), nil
 }
@@ -208,7 +213,7 @@ func (s *Server) handleRegionsPlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	plan, err := s.RegionsPlan(target, deadline, q.Get("objective"), region.MigrationCost{
+	plan, err := s.regionsPlan(r.Context(), target, deadline, q.Get("objective"), region.MigrationCost{
 		DowntimeS: downtime, EnergyJ: migEnergy,
 	})
 	if err != nil {
@@ -225,6 +230,10 @@ func (s *Server) handleRegionsPlan(w http.ResponseWriter, r *http.Request) {
 // server default), with migration modeled at the given pause-cost.
 // Each job occupies Stages × DataParallel GPUs of a region's capacity.
 func (s *Server) RegionsPlan(target, deadline float64, objective string, mig region.MigrationCost) (*region.Plan, error) {
+	return s.regionsPlan(context.Background(), target, deadline, objective, mig)
+}
+
+func (s *Server) regionsPlan(ctx context.Context, target, deadline float64, objective string, mig region.MigrationCost) (*region.Plan, error) {
 	s.st.mu.Lock()
 	obj := s.st.objective
 	regs := make([]region.Region, 0, len(s.st.regOrd))
@@ -274,7 +283,7 @@ func (s *Server) RegionsPlan(target, deadline float64, objective string, mig reg
 	if len(rjobs) > maxPlanJobs {
 		return nil, fmt.Errorf("server: %d characterized jobs exceed the synchronous planning limit of %d; plan offline with internal/region", len(rjobs), maxPlanJobs)
 	}
-	p := obs.InstrumentPlanner(&region.Planner{Regions: regs, Jobs: rjobs, Migration: mig},
+	p := obs.InstrumentPlanner(ctx, s.wrapPlanner(&region.Planner{Regions: regs, Jobs: rjobs, Migration: mig}),
 		"region", s.obs.planLatency, s.obs.planErrors)
 	res, err := p.Plan(pln.Request{
 		Target: target, DeadlineS: deadline, Objective: obj,

@@ -38,6 +38,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	pln "perseus/internal/plan"
 )
 
 // Server is the Perseus server. Create with New and expose via Handler.
@@ -61,6 +63,20 @@ type Server struct {
 
 	// obs is the observability surface every module records into.
 	obs *serverObs
+
+	// planWrap, when set, wraps every planner the server constructs
+	// before instrumentation — the test seam fault-injection tests use
+	// to force solver errors. Set before serving traffic; never mutated
+	// concurrently with requests.
+	planWrap func(pln.Planner) pln.Planner
+}
+
+// wrapPlanner applies the planWrap seam (identity when unset).
+func (s *Server) wrapPlanner(p pln.Planner) pln.Planner {
+	if s.planWrap != nil {
+		return s.planWrap(p)
+	}
+	return p
 }
 
 // New returns an empty server.
@@ -77,11 +93,13 @@ func New() *Server {
 }
 
 // SetClock replaces the server's wall clock — the hook fake-clock
-// tests and compressed-timescale demos drive the controller with.
+// tests and compressed-timescale demos drive the controller with. The
+// tracer shares the clock, so spans carry the same timeline as events.
 func (s *Server) SetClock(fn func() time.Time) {
 	s.st.mu.Lock()
-	defer s.st.mu.Unlock()
 	s.st.clock = fn
+	s.st.mu.Unlock()
+	s.obs.tracer.SetClock(fn)
 }
 
 // Handler returns the HTTP API:
@@ -118,11 +136,16 @@ func (s *Server) SetClock(fn func() time.Time) {
 //	POST /controller/stop          stop the background tick loop
 //	POST /controller/tick          run one controller tick synchronously
 //	GET  /metrics                  Prometheus text exposition of every metric
-//	GET  /healthz                  liveness summary
-//	GET  /debug/events             recent structured event ring as JSON (?n= limit)
+//	GET  /healthz                  liveness + readiness with per-SLO status
+//	GET  /debug/events             recent structured event ring as JSON
+//	                               (?n= limit, ?since= Seq cursor)
+//	GET  /debug/traces             assembled trace span trees, newest first
+//	                               (?n= limit, ?min_ms= floor, ?op= span filter)
+//	GET  /debug/slo                every SLO rule evaluated now
 //
-// Every endpoint is instrumented (request count/status/latency and an
-// in-flight gauge) by the observability middleware in obs.go.
+// Every endpoint is instrumented (request count/status/latency, an
+// in-flight gauge, and a root trace span continuing any incoming W3C
+// traceparent) by the observability middleware in obs.go.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
@@ -140,6 +163,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/events", s.handleDebugEvents)
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/debug/slo", s.handleDebugSLO)
 	return s.obs.middleware(mux)
 }
 

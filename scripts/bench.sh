@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Runs the planning-stack benchmark suite and writes a JSON trajectory
-# record (BENCH_PR6.json by default). Each PR that touches the planning
+# record (BENCH_PR7.json by default). Each PR that touches the planning
 # or serving hot paths appends a new BENCH_PR<N>.json so regressions
-# show up as a diff, not an anecdote.
+# show up as a diff, not an anecdote; scripts/bench_compare.sh diffs
+# two records.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 pattern='^(BenchmarkGridOptimize|BenchmarkRegionPlan|BenchmarkFleetAllocate|BenchmarkServerPlanCold|BenchmarkServerPlanCached)$'
 
 raw=$(go test -run '^$' -bench "$pattern" -benchmem .)
@@ -17,6 +18,7 @@ echo "$raw" >&2
 {
   printf '{\n'
   printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
   printf '  "go": "%s",\n' "$(go env GOVERSION)"
   printf '  "benchmarks": [\n'
   echo "$raw" | awk -v procs="${GOMAXPROCS:-$(nproc)}" '
