@@ -429,6 +429,49 @@ func (c *ServerClient) FetchGridPlan(jobID string, iterations, deadline float64,
 	return plan, err
 }
 
+// FetchGridPlanIfChanged fetches the job's temporal schedule only if
+// the plan the request resolves to changed since the fetch that
+// returned haveETag, long-polling up to wait. The plan's entity tag
+// names its cache key (plan epoch, frontier hash, request params), so
+// it moves exactly when a signal re-install, forecast revision, or
+// re-characterization would change the answer. changed is false (with
+// a zero Plan) on 304 Not Modified; etag is always the server's
+// current validator, to carry into the next call. Pass haveETag ""
+// for an unconditional first fetch.
+func (c *ServerClient) FetchGridPlanIfChanged(jobID string, iterations, deadline float64, objective, haveETag string, wait time.Duration) (p grid.Plan, etag string, changed bool, err error) {
+	q := url.Values{}
+	q.Set("iterations", strconv.FormatFloat(iterations, 'g', -1, 64))
+	q.Set("deadline", strconv.FormatFloat(deadline, 'g', -1, 64))
+	if objective != "" {
+		q.Set("objective", objective)
+	}
+	if wait > 0 {
+		q.Set("wait", strconv.FormatFloat(wait.Seconds(), 'g', -1, 64))
+	}
+	path := "/grid/plan/" + jobID + "?" + q.Encode()
+	req, err := c.newRequest(http.MethodGet, path, nil)
+	if err != nil {
+		return grid.Plan{}, "", false, err
+	}
+	if haveETag != "" {
+		req.Header.Set("If-None-Match", haveETag)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return grid.Plan{}, "", false, err
+	}
+	defer resp.Body.Close()
+	etag = resp.Header.Get("ETag")
+	if resp.StatusCode == http.StatusNotModified {
+		return grid.Plan{}, etag, false, nil
+	}
+	if resp.StatusCode >= 300 {
+		return grid.Plan{}, "", false, fmt.Errorf("client: GET %s%s: %s", c.BaseURL, path, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&p)
+	return p, etag, err == nil, err
+}
+
 // RegionInfo mirrors the server's registered-region summary.
 type RegionInfo struct {
 	Name      string  `json:"name"`

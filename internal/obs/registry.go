@@ -381,6 +381,51 @@ func (r *Registry) counterFamilyTotal(name string) (float64, bool) {
 	return total, true
 }
 
+// HistogramQuantile estimates the q-quantile of the named histogram
+// family, aggregated across all its series — the programmatic
+// counterpart of the SLO engine's view, for embedders (the
+// perseus-load harness reads p99 park-to-wake latency through it).
+// ok is false when the family is absent, not a histogram, or empty.
+func (r *Registry) HistogramQuantile(name string, q float64) (v float64, ok bool) {
+	upper, counts, count, ok := r.histogramFamilySnapshot(name)
+	if !ok || count == 0 {
+		return 0, false
+	}
+	return bucketQuantile(upper, counts, count, q), true
+}
+
+// HistogramCount returns the total observation count of the named
+// histogram family across all its series. ok is false when the family
+// is absent or not a histogram.
+func (r *Registry) HistogramCount(name string) (uint64, bool) {
+	_, _, count, ok := r.histogramFamilySnapshot(name)
+	return count, ok
+}
+
+// CounterValue sums every series of the named counter family. ok is
+// false when the family is absent or not a counter.
+func (r *Registry) CounterValue(name string) (float64, bool) {
+	return r.counterFamilyTotal(name)
+}
+
+// GaugeValue sums every series of the named gauge family. ok is false
+// when the family is absent or not a gauge.
+func (r *Registry) GaugeValue(name string) (float64, bool) {
+	r.mu.Lock()
+	f, found := r.fams[name]
+	r.mu.Unlock()
+	if !found || f.kind != kindGauge {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total float64
+	for _, s := range f.series {
+		total += s.(*Gauge).Value()
+	}
+	return total, true
+}
+
 // WritePrometheus renders every family in Prometheus text exposition
 // format (version 0.0.4): families sorted by name, series sorted by
 // label block, HELP text and label values escaped per the format's

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"sync"
 
@@ -9,21 +10,90 @@ import (
 	"perseus/internal/obs"
 )
 
-// planKey identifies one cacheable planning problem: the plan-input
-// generation (epoch — bumped on signal re-install and forecast
+// PlanKey identifies one cacheable planning problem: the plan-input
+// generation (Epoch — bumped on signal re-install and forecast
 // revision), the content hash of the frontier the plan is solved over
-// (re-characterization changes it), and the request parameters.
-type planKey struct {
-	epoch     int
-	table     uint64
-	target    float64
-	deadline  float64
-	objective grid.Objective
-	scale     int
+// (re-characterization changes it), and the request parameters. Every
+// field is value-typed, so keys compare and hash as map keys, and the
+// whole key is location-independent: two server replicas that agree on
+// the epoch and hold the same frontier solve the same problem, which
+// is what makes a shared PlanCacheBackend sound.
+type PlanKey struct {
+	Epoch     int
+	Table     uint64
+	Target    float64
+	Deadline  float64
+	Objective grid.Objective
+	Scale     int
 }
 
-// cacheEntry is one in-flight or completed solve. done closes when the
-// plan (or error) is ready; followers wait on it instead of solving —
+// Canonical renders the key as a stable string — the form a
+// cross-replica backend keys its store by and the input the plan ETag
+// is hashed from. Not used on the replica-local hot path, which keys
+// maps by the struct directly.
+func (k PlanKey) Canonical() string {
+	return fmt.Sprintf("e%d.t%016x.i%s.d%s.o%s.s%d",
+		k.Epoch, k.Table,
+		strconv.FormatFloat(k.Target, 'g', -1, 64),
+		strconv.FormatFloat(k.Deadline, 'g', -1, 64),
+		k.Objective, k.Scale)
+}
+
+// PlanCacheBackend stores solved plans by PlanKey. The server's
+// single-flight de-duplication, hit/miss accounting, and size-cap
+// flushing all live in front of the backend, so an implementation is
+// just a concurrency-safe store: Get/Put/Clear/Len. The in-memory
+// backend below is the default; a cross-replica deployment swaps in a
+// shared store via Server.SetPlanCacheBackend (keys serialize via
+// PlanKey.Canonical, values via the grid.Plan JSON encoding). Plans
+// are treated as immutable once Put — backends may return the same
+// pointer to every caller.
+type PlanCacheBackend interface {
+	Get(key PlanKey) (*grid.Plan, bool)
+	Put(key PlanKey, p *grid.Plan)
+	Clear()
+	Len() int
+}
+
+// memoryPlanCache is the default replica-local backend: one map under
+// one mutex.
+type memoryPlanCache struct {
+	mu sync.Mutex
+	m  map[PlanKey]*grid.Plan
+}
+
+// NewMemoryPlanCache returns the default in-memory PlanCacheBackend.
+func NewMemoryPlanCache() PlanCacheBackend {
+	return &memoryPlanCache{m: map[PlanKey]*grid.Plan{}}
+}
+
+func (b *memoryPlanCache) Get(key PlanKey) (*grid.Plan, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.m[key]
+	return p, ok
+}
+
+func (b *memoryPlanCache) Put(key PlanKey, p *grid.Plan) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = p
+}
+
+func (b *memoryPlanCache) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = map[PlanKey]*grid.Plan{}
+}
+
+func (b *memoryPlanCache) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}
+
+// cacheEntry is one in-flight solve. done closes when the plan (or
+// error) is ready; followers wait on it instead of solving —
 // single-flight de-duplication.
 type cacheEntry struct {
 	done chan struct{}
@@ -31,21 +101,27 @@ type cacheEntry struct {
 	err  error
 }
 
-// maxPlanCacheEntries bounds the cache between epochs: a client
+// maxPlanCacheEntries bounds the backend between epochs: a client
 // sweeping distinct parameters would otherwise grow it without limit
-// until the next signal or forecast install. At the cap the whole map
-// is flushed (epoch-style) rather than tracking per-entry recency —
-// the hot pattern the cache exists for is many identical requests, and
-// a rare flush only costs those one re-solve each.
+// until the next signal or forecast install. At the cap the whole
+// store is flushed (epoch-style) rather than tracking per-entry
+// recency — the hot pattern the cache exists for is many identical
+// requests, and a rare flush only costs those one re-solve each.
 const maxPlanCacheEntries = 1024
 
-// planCache memoizes plan solves. Entries never expire by time: a key
-// embeds the epoch and frontier hash, so every input change makes a
-// fresh key, clear() drops the dead generations wholesale, and the
-// size cap flushes parameter sweeps.
+// planCache memoizes plan solves: a replica-local single-flight layer
+// (the inflight map) in front of a PlanCacheBackend holding completed
+// plans. Entries never expire by time: a key embeds the epoch and
+// frontier hash, so every input change makes a fresh key, clear()
+// drops the dead generation wholesale, and the size cap flushes
+// parameter sweeps.
 type planCache struct {
-	mu        sync.Mutex
-	entries   map[planKey]*cacheEntry
+	mu       sync.Mutex
+	inflight map[PlanKey]*cacheEntry
+	backend  PlanCacheBackend
+	// gen counts clear() calls; a flight that started before a clear
+	// must not Put its (now stale-generation) plan into the backend.
+	gen       int64
 	hits      int64
 	misses    int64
 	coalesced int64 // hits that waited on an in-flight solve
@@ -53,10 +129,29 @@ type planCache struct {
 	obs       *serverObs
 }
 
-// newPlanCache returns an empty cache mirroring its counters into o
-// (nil skips the mirroring — direct unit tests construct bare caches).
+// newPlanCache returns an empty cache over the in-memory backend,
+// mirroring its counters into o (nil skips the mirroring — direct
+// unit tests construct bare caches).
 func newPlanCache(o *serverObs) *planCache {
-	return &planCache{entries: map[planKey]*cacheEntry{}, obs: o}
+	return &planCache{
+		inflight: map[PlanKey]*cacheEntry{},
+		backend:  NewMemoryPlanCache(),
+		obs:      o,
+	}
+}
+
+// setBackend swaps the storage backend (Server.SetPlanCacheBackend).
+func (c *planCache) setBackend(b PlanCacheBackend) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backend = b
+	c.syncObsLocked()
+}
+
+// entriesLocked counts resident entries: completed plans in the
+// backend plus in-flight solves. Callers hold c.mu.
+func (c *planCache) entriesLocked() int {
+	return c.backend.Len() + len(c.inflight)
 }
 
 // syncObsLocked pushes the counter state into the metric registry.
@@ -65,54 +160,58 @@ func (c *planCache) syncObsLocked() {
 	if c.obs == nil {
 		return
 	}
-	c.obs.cacheEntries.Set(float64(len(c.entries)))
+	c.obs.cacheEntries.Set(float64(c.entriesLocked()))
 }
 
 // do returns the cached plan for key, or runs solve exactly once per
 // key no matter how many callers arrive concurrently. Errors are not
-// cached: the failed entry is removed so a later identical request
-// retries. When ctx carries an active trace span, the lookup records a
-// "cache.lookup" child span with hit/coalesced attrs; a miss's solve
-// runs under that span's context, so the planner's own span nests
-// below the lookup. Untraced callers pay a nil check.
-func (c *planCache) do(ctx context.Context, key planKey, solve func(context.Context) (*grid.Plan, error)) (*grid.Plan, error) {
+// cached: the failed flight leaves no entry, so a later identical
+// request retries. When ctx carries an active trace span, the lookup
+// records a "cache.lookup" child span with hit/coalesced attrs; a
+// miss's solve runs under that span's context, so the planner's own
+// span nests below the lookup. Untraced callers pay a nil check.
+func (c *planCache) do(ctx context.Context, key PlanKey, solve func(context.Context) (*grid.Plan, error)) (*grid.Plan, error) {
 	ctx, sp := obs.Child(ctx, spanCacheLookup)
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	if e, ok := c.inflight[key]; ok {
+		// A coalesced follower: it parks on done instead of solving —
+		// the single-flight half of the cache's value, counted
+		// separately from plain hits.
 		c.hits++
-		// A hit whose flight has not finished is a coalesced follower:
-		// it parks on done instead of solving — the single-flight half
-		// of the cache's value, counted separately from plain hits.
-		inflight := false
-		select {
-		case <-e.done:
-		default:
-			inflight = true
-			c.coalesced++
-		}
+		c.coalesced++
 		if c.obs != nil {
 			c.obs.cacheHits.Inc()
-			if inflight {
-				c.obs.cacheCoalesced.Inc()
-			}
+			c.obs.cacheCoalesced.Inc()
 		}
 		c.mu.Unlock()
 		sp.SetAttr("hit", "true")
-		sp.SetAttr("coalesced", strconv.FormatBool(inflight))
+		sp.SetAttr("coalesced", "true")
 		<-e.done
 		sp.Fail(e.err)
 		sp.End()
 		return e.plan, e.err
 	}
-	if len(c.entries) >= maxPlanCacheEntries {
-		c.evictions += int64(len(c.entries))
+	if p, ok := c.backend.Get(key); ok {
+		c.hits++
 		if c.obs != nil {
-			c.obs.cacheEvictions.Add(float64(len(c.entries)))
+			c.obs.cacheHits.Inc()
 		}
-		c.entries = map[planKey]*cacheEntry{}
+		c.mu.Unlock()
+		sp.SetAttr("hit", "true")
+		sp.SetAttr("coalesced", "false")
+		sp.End()
+		return p, nil
+	}
+	if n := c.backend.Len(); n >= maxPlanCacheEntries {
+		c.evictions += int64(n)
+		if c.obs != nil {
+			c.obs.cacheEvictions.Add(float64(n))
+		}
+		c.backend.Clear()
 	}
 	e := &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
+	c.inflight[key] = e
+	gen := c.gen
 	c.misses++
 	if c.obs != nil {
 		c.obs.cacheMisses.Inc()
@@ -125,39 +224,47 @@ func (c *planCache) do(ctx context.Context, key planKey, solve func(context.Cont
 
 	e.plan, e.err = solve(ctx)
 	sp.Fail(e.err)
-	if e.err != nil {
-		c.mu.Lock()
-		// Only this flight owns the key (clear() may have dropped it
-		// already, or a fresh flight may own it after a clear — leave
-		// someone else's entry alone).
-		if c.entries[key] == e {
-			delete(c.entries, key)
-		}
-		c.syncObsLocked()
-		c.mu.Unlock()
+	c.mu.Lock()
+	// Only this flight owns the key (clear() may have dropped the
+	// whole inflight map already — leave a fresh flight's entry alone).
+	if c.inflight[key] == e {
+		delete(c.inflight, key)
 	}
+	// A plan solved against inputs that were cleared mid-flight stays
+	// out of the backend: its followers still get it, but the store
+	// only ever holds plans of a live generation.
+	if e.err == nil && gen == c.gen {
+		c.backend.Put(key, e.plan)
+	}
+	c.syncObsLocked()
+	c.mu.Unlock()
 	close(e.done)
 	return e.plan, e.err
 }
 
 // clear drops every entry (the plan inputs changed). The drop counts
 // as eviction: an epoch bump invalidates the whole resident
-// generation.
+// generation. In-flight solves are orphaned — they resolve their
+// followers but never reach the backend.
 func (c *planCache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.evictions += int64(len(c.entries))
+	dropped := c.entriesLocked()
+	c.evictions += int64(dropped)
 	if c.obs != nil {
-		c.obs.cacheEvictions.Add(float64(len(c.entries)))
+		c.obs.cacheEvictions.Add(float64(dropped))
 	}
-	c.entries = map[planKey]*cacheEntry{}
+	c.backend.Clear()
+	c.inflight = map[PlanKey]*cacheEntry{}
+	c.gen++
 	c.syncObsLocked()
 }
 
 // CacheStats reports the plan cache's cumulative counters and current
 // size. Coalesced counts the subset of hits that waited on an
 // in-flight solve; evictions counts entries dropped by epoch
-// invalidation and size-cap flushes.
+// invalidation and size-cap flushes; entries counts backend-resident
+// plans plus in-flight solves.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
@@ -175,6 +282,6 @@ func (s *Server) CacheStats() CacheStats {
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses,
 		Coalesced: c.coalesced, Evictions: c.evictions,
-		Entries: len(c.entries),
+		Entries: c.entriesLocked(),
 	}
 }

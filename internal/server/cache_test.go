@@ -143,7 +143,7 @@ func TestPlanCacheSingleFlight(t *testing.T) {
 func TestPlanCacheErrorNotCached(t *testing.T) {
 	c := newPlanCache(nil)
 	ctx := context.Background()
-	key := planKey{epoch: 1, table: 42, target: 10}
+	key := PlanKey{Epoch: 1, Table: 42, Target: 10}
 	calls := 0
 	solve := func(context.Context) (*grid.Plan, error) {
 		calls++

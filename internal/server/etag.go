@@ -1,0 +1,43 @@
+package server
+
+import "strings"
+
+// etagMatch reports whether the If-None-Match header value matches the
+// current entity tag, per RFC 9110 §13.1.2: the header is a
+// comma-separated list of entity tags, `*` matches any current
+// representation, and comparison is weak — a weak validator (`W/"v3"`)
+// matches its strong form, which is what lets caching proxies that
+// weaken stored validators keep revalidating instead of re-fetching.
+// Bare (unquoted) tags are also accepted, matching what hand-written
+// clients have always sent this server. The server's own tags never
+// contain commas or embedded quotes, so splitting on commas is exact.
+func etagMatch(header, current string) bool {
+	cur := trimETag(current)
+	for _, member := range strings.Split(header, ",") {
+		member = strings.TrimSpace(member)
+		if member == "" {
+			continue
+		}
+		if member == "*" {
+			return true
+		}
+		if trimETag(member) == cur {
+			return true
+		}
+	}
+	return false
+}
+
+// trimETag normalizes one entity tag for weak comparison: the `W/`
+// weakness prefix and the surrounding quotes are dropped, leaving the
+// opaque tag content.
+func trimETag(tag string) string {
+	tag = strings.TrimSpace(tag)
+	if len(tag) >= 2 && (tag[0] == 'W' || tag[0] == 'w') && tag[1] == '/' {
+		tag = tag[2:]
+	}
+	if len(tag) >= 2 && tag[0] == '"' && tag[len(tag)-1] == '"' {
+		tag = tag[1 : len(tag)-1]
+	}
+	return tag
+}

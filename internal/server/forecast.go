@@ -245,6 +245,7 @@ func (s *Server) setForecast(ctx context.Context, req ForecastRequest) (Forecast
 	s.st.epoch++
 	s.st.mu.Unlock()
 	s.cache.clear()
+	s.hub.bump(topicPlanEpoch)
 	s.obs.ring.Emit(gs.now, "forecast.revise", 0, traceKV(ctx,
 		"model", spec.name, "intervals", strconv.Itoa(len(fc.Signal.Intervals)))...)
 	return ForecastResponse{

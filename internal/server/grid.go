@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"perseus/internal/frontier"
 	"perseus/internal/grid"
 	"perseus/internal/obs"
 	pln "perseus/internal/plan"
@@ -123,6 +125,7 @@ func (s *Server) setGridSignal(ctx context.Context, sig grid.Signal, objective s
 	st.epoch++
 	st.mu.Unlock()
 	s.cache.clear()
+	s.hub.bump(topicPlanEpoch)
 	s.replanMu.Lock()
 	s.replans = map[string]*replanState{}
 	s.replanMu.Unlock()
@@ -166,16 +169,77 @@ func (s *Server) handleGridPlan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad deadline: %v", err), http.StatusBadRequest)
 		return
 	}
-	plan, err := s.gridPlan(r.Context(), id, target, deadline, q.Get("objective"))
-	if err != nil {
+	objective := q.Get("objective")
+	wait, ok := parseWait(w, r)
+	if !ok {
+		return
+	}
+	fail := func(err error) {
 		status := http.StatusBadRequest
 		if _, ok := s.st.job(id); !ok {
 			status = http.StatusNotFound
 		}
 		http.Error(w, err.Error(), status)
+	}
+	pb, err := s.planProblem(r.Context(), id, target, deadline, objective)
+	if err != nil {
+		fail(err)
 		return
 	}
+	// Conditional fetch: the ETag names the plan's cache key — epoch,
+	// frontier hash, and request params — so it changes exactly when the
+	// plan the request resolves to would. If the client's validator still
+	// matches, park (?wait=) on the two topics whose bumps can change the
+	// key: the plan-input epoch and the job's own topic (its frontier may
+	// be re-characterized).
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		until := time.Now().Add(wait)
+		for etagMatch(inm, planETag(pb.key)) {
+			wEpoch := s.hub.watch(topicPlanEpoch)
+			wSched := s.hub.watch(topicSchedule(id))
+			// Re-snapshot after subscribing: a bump between the first
+			// snapshot and the watch calls would otherwise be lost.
+			next, err := s.planProblem(r.Context(), id, target, deadline, objective)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if next.key != pb.key {
+				pb = next
+				continue
+			}
+			switch s.parkWaiter(r.Context(), id, until, wEpoch, wSched) {
+			case wakeBumped:
+				if pb, err = s.planProblem(r.Context(), id, target, deadline, objective); err != nil {
+					fail(err)
+					return
+				}
+			case wakeTimeout:
+				w.Header().Set("ETag", planETag(pb.key))
+				w.WriteHeader(http.StatusNotModified)
+				return
+			case wakeCancelled:
+				return // client gone: write nothing
+			}
+		}
+	}
+	plan, err := s.solvePlan(r.Context(), pb)
+	if err != nil {
+		fail(err)
+		return
+	}
+	w.Header().Set("ETag", planETag(pb.key))
 	writeJSON(w, plan)
+}
+
+// planETag renders a plan cache key as an HTTP entity tag: a 64-bit
+// FNV-1a hash of the key's canonical form, quoted per RFC 9110. Two
+// requests that resolve to the same cache entry always carry the same
+// tag, and any epoch bump or re-characterization changes it.
+func planETag(key PlanKey) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key.Canonical()))
+	return fmt.Sprintf("%q", "p"+strconv.FormatUint(h.Sum64(), 16))
 }
 
 // GridPlan plans a job's temporal schedule over the installed signal:
@@ -198,12 +262,33 @@ func (s *Server) GridPlan(id string, target, deadline float64, objective string)
 // is a nil-check no-op, which is what keeps the cached-plan hot path
 // at its PR 6 cost.
 func (s *Server) gridPlan(ctx context.Context, id string, target, deadline float64, objective string) (*grid.Plan, error) {
+	pb, err := s.planProblem(ctx, id, target, deadline, objective)
+	if err != nil {
+		return nil, err
+	}
+	return s.solvePlan(ctx, pb)
+}
+
+// planProblem is one snapshotted planning problem: the cache key it
+// resolves to plus the inputs a cache miss solves it from.
+type planProblem struct {
+	key   PlanKey
+	table *frontier.LookupTable
+	sig   *grid.Signal
+}
+
+// planProblem snapshots the state a grid-plan request resolves against
+// right now — the plan epoch, the job's frontier table and its hash,
+// the signal, and the normalized parameters — without solving
+// anything. The conditional fetch path calls it alone to price an
+// If-None-Match comparison at snapshot cost.
+func (s *Server) planProblem(ctx context.Context, id string, target, deadline float64, objective string) (planProblem, error) {
 	_, snap := obs.Child(ctx, spanStoreSnapshot)
+	defer snap.End()
 	snap.SetAttr("job", id)
 	j, ok := s.st.job(id)
 	if !ok {
-		snap.End()
-		return nil, fmt.Errorf("server: unknown job %s", id)
+		return planProblem{}, fmt.Errorf("server: unknown job %s", id)
 	}
 	s.st.mu.Lock()
 	sig := s.st.signal
@@ -211,14 +296,12 @@ func (s *Server) gridPlan(ctx context.Context, id string, target, deadline float
 	epoch := s.st.epoch
 	s.st.mu.Unlock()
 	if sig == nil {
-		snap.End()
-		return nil, fmt.Errorf("server: no grid signal installed")
+		return planProblem{}, fmt.Errorf("server: no grid signal installed")
 	}
 	if objective != "" {
 		var err error
 		if obj, err = grid.ParseObjective(objective); err != nil {
-			snap.End()
-			return nil, err
+			return planProblem{}, err
 		}
 	}
 	j.mu.Lock()
@@ -226,29 +309,37 @@ func (s *Server) gridPlan(ctx context.Context, id string, target, deadline float
 	tableHash := j.tableHash
 	pipes := j.req.DataParallel
 	j.mu.Unlock()
-	snap.End()
 	if table == nil {
-		return nil, fmt.Errorf("server: job %s not characterized yet", id)
+		return planProblem{}, fmt.Errorf("server: job %s not characterized yet", id)
 	}
 	if pipes <= 0 {
 		pipes = 1
 	}
-	key := planKey{
-		epoch:     epoch,
-		table:     tableHash,
-		target:    target,
-		deadline:  deadline,
-		objective: obj,
-		scale:     pipes,
-	}
-	return s.cache.do(ctx, key, func(ctx context.Context) (*grid.Plan, error) {
-		p := obs.InstrumentPlanner(ctx, s.wrapPlanner(&grid.Planner{Table: table, Signal: sig}),
+	return planProblem{
+		key: PlanKey{
+			Epoch:     epoch,
+			Table:     tableHash,
+			Target:    target,
+			Deadline:  deadline,
+			Objective: obj,
+			Scale:     pipes,
+		},
+		table: table,
+		sig:   sig,
+	}, nil
+}
+
+// solvePlan resolves a snapshotted problem through the plan cache,
+// solving at most once per key however many callers arrive.
+func (s *Server) solvePlan(ctx context.Context, pb planProblem) (*grid.Plan, error) {
+	return s.cache.do(ctx, pb.key, func(ctx context.Context) (*grid.Plan, error) {
+		p := obs.InstrumentPlanner(ctx, s.wrapPlanner(&grid.Planner{Table: pb.table, Signal: pb.sig}),
 			"grid", s.obs.planLatency, s.obs.planErrors)
 		res, err := p.Plan(pln.Request{
-			Target:     target,
-			DeadlineS:  deadline,
-			Objective:  obj,
-			PowerScale: float64(pipes),
+			Target:     pb.key.Target,
+			DeadlineS:  pb.key.Deadline,
+			Objective:  pb.key.Objective,
+			PowerScale: float64(pb.key.Scale),
 		})
 		if err != nil {
 			return nil, err

@@ -12,7 +12,6 @@ import (
 	"perseus/internal/dag"
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
-	"perseus/internal/obs"
 	"perseus/internal/profile"
 	"perseus/internal/sched"
 )
@@ -129,7 +128,7 @@ func (s *Server) register(ctx context.Context, req JobRequest) (string, error) {
 	defer st.mu.Unlock()
 	st.next++
 	id := fmt.Sprintf("job-%d", st.next)
-	st.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, obs: s.obs, done: make(chan struct{})}
+	st.jobs[id] = &job{id: id, req: req, gpu: g, sched: sc, obs: s.obs, hub: s.hub, done: make(chan struct{})}
 	st.ord = append(st.ord, id)
 	s.obs.jobsRegistered.Inc()
 	s.obs.ring.Emit(st.clock(), "job.register", 0, traceKV(ctx,
@@ -244,67 +243,74 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // maxScheduleWait caps how long a schedule long-poll may block.
 const maxScheduleWait = 30 * time.Second
 
+// parseWait reads a ?wait=<seconds> query parameter, capped at
+// maxScheduleWait. ok is false (after writing a 400) on a malformed
+// value.
+func parseWait(w http.ResponseWriter, r *http.Request) (time.Duration, bool) {
+	v := r.URL.Query().Get("wait")
+	if v == "" {
+		return 0, true
+	}
+	sec, err := strconv.ParseFloat(v, 64)
+	if err != nil || sec < 0 {
+		http.Error(w, fmt.Sprintf("bad wait: %q", v), http.StatusBadRequest)
+		return 0, false
+	}
+	wait := time.Duration(sec * float64(time.Second))
+	if wait > maxScheduleWait {
+		wait = maxScheduleWait
+	}
+	return wait, true
+}
+
 // handleSchedule serves the deployed schedule with version
 // concurrency-control: every response carries an ETag `"v<version>"`;
-// a request with If-None-Match and a positive ?wait=<seconds> blocks
-// (in real time, bounded by maxScheduleWait) until the version moves
-// past the matched one, and answers 304 Not Modified if it never does
-// — so trainers observe controller version bumps without polling or
-// ever issuing replan calls themselves.
+// a request whose If-None-Match matches the current version (RFC 9110
+// list and weak forms included) with a positive ?wait=<seconds> parks
+// on the job's hub topic (in real time, bounded by maxScheduleWait)
+// until a version bump broadcasts, and answers 304 Not Modified if
+// none does — so trainers observe controller version bumps without
+// polling or ever issuing replan calls themselves. A client that
+// disconnects while parked releases its waiter immediately (nothing is
+// written; the connection is gone) instead of holding the goroutine
+// and a timer until the wait expires.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, j *job) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	have, conditional := parseETag(r.Header.Get("If-None-Match"))
-	var wait time.Duration
-	if v := r.URL.Query().Get("wait"); v != "" {
-		sec, err := strconv.ParseFloat(v, 64)
-		if err != nil || sec < 0 {
-			http.Error(w, fmt.Sprintf("bad wait: %q", v), http.StatusBadRequest)
-			return
-		}
-		wait = time.Duration(sec * float64(time.Second))
-		if wait > maxScheduleWait {
-			wait = maxScheduleWait
-		}
+	inm := r.Header.Get("If-None-Match")
+	wait, ok := parseWait(w, r)
+	if !ok {
+		return
 	}
 	deadline := time.Now().Add(wait)
 	for {
 		j.mu.Lock()
 		ver := j.version
-		var watch chan struct{}
-		if conditional && ver == have {
-			watch = j.watchLocked()
-		}
 		j.mu.Unlock()
-		if watch == nil {
-			break // version differs (or unconditional): serve it
+		if inm == "" || !etagMatch(inm, etag(ver)) {
+			break // version moved past the client's (or unconditional): serve it
 		}
-		remain := time.Until(deadline)
-		if remain <= 0 {
+		// Subscribe, then re-check: a bump between the version read
+		// and the subscription must not strand the waiter.
+		watch := s.hub.watch(topicSchedule(j.id))
+		j.mu.Lock()
+		moved := j.version != ver
+		j.mu.Unlock()
+		if moved {
+			continue
+		}
+		switch s.parkWaiter(r.Context(), j.id, deadline, watch, nil) {
+		case wakeBumped:
+			continue // re-read the version; loop serves or re-parks
+		case wakeTimeout:
 			w.Header().Set("ETag", etag(ver))
 			w.WriteHeader(http.StatusNotModified)
 			return
+		case wakeCancelled:
+			return // client gone: write nothing
 		}
-		t := time.NewTimer(remain)
-		s.obs.waiters.Add(1)
-		parked := time.Now()
-		// Each park records a longpoll.park child span of the request's
-		// trace, marked woken=true when a version bump (not the wait
-		// timeout) released it.
-		_, park := obs.Child(r.Context(), spanLongpollPark)
-		park.SetAttr("job", j.id)
-		select {
-		case <-watch:
-			t.Stop()
-			s.obs.wakeDur.Observe(time.Since(parked).Seconds())
-			park.SetAttr("woken", "true")
-		case <-t.C:
-			park.SetAttr("woken", "false")
-		}
-		park.End()
-		s.obs.waiters.Add(-1)
 	}
 	resp, err := s.Schedule(j.id)
 	if err != nil {
@@ -317,21 +323,6 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, j *job) 
 
 // etag renders a schedule version as an entity tag.
 func etag(version int) string { return fmt.Sprintf("%q", "v"+strconv.Itoa(version)) }
-
-// parseETag extracts the version from a `"v<N>"` entity tag (quoted or
-// bare); ok is false when the header is absent or unparseable.
-func parseETag(h string) (version int, ok bool) {
-	h = strings.TrimSpace(h)
-	h = strings.Trim(h, `"`)
-	if !strings.HasPrefix(h, "v") {
-		return 0, false
-	}
-	n, err := strconv.Atoi(h[1:])
-	if err != nil {
-		return 0, false
-	}
-	return n, true
-}
 
 // UploadProfile stores a job's profiling results and kicks off
 // asynchronous frontier characterization (paper §3.2 step 2): training
@@ -365,7 +356,16 @@ func (s *Server) uploadProfile(ctx context.Context, id string, up ProfileUpload)
 		j.mu.Unlock()
 		return fmt.Errorf("server: job %s already profiled", id)
 	}
+	// A failed characterization is retryable: the retry gets a fresh
+	// done channel (the previous attempt already closed the old one —
+	// re-closing it would panic) and a cleared error, so
+	// WaitCharacterized callers block on this attempt's outcome.
+	if j.charErr != nil {
+		j.charErr = nil
+		j.done = make(chan struct{})
+	}
 	j.characterizing = true
+	done := j.done
 	j.mu.Unlock()
 
 	go func() {
@@ -398,7 +398,7 @@ func (s *Server) uploadProfile(ctx context.Context, id string, up ProfileUpload)
 		// characterize event still carries the registering trace's ID.
 		s.obs.ring.Emit(now, "job.characterize", time.Since(charStart), traceKV(ctx,
 			"job", j.id, "outcome", outcome)...)
-		close(j.done)
+		close(done)
 		// The fleet gained a characterized member: under a cap, power
 		// must be re-divided.
 		s.recomputeFleet(ctx)
@@ -406,14 +406,20 @@ func (s *Server) uploadProfile(ctx context.Context, id string, up ProfileUpload)
 	return nil
 }
 
-// WaitCharacterized blocks until the job's frontier is ready (test hook
-// and CLI convenience).
+// WaitCharacterized blocks until the job's current characterization
+// attempt finishes and returns its outcome (test hook and CLI
+// convenience). The done channel is read under the job lock: a retried
+// characterization installs a fresh channel, and waiters must observe
+// the attempt in flight, not a closed channel from a failed past one.
 func (s *Server) WaitCharacterized(id string) error {
 	j, ok := s.st.job(id)
 	if !ok {
 		return fmt.Errorf("server: unknown job %s", id)
 	}
-	<-j.done
+	j.mu.Lock()
+	done := j.done
+	j.mu.Unlock()
+	<-done
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.charErr

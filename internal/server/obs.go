@@ -51,9 +51,12 @@ type serverObs struct {
 	characterized  *obs.CounterVec // outcome
 	versionBumps   *obs.Counter
 
-	// Long-poll schedule fetching (jobs.go).
-	waiters *obs.Gauge
-	wakeDur *obs.Histogram
+	// Long-poll fan-out (hub.go, jobs.go, grid.go).
+	waiters       *obs.Gauge
+	wakeDur       *obs.Histogram
+	cancelled     *obs.Counter
+	hubBroadcasts *obs.Counter
+	hubTopics     *obs.Gauge
 
 	// Planning layers, via the obs.InstrumentPlanner decorator.
 	planLatency *obs.HistogramVec // planner, objective
@@ -159,9 +162,15 @@ func newServerObs() *serverObs {
 			"Deployed-schedule version bumps across all jobs (each wakes that job's long-pollers)."),
 
 		waiters: r.Gauge("perseus_longpoll_waiters",
-			"Schedule long-poll requests currently parked on a version watch."),
+			"Long-poll requests currently parked on a hub watch."),
 		wakeDur: r.Histogram("perseus_longpoll_wake_seconds",
-			"Time a schedule long-poller waited before a version bump woke it.", nil),
+			"Time a long-poller waited before a hub broadcast woke it.", nil),
+		cancelled: r.Counter("perseus_longpoll_cancelled_total",
+			"Long-poll requests whose client disconnected while parked."),
+		hubBroadcasts: r.Counter("perseus_hub_broadcasts_total",
+			"Notification-hub topic broadcasts (each wakes every watcher of the topic at once)."),
+		hubTopics: r.Gauge("perseus_hub_topics",
+			"Notification-hub topics with a live watch channel."),
 
 		planLatency: r.HistogramVec("perseus_planner_plan_duration_seconds",
 			"Planning latency through the plan.Planner contract, by layer and objective.",

@@ -47,6 +47,11 @@ type Server struct {
 	st    *store
 	cache *planCache
 
+	// hub is the notification fabric long-poll fan-out rides on: every
+	// schedule version bump and plan-epoch advance is one O(1)
+	// broadcast that wakes all parked waiters of the topic (hub.go).
+	hub *hub
+
 	// fleetMu serializes whole fleet recomputations (read cap →
 	// allocate → deploy floors), so concurrent recomputes cannot
 	// interleave their write-backs and deploy floors for a stale cap.
@@ -86,10 +91,21 @@ func New() *Server {
 		obs:     newServerObs(),
 		replans: map[string]*replanState{},
 	}
+	s.hub = newHub(s.obs)
 	s.cache = newPlanCache(s.obs)
 	s.ctrl.s = s
 	s.ctrl.managed = map[string]managedJob{}
 	return s
+}
+
+// SetPlanCacheBackend swaps the plan cache's storage backend — the
+// seam a multi-replica deployment uses to share solved plans (the
+// cache key embeds the plan epoch and the frontier's content hash, so
+// entries are location-independent). The default is the in-memory
+// backend. Call before serving traffic; the single-flight solve
+// de-duplication always stays replica-local.
+func (s *Server) SetPlanCacheBackend(b PlanCacheBackend) {
+	s.cache.setBackend(b)
 }
 
 // SetClock replaces the server's wall clock — the hook fake-clock

@@ -114,6 +114,10 @@ type job struct {
 	sched *sched.Schedule
 	obs   *serverObs // the owning server's observability surface
 
+	// hub is the owning server's notification hub; every version bump
+	// broadcasts on the job's schedule topic through it.
+	hub *hub
+
 	mu             sync.Mutex
 	characterizing bool
 	charErr        error
@@ -124,9 +128,12 @@ type job struct {
 	capTime        float64               // fleet-allocated iteration-time floor; 0 = none
 	alloc          *fleet.JobAlloc       // latest fleet allocation, if any
 	version        int
-	verWatch       chan struct{} // closed on version bump (long-poll wakeup)
-	pending        *time.Timer   // armed delayed straggler switch, if any
-	done           chan struct{} // closed when characterization finishes
+	pending        *time.Timer // armed delayed straggler switch, if any
+	// done closes when the current characterization attempt finishes.
+	// A failed attempt is retryable: the retry installs a fresh
+	// channel, so readers must fetch it under mu (see
+	// WaitCharacterized) rather than caching it across attempts.
+	done chan struct{}
 
 	// Emissions accounting: the deployed schedule's power draw is
 	// integrated against the grid signal from characterization on.
@@ -152,26 +159,18 @@ type job struct {
 	placements []placementEvent
 }
 
-// bumpLocked advances the job's schedule version and wakes every
-// long-poller waiting on it. Callers hold j.mu.
+// bumpLocked advances the job's schedule version and broadcasts on the
+// job's schedule topic, waking every parked long-poller in O(1).
+// Callers hold j.mu; the hub takes only its own lock, so the nesting
+// is always j.mu → hub.mu.
 func (j *job) bumpLocked() {
 	j.version++
-	if j.verWatch != nil {
-		close(j.verWatch)
-		j.verWatch = nil
+	if j.hub != nil {
+		j.hub.bump(topicSchedule(j.id))
 	}
 	if j.obs != nil {
 		j.obs.versionBumps.Inc()
 	}
-}
-
-// watchLocked returns the channel closed at the next version bump.
-// Callers hold j.mu.
-func (j *job) watchLocked() chan struct{} {
-	if j.verWatch == nil {
-		j.verWatch = make(chan struct{})
-	}
-	return j.verWatch
 }
 
 // placementEvent is one entry of a job's placement history.
