@@ -18,7 +18,9 @@ import (
 	"perseus/internal/grid"
 	"perseus/internal/maxflow"
 	"perseus/internal/model"
+	"perseus/internal/obs"
 	"perseus/internal/partition"
+	"perseus/internal/plan"
 	"perseus/internal/profile"
 	"perseus/internal/region"
 	"perseus/internal/server"
@@ -490,6 +492,42 @@ func BenchmarkServerPlanCached(b *testing.B) {
 		if !plan.Feasible {
 			b.Fatal("benchmark target unexpectedly infeasible")
 		}
+	}
+}
+
+// BenchmarkLedgerSettle measures the energy-bloat ledger's settlement
+// path once every job's ring is full — the steady state each controller
+// tick and emissions read pays per job. The acceptance bar is O(1) and
+// allocation-free settlement regardless of job count or history length.
+func BenchmarkLedgerSettle(b *testing.B) {
+	entry := obs.LedgerEntry{
+		StartUnixS: 1.7e9, EndUnixS: 1.7e9 + 600, Kind: obs.LedgerKindSpan,
+		BloatSpan: plan.DecomposeSpan(plan.SpanInputs{
+			Realized:   plan.Account{EnergyJ: 3.6e6, CarbonG: 500, CostUSD: 0.2},
+			Iterations: 120, FloorJ: 3.0e6, TminJ: 3.3e6, MigrationJ: 1e5,
+			MeanGPerJ: 200 / 3.6e6, PredC: 480, PredRealC: 495,
+		}),
+	}
+	for _, jobs := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("jobs-%d", jobs), func(b *testing.B) {
+			led := obs.NewLedger(0)
+			ids := make([]string, jobs)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("job-%d", i)
+			}
+			// Fill every ring past capacity so the timed loop measures
+			// pure overwrite-and-accumulate, never ring growth.
+			for _, id := range ids {
+				for k := 0; k < obs.DefaultLedgerRing+1; k++ {
+					led.Settle(id, entry)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				led.Settle(ids[i%jobs], entry)
+			}
+		})
 	}
 }
 

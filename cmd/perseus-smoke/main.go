@@ -1,18 +1,21 @@
 // Command perseus-smoke is the CI observability smoke test: it boots
 // the server in-process, drives one end-to-end planning flow over HTTP
 // (register → profile → signal → plan ×2 → controller tick), then
-// scrapes /metrics and /healthz and exits non-zero unless every core
-// series is present with a sane value. It guards the contract dashboards
-// and alerting would be built on: the exposition endpoint keeps serving
+// scrapes /metrics, /healthz, and /debug/ledger and exits non-zero
+// unless every core series is present with a sane value and the
+// energy-bloat ledger conserves. It guards the contract dashboards and
+// alerting would be built on: the exposition endpoint keeps serving
 // the documented metric catalog after real traffic.
 package main
 
 import (
+	"encoding/csv"
 	"fmt"
 	"log"
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -190,6 +193,102 @@ func main() {
 	if len(events) == 0 {
 		log.Fatal("smoke: /debug/events returned no events after the flow")
 	}
-	fmt.Printf("smoke ok: %d core series present, %d events recorded, %d-span plan trace, %d SLOs ok, uptime %.2fs\n",
-		len(core), len(events), len(planTrace.Spans), len(h.SLOs), h.UptimeS)
+
+	// The controller tick settled the job's first accounting span into
+	// the energy-bloat ledger: every entry must conserve, the per-job
+	// and fleet series must be exported, and the CSV export must
+	// round-trip the JSON view.
+	led, err := cl.FetchLedger("", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(led.Jobs) != 1 || led.Jobs[0].JobID != id || len(led.Jobs[0].Entries) == 0 {
+		log.Fatalf("smoke: ledger has no settled entries for %s: %+v", id, led)
+	}
+	entries := led.Jobs[0].Entries
+	for i, e := range entries {
+		sum := e.FloorJ + e.MigrationJ + e.ResidualJ
+		if math.Abs(sum-e.EnergyJ) > 1e-9*math.Max(1, e.EnergyJ) {
+			log.Fatalf("smoke: ledger entry %d violates energy conservation: floor %v + migration %v + residual %v != %v",
+				i, e.FloorJ, e.MigrationJ, e.ResidualJ, e.EnergyJ)
+		}
+		csum := e.FloorC + e.MigrationC + e.ResidualC
+		if math.Abs(csum-e.CarbonG) > 1e-9*math.Max(1, e.CarbonG) {
+			log.Fatalf("smoke: ledger entry %d violates carbon conservation: %+v", i, e)
+		}
+	}
+	if led.Fleet.EnergyJ != led.Jobs[0].Totals.EnergyJ {
+		log.Fatalf("smoke: fleet rollup %v != sole job's totals %v", led.Fleet.EnergyJ, led.Jobs[0].Totals.EnergyJ)
+	}
+	for _, want := range []string{
+		`perseus_job_energy_joules_total{job="` + id + `",component="realized"}`,
+		`perseus_job_energy_joules_total{job="` + id + `",component="floor"}`,
+		"perseus_fleet_bloat_energy_joules_total",
+		"perseus_fleet_bloat_carbon_g_total",
+		`perseus_slo_status{slo="carbon-drift-ratio"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			log.Fatalf("smoke: /metrics missing ledger series %q", want)
+		}
+	}
+	raw, err := cl.FetchLedgerCSV(id, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(raw)).ReadAll()
+	if err != nil {
+		log.Fatalf("smoke: ledger CSV does not parse: %v", err)
+	}
+	// Every /debug/ledger read settles the span since the last one, so
+	// on a real clock the CSV fetched after the JSON holds at least as
+	// many entries — never fewer.
+	if len(rows) < len(entries)+1 {
+		log.Fatalf("smoke: ledger CSV has %d rows, want at least header + %d entries", len(rows), len(entries))
+	}
+	if rows[0][0] != "job" || rows[0][5] != "energy_j" {
+		log.Fatalf("smoke: ledger CSV header %v", rows[0])
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			log.Fatalf("smoke: CSV row %d has %d fields, want %d", i, len(row), len(rows[0]))
+		}
+		num := func(col int) float64 {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				log.Fatalf("smoke: CSV row %d col %d %q: %v", i, col, row[col], err)
+			}
+			return v
+		}
+		// The exported floats round-trip losslessly ('g', -1), so the
+		// conservation identity must survive the CSV encoding exactly.
+		energy, floor, migration, residual := num(5), num(8), num(9), num(10)
+		if math.Abs(floor+migration+residual-energy) > 1e-9*math.Max(1, energy) {
+			log.Fatalf("smoke: CSV row %d violates conservation: %v", i, row)
+		}
+	}
+
+	// Unregistering the job drops its per-job series — cardinality must
+	// shrink, while the fleet rollup retains the history.
+	if err := cl.RemoveJob(id); err != nil {
+		log.Fatal(err)
+	}
+	text, err = cl.FetchMetrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if strings.Contains(text, `job="`+id+`"`) {
+		log.Fatalf("smoke: /metrics still carries per-job series after removing %s", id)
+	}
+	after, err := cl.FetchLedger("", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The remove settles the job's final span first, so the fleet
+	// rollup can only have grown — history is retained, never rewritten.
+	if len(after.Jobs) != 0 || after.Fleet.EnergyJ < led.Fleet.EnergyJ {
+		log.Fatalf("smoke: ledger after remove = %+v, want no jobs and fleet >= %v", after, led.Fleet.EnergyJ)
+	}
+
+	fmt.Printf("smoke ok: %d core series present, %d events recorded, %d-span plan trace, %d SLOs ok, %d ledger entries conserve, uptime %.2fs\n",
+		len(core), len(events), len(planTrace.Spans), len(h.SLOs), len(entries), h.UptimeS)
 }

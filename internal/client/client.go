@@ -248,6 +248,24 @@ func (c *ServerClient) get(path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+func (c *ServerClient) del(path string) error {
+	req, err := c.newRequest(http.MethodDelete, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("client: DELETE %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg.Bytes()))
+	}
+	return nil
+}
+
 // RegisterJob registers the training job with the server.
 func (c *ServerClient) RegisterJob(req JobRequest) (string, error) {
 	var resp struct {
@@ -522,6 +540,20 @@ func (c *ServerClient) PlaceJob(jobID, regionName string) (Placement, error) {
 	payload := struct {
 		Region string `json:"region"`
 	}{regionName}
+	var p Placement
+	err := c.post("/jobs/"+jobID+"/placement", payload, &p)
+	return p, err
+}
+
+// PlaceJobMigrating is PlaceJob with an explicit migration energy
+// overhead in joules (checkpoint, transfer, restart), charged at the
+// destination's instantaneous rates into the job's emissions account
+// and booked as migration overhead in the bloat ledger.
+func (c *ServerClient) PlaceJobMigrating(jobID, regionName string, migrationJ float64) (Placement, error) {
+	payload := struct {
+		Region     string  `json:"region"`
+		MigrationJ float64 `json:"migration_j,omitempty"`
+	}{regionName, migrationJ}
 	var p Placement
 	err := c.post("/jobs/"+jobID+"/placement", payload, &p)
 	return p, err
@@ -831,6 +863,7 @@ type SLOStatus struct {
 	BurnRate     float64 `json:"burn_rate"`
 	WorstTraceID string  `json:"worst_trace_id,omitempty"`
 	SinceUnixS   float64 `json:"since_unix_s"`
+	Detail       string  `json:"detail,omitempty"`
 }
 
 // Health mirrors the server's GET /healthz liveness and readiness
@@ -982,4 +1015,118 @@ func (c *ServerClient) FetchSLOs() ([]SLOStatus, error) {
 		return nil, err
 	}
 	return resp.SLOs, nil
+}
+
+// RemoveJob unregisters a job: the server settles its final span,
+// removes it from the fleet and controller, and deletes its per-job
+// metric series (fleet-wide ledger totals are retained).
+func (c *ServerClient) RemoveJob(jobID string) error {
+	return c.del("/jobs/" + jobID)
+}
+
+// LedgerSpan mirrors one energy-bloat decomposition (plan.BloatSpan):
+// realized energy/carbon/cost split into the frontier-optimal floor,
+// migration overhead, and residual bloat, plus the intrinsic-bloat,
+// temporal-shifting, and forecast-drift attributions.
+type LedgerSpan struct {
+	EnergyJ        float64 `json:"energy_j"`
+	CarbonG        float64 `json:"carbon_g"`
+	CostUSD        float64 `json:"cost_usd"`
+	Iterations     float64 `json:"iterations"`
+	FloorJ         float64 `json:"floor_j"`
+	MigrationJ     float64 `json:"migration_j"`
+	ResidualJ      float64 `json:"residual_j"`
+	TminJ          float64 `json:"tmin_j"`
+	RemovedJ       float64 `json:"removed_j"`
+	FloorC         float64 `json:"floor_c"`
+	MigrationC     float64 `json:"migration_c"`
+	ResidualC      float64 `json:"residual_c"`
+	BlindC         float64 `json:"blind_c"`
+	TemporalSavedC float64 `json:"temporal_saved_c"`
+	PredC          float64 `json:"pred_c"`
+	PredRealC      float64 `json:"pred_real_c"`
+	DriftC         float64 `json:"drift_c"`
+}
+
+// LedgerEntry mirrors one settled ledger interval ("span") or
+// migration charge ("migration").
+type LedgerEntry struct {
+	StartUnixS float64 `json:"start_unix_s"`
+	EndUnixS   float64 `json:"end_unix_s"`
+	Kind       string  `json:"kind"`
+	LedgerSpan
+}
+
+// LedgerTotals mirrors cumulative ledger totals: every settled entry
+// accumulated since registration (Entries counts them; Dropped counts
+// entries evicted from the bounded per-job ring, still in the totals).
+type LedgerTotals struct {
+	Entries int `json:"entries"`
+	Dropped int `json:"dropped"`
+	LedgerSpan
+	AbsDriftC float64 `json:"abs_drift_c"`
+}
+
+// JobLedger mirrors one job's ledger view: cumulative totals plus the
+// retained tail of per-interval entries, oldest first.
+type JobLedger struct {
+	JobID   string        `json:"job_id"`
+	Totals  LedgerTotals  `json:"totals"`
+	Entries []LedgerEntry `json:"entries"`
+}
+
+// Ledger mirrors GET /debug/ledger: the fleet-wide rollup plus per-job
+// views in registration order.
+type Ledger struct {
+	Fleet LedgerTotals `json:"fleet"`
+	Jobs  []JobLedger  `json:"jobs"`
+}
+
+// FetchLedger returns the energy-bloat ledger. jobID "" fetches every
+// job; n caps the per-job entries returned, newest retained (<= 0
+// returns the whole retained ring).
+func (c *ServerClient) FetchLedger(jobID string, n int) (Ledger, error) {
+	var led Ledger
+	err := c.get("/debug/ledger"+ledgerQuery(jobID, n, ""), &led)
+	return led, err
+}
+
+// FetchLedgerCSV returns the ledger rendered as CSV (one row per
+// retained entry; see the server's ledgerCSVHeader for the schema).
+func (c *ServerClient) FetchLedgerCSV(jobID string, n int) (string, error) {
+	path := "/debug/ledger" + ledgerQuery(jobID, n, "csv")
+	req, err := c.newRequest(http.MethodGet, path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("client: GET %s: %s", path, resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+func ledgerQuery(jobID string, n int, format string) string {
+	q := url.Values{}
+	if jobID != "" {
+		q.Set("job", jobID)
+	}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	if format != "" {
+		q.Set("format", format)
+	}
+	if enc := q.Encode(); enc != "" {
+		return "?" + enc
+	}
+	return ""
 }

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"perseus/internal/plan"
+)
+
+func TestBloatAttributionTable(t *testing.T) {
+	span := plan.DecomposeSpan(plan.SpanInputs{
+		Realized:   plan.Account{EnergyJ: 3.6e6, CarbonG: 500, CostUSD: 0.2},
+		Iterations: 120,
+		FloorJ:     3.0e6,
+		TminJ:      3.4e6,
+		MigrationJ: 0.1e6,
+		MeanGPerJ:  2e-4,
+		PredC:      480,
+		PredRealC:  505,
+	})
+	if !span.Conserved(1e-9) {
+		t.Fatalf("fixture span violates conservation: %+v", span)
+	}
+	tab := BloatAttributionTable("fixture", span)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"realized", "frontier floor", "migration overhead",
+		"residual bloat", "intrinsic removed", "temporal saved", "forecast drift",
+		"conservation identity", "120 equal-work iterations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Energy column of realized = 3.6e6 J = 1.000 kWh.
+	if tab.Rows[0][1] != "1.000" {
+		t.Fatalf("realized kWh = %q, want 1.000", tab.Rows[0][1])
+	}
+}

@@ -74,6 +74,27 @@ func (s *Signal) Horizon() float64 {
 	return s.Intervals[len(s.Intervals)-1].EndS
 }
 
+// MeanCarbonGPerKWh returns the duration-weighted mean carbon
+// intensity of one signal cycle, in gCO₂/kWh (0 for a nil or empty
+// signal). Accrue prices beyond the horizon cyclically, so this is
+// also the long-run intensity a constant draw realizes — the best any
+// signal-blind fixed operating point can achieve on carbon timing.
+func (s *Signal) MeanCarbonGPerKWh() float64 {
+	if s == nil || len(s.Intervals) == 0 {
+		return 0
+	}
+	var weighted, horizon float64
+	for _, iv := range s.Intervals {
+		d := iv.Duration()
+		weighted += iv.CarbonGPerKWh * d
+		horizon += d
+	}
+	if horizon <= 0 {
+		return 0
+	}
+	return weighted / horizon
+}
+
 // Validate checks the structural invariants: at least one interval,
 // the first starting at 0, contiguous increasing bounds, and finite
 // non-negative rates and caps.

@@ -34,6 +34,24 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+func TestMeanCarbonGPerKWh(t *testing.T) {
+	var nilSig *Signal
+	if got := nilSig.MeanCarbonGPerKWh(); got != 0 {
+		t.Fatalf("nil signal mean = %v, want 0", got)
+	}
+	if got := (&Signal{}).MeanCarbonGPerKWh(); got != 0 {
+		t.Fatalf("empty signal mean = %v, want 0", got)
+	}
+	// Duration-weighted: 1h at 500 + 3h at 100 → (500+300)/4 = 200.
+	sig := &Signal{Intervals: []Interval{
+		{StartS: 0, EndS: 3600, CarbonGPerKWh: 500},
+		{StartS: 3600, EndS: 4 * 3600, CarbonGPerKWh: 100},
+	}}
+	if got := sig.MeanCarbonGPerKWh(); math.Abs(got-200) > 1e-12 {
+		t.Fatalf("weighted mean = %v, want 200", got)
+	}
+}
+
 func TestAtAndCyclic(t *testing.T) {
 	sig := Diurnal24h()
 	if h := sig.Horizon(); h != 86400 {

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"perseus/internal/plan"
+)
+
+// Ledger entry kinds.
+const (
+	LedgerKindSpan      = "span"      // a settled accrual interval of deployed training
+	LedgerKindMigration = "migration" // a pure migration-overhead charge
+)
+
+// LedgerEntry is one settled interval of a job's energy-bloat ledger:
+// the wall-clock span plus its decomposition (plan.DecomposeSpan).
+type LedgerEntry struct {
+	StartUnixS float64 `json:"start_unix_s"`
+	EndUnixS   float64 `json:"end_unix_s"`
+	Kind       string  `json:"kind"`
+	plan.BloatSpan
+}
+
+// LedgerTotals are cumulative ledger sums: entry counts plus the
+// field-wise BloatSpan accumulation (whose conservation identities
+// survive summation) and the monotone absolute drift used for the
+// drift-SLO ratio (signed drift cancels across spans; burn must not).
+type LedgerTotals struct {
+	// Entries counts settled intervals; Dropped counts ring entries the
+	// bounded history has overwritten (totals still include them).
+	Entries int `json:"entries"`
+	Dropped int `json:"dropped"`
+	plan.BloatSpan
+	AbsDriftC float64 `json:"abs_drift_c"`
+}
+
+// JobLedgerView is one job's ledger: cumulative totals plus the most
+// recent retained entries, oldest first.
+type JobLedgerView struct {
+	JobID   string        `json:"job_id"`
+	Totals  LedgerTotals  `json:"totals"`
+	Entries []LedgerEntry `json:"entries"`
+}
+
+// jobLedger is one job's ring of recent entries plus running totals.
+// The ring is a fixed-capacity circular buffer so steady-state Settle
+// allocates nothing.
+type jobLedger struct {
+	ring   []LedgerEntry
+	head   int // next write position
+	n      int // live entries, <= cap(ring)
+	totals LedgerTotals
+}
+
+// DefaultLedgerRing is the per-job retained-entry cap when NewLedger is
+// given 0.
+const DefaultLedgerRing = 256
+
+// Ledger is the concurrency-safe per-job energy-bloat ledger: a bounded
+// ring of recent settled intervals per job, monotone cumulative totals
+// per job, and a fleet-wide rollup. Settle is O(1) and allocation-free
+// once a job's ring exists; everything is guarded by one mutex (settle
+// happens at controller ticks and emissions settlements, never on the
+// cached-plan hot path).
+type Ledger struct {
+	mu      sync.Mutex
+	ringCap int
+	jobs    map[string]*jobLedger
+	fleet   LedgerTotals
+}
+
+// NewLedger builds an empty ledger retaining up to ringCap entries per
+// job (0 uses DefaultLedgerRing).
+func NewLedger(ringCap int) *Ledger {
+	if ringCap <= 0 {
+		ringCap = DefaultLedgerRing
+	}
+	return &Ledger{ringCap: ringCap, jobs: map[string]*jobLedger{}}
+}
+
+// Settle appends one settled interval to the job's ledger and folds it
+// into the job's and the fleet's cumulative totals.
+func (l *Ledger) Settle(jobID string, e LedgerEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	jl, ok := l.jobs[jobID]
+	if !ok {
+		jl = &jobLedger{ring: make([]LedgerEntry, l.ringCap)}
+		l.jobs[jobID] = jl
+	}
+	jl.ring[jl.head] = e
+	jl.head = (jl.head + 1) % len(jl.ring)
+	if jl.n < len(jl.ring) {
+		jl.n++
+	} else {
+		jl.totals.Dropped++
+	}
+	accumulate(&jl.totals, e)
+	accumulate(&l.fleet, e)
+}
+
+// accumulate folds one entry into totals.
+func accumulate(t *LedgerTotals, e LedgerEntry) {
+	t.Entries++
+	t.BloatSpan.Accumulate(e.BloatSpan)
+	t.AbsDriftC += math.Abs(e.DriftC)
+}
+
+// Job returns the job's ledger view with up to n most recent entries
+// (n <= 0 returns every retained entry), oldest first. ok is false for
+// a job the ledger has never settled.
+func (l *Ledger) Job(jobID string, n int) (JobLedgerView, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	jl, ok := l.jobs[jobID]
+	if !ok {
+		return JobLedgerView{JobID: jobID}, false
+	}
+	count := jl.n
+	if n > 0 && n < count {
+		count = n
+	}
+	view := JobLedgerView{JobID: jobID, Totals: jl.totals, Entries: make([]LedgerEntry, 0, count)}
+	for i := count; i > 0; i-- {
+		view.Entries = append(view.Entries, jl.ring[(jl.head-i+len(jl.ring))%len(jl.ring)])
+	}
+	return view, true
+}
+
+// Jobs lists the job IDs the ledger holds, sorted.
+func (l *Ledger) Jobs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]string, 0, len(l.jobs))
+	for id := range l.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Fleet returns the fleet-wide cumulative totals. Removed jobs stay
+// counted: fleet history must not rewrite itself when a job leaves.
+func (l *Ledger) Fleet() LedgerTotals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fleet
+}
+
+// Remove drops a job's ledger (ring and per-job totals), reporting
+// whether it existed. Fleet totals retain the job's contribution.
+func (l *Ledger) Remove(jobID string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.jobs[jobID]
+	delete(l.jobs, jobID)
+	return ok
+}
+
+// WorstDriftJob returns the job with the highest forecast-drift burn
+// ratio |drift| / (|drift| + forecast-covered realized carbon) — the
+// same ratio the fleet drift SLO evaluates — and that ratio. Jobs with
+// no forecast-covered accrual are skipped; ("", 0) when none qualify.
+func (l *Ledger) WorstDriftJob() (string, float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	worst, worstRatio := "", -1.0
+	for id, jl := range l.jobs {
+		denom := jl.totals.AbsDriftC + jl.totals.PredRealC
+		if denom <= 0 {
+			continue
+		}
+		ratio := jl.totals.AbsDriftC / denom
+		if ratio > worstRatio || (ratio == worstRatio && id < worst) {
+			worst, worstRatio = id, ratio
+		}
+	}
+	if worst == "" {
+		return "", 0
+	}
+	return worst, worstRatio
+}

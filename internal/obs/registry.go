@@ -237,11 +237,32 @@ func (f *family) with(values []string) any {
 	return s
 }
 
+// delete drops the series for the label values, reporting whether it
+// existed. Bounds unbounded cardinality: callers delete a label's
+// series when the labeled entity (a job, say) is removed, and the
+// exposition shrinks — a family left with no series is skipped
+// entirely by WritePrometheus.
+func (f *family) delete(values []string) bool {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.series[key]
+	delete(f.series, key)
+	return ok
+}
+
 // CounterVec is a labeled counter family.
 type CounterVec struct{ f *family }
 
 // With returns the counter for the label values (created on first use).
 func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).(*Counter) }
+
+// Delete drops the series for the label values, reporting whether it
+// existed. A later With re-creates it from zero.
+func (v *CounterVec) Delete(values ...string) bool { return v.f.delete(values) }
 
 // GaugeVec is a labeled gauge family.
 type GaugeVec struct{ f *family }
@@ -249,11 +270,19 @@ type GaugeVec struct{ f *family }
 // With returns the gauge for the label values (created on first use).
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).(*Gauge) }
 
+// Delete drops the series for the label values, reporting whether it
+// existed. A later With re-creates it from zero.
+func (v *GaugeVec) Delete(values ...string) bool { return v.f.delete(values) }
+
 // HistogramVec is a labeled histogram family.
 type HistogramVec struct{ f *family }
 
 // With returns the histogram for the label values (created on first use).
 func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).(*Histogram) }
+
+// Delete drops the series for the label values, reporting whether it
+// existed. A later With re-creates it from zero.
+func (v *HistogramVec) Delete(values ...string) bool { return v.f.delete(values) }
 
 // Registry is a concurrency-safe set of metric families. Registration
 // is idempotent for an identical (name, kind) pair; re-registering a

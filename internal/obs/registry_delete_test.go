@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func exposition(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestVecDeleteShrinksExposition(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_job_energy_total", "Per-job energy.", "job", "component")
+	cv.With("job-1", "realized").Add(5)
+	cv.With("job-2", "realized").Add(7)
+	gv := r.GaugeVec("test_job_drift", "Per-job drift.", "job")
+	gv.With("job-1").Set(3)
+
+	out := exposition(t, r)
+	for _, want := range []string{`job="job-1"`, `job="job-2"`, "test_job_drift"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	if !cv.Delete("job-1", "realized") {
+		t.Fatal("Delete(job-1) = false, want true")
+	}
+	if cv.Delete("job-1", "realized") {
+		t.Fatal("second Delete(job-1) = true, want false")
+	}
+	if !gv.Delete("job-1") {
+		t.Fatal("gauge Delete(job-1) = false, want true")
+	}
+
+	out = exposition(t, r)
+	if strings.Contains(out, `job="job-1"`) {
+		t.Fatalf("exposition still carries deleted job-1 series:\n%s", out)
+	}
+	if !strings.Contains(out, `job="job-2"`) {
+		t.Fatalf("Delete removed the wrong series:\n%s", out)
+	}
+	// A fully-emptied family disappears from the exposition entirely.
+	if strings.Contains(out, "test_job_drift") {
+		t.Fatalf("empty family still rendered:\n%s", out)
+	}
+
+	// With after Delete re-creates the series from zero.
+	if v := cv.With("job-1", "realized").Value(); v != 0 {
+		t.Fatalf("re-created series starts at %v, want 0", v)
+	}
+}
+
+func TestVecDeleteArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_arity_total", "Arity check.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delete with wrong arity must panic")
+		}
+	}()
+	cv.Delete("only-one")
+}
+
+func TestHistogramVecDelete(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_hist_seconds", "Hist.", []float64{1}, "op")
+	hv.With("plan").Observe(0.5)
+	if !hv.Delete("plan") {
+		t.Fatal("histogram Delete = false, want true")
+	}
+	if strings.Contains(exposition(t, r), "test_hist_seconds_count") {
+		t.Fatal("deleted histogram series still rendered")
+	}
+}

@@ -57,6 +57,13 @@ type SLO struct {
 	// rules). "" skips the lookup.
 	SpanName string `json:"span_name,omitempty"`
 
+	// Detail, when set, is called while the rule is violated and its
+	// result is carried on the status (SLOStatus.Detail) and the
+	// transition events — the hook a rule uses to name the worst
+	// offender behind an aggregate (e.g. the job burning the drift
+	// budget). It must not call back into the engine.
+	Detail func() string `json:"-"`
+
 	ShortWindow time.Duration `json:"-"`
 	LongWindow  time.Duration `json:"-"`
 }
@@ -121,6 +128,10 @@ type SLOStatus struct {
 	// WorstTraceID identifies the offending trace while the rule is
 	// violated ("" when ok or no matching span is retained).
 	WorstTraceID string `json:"worst_trace_id,omitempty"`
+
+	// Detail names the worst offender behind the violation, from the
+	// rule's Detail hook ("" when ok or the rule has no hook).
+	Detail string `json:"detail,omitempty"`
 
 	// SinceUnixS is when the current status level began.
 	SinceUnixS float64 `json:"since_unix_s"`
@@ -295,6 +306,9 @@ func (e *SLOEngine) Evaluate(now time.Time) []SLOStatus {
 		}
 		if status != StatusOK && e.tracer != nil && r.SpanName != "" {
 			view.WorstTraceID = e.tracer.WorstSpan(r.SpanName, now.Add(-long), r.ratio())
+		}
+		if status != StatusOK && r.Detail != nil {
+			view.Detail = r.Detail()
 		}
 		if status != st.status {
 			from := st.status

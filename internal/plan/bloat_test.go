@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDecomposeSpanIdentities(t *testing.T) {
+	in := SpanInputs{
+		Realized:   Account{EnergyJ: 1.8e6, CarbonG: 250, CostUSD: 0.1},
+		Iterations: 60,
+		FloorJ:     1.5e6,
+		TminJ:      1.7e6,
+		MigrationJ: 0.05e6,
+		MeanGPerJ:  1.4e-4,
+		PredC:      240,
+		PredRealC:  251,
+	}
+	b := DecomposeSpan(in)
+	if !b.Conserved(0) {
+		t.Fatalf("residual-as-difference decomposition must conserve exactly: %+v", b)
+	}
+	if got := b.FloorJ + b.MigrationJ + b.ResidualJ; got != b.EnergyJ {
+		t.Fatalf("energy identity: %v != %v", got, b.EnergyJ)
+	}
+	if got := b.FloorC + b.MigrationC + b.ResidualC; got != b.CarbonG {
+		t.Fatalf("carbon identity: %v != %v", got, b.CarbonG)
+	}
+	if got := b.TminJ + b.MigrationJ - b.EnergyJ; got != b.RemovedJ {
+		t.Fatalf("removed identity: %v != %v", got, b.RemovedJ)
+	}
+	if b.DriftC != in.PredRealC-in.PredC {
+		t.Fatalf("drift = %v, want %v", b.DriftC, in.PredRealC-in.PredC)
+	}
+	// Carbon splits at the span's mean realized intensity.
+	r := in.Realized.CarbonG / in.Realized.EnergyJ
+	if math.Abs(b.FloorC-in.FloorJ*r) > 1e-12 {
+		t.Fatalf("FloorC = %v, want %v", b.FloorC, in.FloorJ*r)
+	}
+	if math.Abs(b.TemporalSavedC-(in.FloorJ*in.MeanGPerJ-b.FloorC)) > 1e-12 {
+		t.Fatalf("TemporalSavedC = %v", b.TemporalSavedC)
+	}
+}
+
+func TestDecomposeSpanZeroEnergy(t *testing.T) {
+	b := DecomposeSpan(SpanInputs{Realized: Account{EnergyJ: 0, CarbonG: 0}})
+	if !b.Conserved(0) {
+		t.Fatalf("zero span must conserve: %+v", b)
+	}
+	if b.FloorC != 0 || b.MigrationC != 0 || b.ResidualC != 0 {
+		t.Fatalf("zero-energy span must not invent carbon: %+v", b)
+	}
+}
+
+func TestDecomposeSpanMigrationEntry(t *testing.T) {
+	// A migration entry: pure overhead, zero work, m charged as both
+	// realized and migration energy.
+	m := 2.4e5
+	b := DecomposeSpan(SpanInputs{
+		Realized:   Account{EnergyJ: m, CarbonG: 30, CostUSD: 0.01},
+		MigrationJ: m,
+		MeanGPerJ:  1.2e-4,
+	})
+	if !b.Conserved(0) {
+		t.Fatalf("migration entry must conserve: %+v", b)
+	}
+	if b.FloorJ != 0 || b.ResidualJ != 0 || b.RemovedJ != 0 {
+		t.Fatalf("migration entry must attribute everything to migration: %+v", b)
+	}
+	if b.MigrationC != b.CarbonG {
+		t.Fatalf("migration carbon = %v, want all of %v", b.MigrationC, b.CarbonG)
+	}
+}
+
+func TestAccumulateConserves(t *testing.T) {
+	spans := []BloatSpan{
+		DecomposeSpan(SpanInputs{
+			Realized: Account{EnergyJ: 1e6, CarbonG: 100, CostUSD: 0.05},
+			FloorJ:   0.8e6, TminJ: 0.95e6, Iterations: 10, MeanGPerJ: 9e-5,
+			PredC: 95, PredRealC: 101,
+		}),
+		DecomposeSpan(SpanInputs{
+			Realized: Account{EnergyJ: 2e6, CarbonG: 180, CostUSD: 0.08},
+			FloorJ:   1.7e6, TminJ: 1.9e6, MigrationJ: 0.1e6, Iterations: 20,
+			MeanGPerJ: 9e-5,
+		}),
+		DecomposeSpan(SpanInputs{
+			Realized:   Account{EnergyJ: 5e5, CarbonG: 20, CostUSD: 0.01},
+			MigrationJ: 5e5, MeanGPerJ: 9e-5,
+		}),
+	}
+	var total BloatSpan
+	for _, s := range spans {
+		total.Accumulate(s)
+	}
+	if !total.Conserved(1e-12) {
+		t.Fatalf("sum of conserving spans must conserve: %+v", total)
+	}
+	wantE := spans[0].EnergyJ + spans[1].EnergyJ + spans[2].EnergyJ
+	if total.EnergyJ != wantE {
+		t.Fatalf("EnergyJ = %v, want %v", total.EnergyJ, wantE)
+	}
+	if total.Iterations != 30 {
+		t.Fatalf("Iterations = %v, want 30", total.Iterations)
+	}
+}

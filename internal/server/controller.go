@@ -114,6 +114,19 @@ func (c *controller) reset() {
 	c.order = nil
 }
 
+// forget drops one job from management (the job was removed).
+func (c *controller) forget(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.managed, id)
+	for i, v := range c.order {
+		if v == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // ManageJob registers a job's rolling-horizon schedule with the
 // controller: the schedule is created (or rolled forward) immediately
 // with plan #1, and every subsequent tick rolls it forward. Re-managing
@@ -164,6 +177,10 @@ func (s *Server) tickController(ctx context.Context) ControllerStatus {
 
 	ctx, root := s.obs.tracer.StartSpan(ctx, spanControllerTick)
 	tickStart := time.Now()
+	// Settle every job's emissions and bloat ledger at the tick
+	// boundary, so the ledger and its exported series advance at
+	// control-loop cadence even when nobody reads /jobs/{id}/emissions.
+	s.st.settleAll(s.st.gridState())
 	errs := map[string]string{}
 	for _, id := range ids {
 		if !c.manages(id) {

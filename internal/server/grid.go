@@ -118,6 +118,7 @@ func (s *Server) setGridSignal(ctx context.Context, sig grid.Signal, objective s
 	st.mu.Lock()
 	st.signal = &sig
 	st.sigStart = gs.now
+	st.meanG = sig.MeanCarbonGPerKWh() / grid.JoulesPerKWh
 	st.objective = obj
 	st.fspec = nil
 	st.fcast = nil

@@ -136,16 +136,74 @@ func (s *Server) register(ctx context.Context, req JobRequest) (string, error) {
 	return id, nil
 }
 
+// RemoveJob unregisters a job (DELETE /jobs/{id}): its final span is
+// settled into the emissions account and the bloat ledger, every
+// per-job labeled metric series is deleted (bounding exposition
+// cardinality as jobs churn), the ledger drops its per-job state
+// (fleet totals retain the contribution), and the controller, replan,
+// and fleet state forget it.
+func (s *Server) RemoveJob(id string) error {
+	return s.removeJob(context.Background(), id)
+}
+
+func (s *Server) removeJob(ctx context.Context, id string) error {
+	j, ok := s.st.job(id)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", id)
+	}
+	gs := s.st.gridState()
+	j.mu.Lock()
+	j.accrueLocked(gs) // settle the final span before the job disappears
+	if j.pending != nil {
+		j.pending.Stop()
+		j.pending = nil
+	}
+	j.mu.Unlock()
+
+	st := s.st
+	st.mu.Lock()
+	delete(st.jobs, id)
+	for i, v := range st.ord {
+		if v == id {
+			st.ord = append(st.ord[:i], st.ord[i+1:]...)
+			break
+		}
+	}
+	st.mu.Unlock()
+
+	s.ctrl.forget(id)
+	s.replanMu.Lock()
+	delete(s.replans, id)
+	s.replanMu.Unlock()
+	s.obs.dropJobSeries(id)
+	s.obs.ledger.Remove(id)
+	// Wake any long-pollers parked on the job's schedule topic; their
+	// re-read serves against the snapshot they hold.
+	s.hub.bump(topicSchedule(id))
+	s.obs.ring.Emit(gs.now, "job.remove", 0, traceKV(ctx, "job", id)...)
+	// The fleet lost a member: under a cap, power must be re-divided.
+	s.recomputeFleet(ctx)
+	return nil
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
 	parts := strings.SplitN(rest, "/", 2)
-	if len(parts) != 2 {
-		http.NotFound(w, r)
-		return
-	}
 	j, ok := s.st.job(parts[0])
 	if !ok {
 		http.NotFound(w, r)
+		return
+	}
+	if len(parts) == 1 {
+		if r.Method != http.MethodDelete {
+			http.Error(w, "DELETE only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.removeJob(r.Context(), j.id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	switch parts[1] {
@@ -219,7 +277,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			resp, err := s.placeJob(r.Context(), j.id, req.Region)
+			resp, err := s.placeJob(r.Context(), j.id, req)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
@@ -382,8 +440,10 @@ func (s *Server) uploadProfile(ctx context.Context, id string, up ProfileUpload)
 			j.table = front.Table()
 			j.tableHash = hashTable(j.table)
 			// The job now has a deployed schedule drawing power:
-			// emissions accounting starts here.
+			// emissions accounting starts here. Render the per-job
+			// ledger series once, so every later settle is alloc-free.
 			j.accSince, j.accAt = now, now
+			j.series = s.obs.jobSeries(j.id)
 		}
 		j.characterizing = false
 		j.bumpLocked()

@@ -65,6 +65,17 @@ type serverObs struct {
 	// Per-job realized-minus-predicted carbon drift (store.go).
 	driftG *obs.GaugeVec // job
 
+	// Energy-bloat ledger (ledger.go): the ledger itself, the per-job
+	// decomposition families, and the fleet rollup's cached handles.
+	ledger                                                       *obs.Ledger
+	jobEnergy                                                    *obs.CounterVec // job, component
+	jobRemoved                                                   *obs.GaugeVec   // job
+	fleetRealizedJ, fleetFloorJ, fleetResidualJ, fleetMigrationJ *obs.Counter
+	fleetRemovedJ                                                *obs.Gauge
+	fleetRealizedC, fleetFloorC, fleetResidualC, fleetMigrationC *obs.Counter
+	fleetTemporalC                                               *obs.Gauge
+	fleetDriftAbsC, fleetCoveredC                                *obs.Counter
+
 	// Tracing and SLO self-monitoring (this file).
 	traceSpans  *obs.CounterVec // span
 	traceDrops  *obs.Gauge
@@ -90,10 +101,14 @@ const (
 // Default server SLO rules. Thresholds are sized to the repo's
 // simulated workloads: a synchronous grid solve runs in milliseconds
 // (1 s p99 is pathological), a replan failure ratio above 10% means
-// the control loop is degrading schedules, and a long-poller should
+// the control loop is degrading schedules, a long-poller should
 // always wake before the 30 s maxScheduleWait cap (25 s p99 leaves
-// headroom for slow ticks).
-func defaultSLOs() []obs.SLO {
+// headroom for slow ticks), and forecast drift above 25% of
+// drift-plus-realized carbon (|drift| > realized/3) means schedules
+// are being planned against a forecast the grid no longer resembles.
+// The drift rule reads the ledger's fleet counters and names the
+// worst-drifting job on a violation.
+func defaultSLOs(led *obs.Ledger) []obs.SLO {
 	return []obs.SLO{{
 		Name:      "plan-latency-p99",
 		Objective: "p99 planner solve latency stays at or below 1s",
@@ -115,6 +130,19 @@ func defaultSLOs() []obs.SLO {
 		Quantile:  0.99,
 		Max:       25.0,
 		SpanName:  spanLongpollPark,
+	}, {
+		Name:       "carbon-drift-ratio",
+		Objective:  "forecast carbon drift stays at or below 25% of drift-plus-realized carbon over forecast-covered spans",
+		BadMetric:  "perseus_fleet_bloat_drift_abs_carbon_g_total",
+		GoodMetric: "perseus_fleet_bloat_forecast_covered_carbon_g_total",
+		Max:        0.25,
+		Detail: func() string {
+			job, ratio := led.WorstDriftJob()
+			if job == "" {
+				return ""
+			}
+			return job + " (ratio " + strconv.FormatFloat(ratio, 'g', 3, 64) + ")"
+		},
 	}}
 }
 
@@ -182,6 +210,22 @@ func newServerObs() *serverObs {
 			"Realized minus forecast-predicted carbon over the forecast-covered spans, per job.",
 			"job"),
 
+		ledger: obs.NewLedger(0),
+		jobEnergy: r.CounterVec("perseus_job_energy_joules_total",
+			"Per-job settled energy decomposed by the bloat ledger: realized, frontier-optimal floor, residual_bloat, migration overhead.",
+			"job", "component"),
+		jobRemoved: r.GaugeVec("perseus_job_energy_intrinsic_removed_joules",
+			"Per-job intrinsic bloat removed vs the always-Tmin baseline at equal work (signed: a span run above T* burns more than flat-out).",
+			"job"),
+		fleetRemovedJ: r.Gauge("perseus_fleet_bloat_intrinsic_removed_joules",
+			"Fleet-wide intrinsic bloat removed vs the always-Tmin baseline at equal work (signed)."),
+		fleetTemporalC: r.Gauge("perseus_fleet_bloat_temporal_saved_carbon_g",
+			"Fleet-wide carbon saved by when energy was drawn, vs the best signal-blind fixed baseline (signed: negative means timing lost carbon)."),
+		fleetDriftAbsC: r.Counter("perseus_fleet_bloat_drift_abs_carbon_g_total",
+			"Fleet-wide absolute realized-minus-forecast carbon drift over forecast-covered spans (drift-SLO numerator)."),
+		fleetCoveredC: r.Counter("perseus_fleet_bloat_forecast_covered_carbon_g_total",
+			"Fleet-wide realized carbon over exactly the forecast-covered spans (drift-SLO denominator complement)."),
+
 		traceSpans: r.CounterVec("perseus_trace_spans_total",
 			"Finished trace spans committed to the span ring, by span name.", "span"),
 		traceDrops: r.Gauge("perseus_trace_spans_dropped_total",
@@ -191,11 +235,28 @@ func newServerObs() *serverObs {
 		sloBreaches: r.CounterVec("perseus_slo_breaches_total",
 			"Transitions of an SLO into breach.", "slo"),
 	}
+	// Fleet rollup families, with component handles pre-rendered so
+	// settlement never touches the registry map.
+	fleetEnergy := r.CounterVec("perseus_fleet_bloat_energy_joules_total",
+		"Fleet-wide settled energy decomposed by the bloat ledger: realized, frontier-optimal floor, residual_bloat, migration overhead.",
+		"component")
+	o.fleetRealizedJ = fleetEnergy.With("realized")
+	o.fleetFloorJ = fleetEnergy.With("floor")
+	o.fleetResidualJ = fleetEnergy.With("residual_bloat")
+	o.fleetMigrationJ = fleetEnergy.With("migration")
+	fleetCarbon := r.CounterVec("perseus_fleet_bloat_carbon_g_total",
+		"Fleet-wide settled carbon decomposed by the bloat ledger at each span's mean realized intensity.",
+		"component")
+	o.fleetRealizedC = fleetCarbon.With("realized")
+	o.fleetFloorC = fleetCarbon.With("floor")
+	o.fleetResidualC = fleetCarbon.With("residual_bloat")
+	o.fleetMigrationC = fleetCarbon.With("migration")
+
 	o.tracer.OnPush(func(sp obs.Span) {
 		o.traceSpans.With(sp.Name).Inc()
 		o.traceDrops.Set(float64(o.tracer.Drops()))
 	})
-	o.slo = obs.NewSLOEngine(r, o.tracer, defaultSLOs())
+	o.slo = obs.NewSLOEngine(r, o.tracer, defaultSLOs(o.ledger))
 	o.slo.OnTransition(func(rule obs.SLO, from, to string, st obs.SLOStatus) {
 		if to == obs.StatusBreach {
 			o.sloBreaches.With(rule.Name).Inc()
@@ -207,6 +268,9 @@ func newServerObs() *serverObs {
 		}
 		if st.WorstTraceID != "" {
 			kv = append(kv, "trace_id", st.WorstTraceID)
+		}
+		if st.Detail != "" {
+			kv = append(kv, "worst", st.Detail)
 		}
 		o.ring.Emit(time.Unix(0, int64(st.SinceUnixS*1e9)), "slo."+to, 0, kv...)
 	})
@@ -269,11 +333,14 @@ func routePattern(path string) string {
 	switch path {
 	case "/jobs", "/fleet/cap", "/fleet/status", "/grid/signal", "/grid/forecast",
 		"/regions", "/regions/plan", "/controller",
-		"/metrics", "/healthz", "/debug/events", "/debug/traces", "/debug/slo":
+		"/metrics", "/healthz", "/debug/events", "/debug/traces", "/debug/slo",
+		"/debug/ledger":
 		return path
 	}
 	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
 	switch {
+	case parts[0] == "jobs" && len(parts) == 2 && parts[1] != "":
+		return "/jobs/{id}"
 	case parts[0] == "jobs" && len(parts) == 3:
 		switch parts[2] {
 		case "profile", "schedule", "straggler", "frontier", "table",

@@ -35,6 +35,13 @@ type RegionInfo struct {
 // PlacementRequest places a job into a region.
 type PlacementRequest struct {
 	Region string `json:"region"`
+
+	// MigrationJ is the energy overhead of the move in joules
+	// (checkpoint, transfer, restart). It is charged at the destination
+	// region's instantaneous rates into the job's emissions account and
+	// booked as a "migration" entry in the bloat ledger. 0 (and a
+	// placement into the job's current region) charges nothing.
+	MigrationJ float64 `json:"migration_j,omitempty"`
 }
 
 // PlacementEntry is one step of a job's placement history.
@@ -102,6 +109,7 @@ func (s *Server) RegisterRegion(req RegionRequest) (RegionInfo, error) {
 	}
 	s.st.regions[req.Name] = &serverRegion{
 		name: req.Name, gpus: req.GPUs, capW: req.CapW, sig: &sig, anchor: now,
+		meanG: sig.MeanCarbonGPerKWh() / grid.JoulesPerKWh,
 	}
 	s.st.regOrd = append(s.st.regOrd, req.Name)
 	return RegionInfo{
@@ -129,33 +137,44 @@ func (s *Server) Regions() []RegionInfo {
 // Emissions accrued so far are settled at the old placement's rates
 // first, so the migration boundary splits the account exactly.
 func (s *Server) PlaceJob(id, regionName string) (PlacementResponse, error) {
-	return s.placeJob(context.Background(), id, regionName)
+	return s.placeJob(context.Background(), id, PlacementRequest{Region: regionName})
 }
 
-func (s *Server) placeJob(ctx context.Context, id, regionName string) (PlacementResponse, error) {
+// PlaceJobMigrating is PlaceJob with a migration energy overhead,
+// charged at the destination's instantaneous rates and attributed as
+// migration overhead in the bloat ledger.
+func (s *Server) PlaceJobMigrating(id, regionName string, migrationJ float64) (PlacementResponse, error) {
+	return s.placeJob(context.Background(), id, PlacementRequest{Region: regionName, MigrationJ: migrationJ})
+}
+
+func (s *Server) placeJob(ctx context.Context, id string, req PlacementRequest) (PlacementResponse, error) {
 	j, ok := s.st.job(id)
 	if !ok {
 		return PlacementResponse{}, fmt.Errorf("server: unknown job %s", id)
 	}
+	if math.IsNaN(req.MigrationJ) || math.IsInf(req.MigrationJ, 0) || req.MigrationJ < 0 {
+		return PlacementResponse{}, fmt.Errorf("server: migration_j must be a finite non-negative energy, got %v", req.MigrationJ)
+	}
 	s.st.mu.Lock()
-	_, ok = s.st.regions[regionName]
+	dest, ok := s.st.regions[req.Region]
 	s.st.mu.Unlock()
 	if !ok {
-		return PlacementResponse{}, fmt.Errorf("server: unknown region %q", regionName)
+		return PlacementResponse{}, fmt.Errorf("server: unknown region %q", req.Region)
 	}
 	gs := s.st.gridState()
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.region != regionName {
+	if j.region != req.Region {
 		from := j.region
 		j.accrueLocked(gs)
-		j.region = regionName
-		j.placements = append(j.placements, placementEvent{region: regionName, at: gs.now})
+		j.chargeMigrationLocked(gs, req.MigrationJ, dest)
+		j.region = req.Region
+		j.placements = append(j.placements, placementEvent{region: req.Region, at: gs.now})
 		name := "job.place"
 		if from != "" {
 			name = "job.migrate"
 		}
-		s.obs.ring.Emit(gs.now, name, 0, traceKV(ctx, "job", j.id, "from", from, "to", regionName)...)
+		s.obs.ring.Emit(gs.now, name, 0, traceKV(ctx, "job", j.id, "from", from, "to", req.Region)...)
 	}
 	return placementLocked(j), nil
 }

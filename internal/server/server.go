@@ -24,6 +24,10 @@
 //   - obs.go       the observability surface: the internal/obs metric
 //     registry and event ring, the HTTP instrumentation middleware,
 //     and the /metrics, /healthz, and /debug/events endpoints
+//   - ledger.go    the online energy-bloat ledger wiring: per-span
+//     decomposition at every settlement (obs.Ledger), the per-job and
+//     fleet bloat series, migration-overhead charging, and
+//     GET /debug/ledger
 //
 // The grid and region planning endpoints drive the shared
 // internal/plan planners (grid.Planner, region.Planner); the fleet
@@ -158,6 +162,10 @@ func (s *Server) SetClock(fn func() time.Time) {
 //	GET  /debug/traces             assembled trace span trees, newest first
 //	                               (?n= limit, ?min_ms= floor, ?op= span filter)
 //	GET  /debug/slo                every SLO rule evaluated now
+//	GET  /debug/ledger             per-job + fleet energy-bloat ledger
+//	                               (?job= one job, ?n= entry cap, ?format=json|csv)
+//	DELETE /jobs/{id}              unregister a job: final span settled,
+//	                               per-job metric series deleted
 //
 // Every endpoint is instrumented (request count/status/latency, an
 // in-flight gauge, and a root trace span continuing any incoming W3C
@@ -181,6 +189,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/events", s.handleDebugEvents)
 	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	mux.HandleFunc("/debug/slo", s.handleDebugSLO)
+	mux.HandleFunc("/debug/ledger", s.handleDebugLedger)
 	return s.obs.middleware(mux)
 }
 

@@ -12,6 +12,7 @@ import (
 	"perseus/internal/frontier"
 	"perseus/internal/gpu"
 	"perseus/internal/grid"
+	pln "perseus/internal/plan"
 	"perseus/internal/sched"
 )
 
@@ -28,11 +29,14 @@ type store struct {
 	capW float64 // fleet power cap; 0 = uncapped
 
 	// signal is the current grid trace (nil until uploaded); sigStart
-	// anchors its time 0 to the wall clock, and objective is the
-	// default temporal-planning objective.
+	// anchors its time 0 to the wall clock, objective is the default
+	// temporal-planning objective, and meanG caches the signal cycle's
+	// duration-weighted mean intensity in g/J — the ledger's
+	// signal-blind carbon baseline, computed once per install.
 	signal    *grid.Signal
 	sigStart  time.Time
 	objective grid.Objective
+	meanG     float64
 
 	// epoch counts plan-input generations: it bumps whenever the signal
 	// is re-installed or a forecast is (re-)issued, and the plan cache
@@ -118,6 +122,10 @@ type job struct {
 	// broadcasts on the job's schedule topic through it.
 	hub *hub
 
+	// series caches the job's per-job ledger metric handles, created at
+	// characterization so Settle never renders label blocks (obs.go).
+	series *jobLedgerSeries
+
 	mu             sync.Mutex
 	characterizing bool
 	charErr        error
@@ -180,13 +188,15 @@ type placementEvent struct {
 }
 
 // serverRegion is one registered datacenter region: its capacity, cap,
-// and grid signal, with the signal's time 0 anchored at registration.
+// and grid signal, with the signal's time 0 anchored at registration
+// and the signal cycle's mean intensity (g/J) cached for the ledger.
 type serverRegion struct {
 	name   string
 	gpus   int
 	capW   float64
 	sig    *grid.Signal
 	anchor time.Time
+	meanG  float64
 }
 
 // gridState is a consistent snapshot of the grid signal, the region
@@ -197,6 +207,7 @@ type gridState struct {
 	fsig    *grid.Signal // latest issued point forecast (signal time, same anchor)
 	start   time.Time
 	now     time.Time
+	meanG   float64 // signal cycle mean intensity, g/J (ledger baseline)
 	regions map[string]*serverRegion
 }
 
@@ -210,7 +221,7 @@ func (st *store) gridState() gridState {
 	for name, r := range st.regions {
 		regions[name] = r
 	}
-	gs := gridState{sig: st.signal, start: st.sigStart, now: now, regions: regions}
+	gs := gridState{sig: st.signal, start: st.sigStart, now: now, meanG: st.meanG, regions: regions}
 	if st.fcast != nil {
 		gs.fsig = st.fcast.Signal
 	}
@@ -259,11 +270,12 @@ func (j *job) accrueLocked(gs gridState) {
 	if j.accAt.IsZero() || !gs.now.After(j.accAt) {
 		return
 	}
+	spanStart := j.accAt
 	power := j.deployedPowerLocked()
-	sig, start := gs.sig, gs.start
+	sig, start, meanG := gs.sig, gs.start, gs.meanG
 	if j.region != "" {
 		if r, ok := gs.regions[j.region]; ok {
-			sig, start = r.sig, r.anchor
+			sig, start, meanG = r.sig, r.anchor, r.meanG
 		}
 	}
 	var t0, t1 float64
@@ -280,18 +292,25 @@ func (j *job) accrueLocked(gs gridState) {
 	// Predicted accrual: the same draw priced at the latest issued
 	// forecast's rates. Only meaningful against the global signal, so
 	// placed jobs (accruing at a region's rates) are skipped.
+	var pc, predReal float64
 	if gs.fsig != nil && j.region == "" && gs.sig != nil {
-		_, pc, pusd := grid.Accrue(gs.fsig, j.accAt.Sub(gs.start).Seconds(), gs.now.Sub(gs.start).Seconds(), power)
+		var pusd float64
+		_, pc, pusd = grid.Accrue(gs.fsig, j.accAt.Sub(gs.start).Seconds(), gs.now.Sub(gs.start).Seconds(), power)
+		predReal = c
 		j.predCarbonG += pc
 		j.predCostUSD += pusd
 		j.predRealCarbonG += c
-		if j.obs != nil {
+		if j.series != nil {
 			// Realized-vs-predicted drift over exactly the forecast-
 			// covered spans, refreshed at every settle point.
-			j.obs.driftG.With(j.id).Set(j.predRealCarbonG - j.predCarbonG)
+			j.series.drift.Set(j.predRealCarbonG - j.predCarbonG)
 		}
 	}
 	j.accAt = gs.now
+	// Decompose the settled span into the energy-bloat ledger. The
+	// exact same floats just added to the emissions accumulators flow
+	// into the ledger totals, so the two accounts reconcile bit-for-bit.
+	j.settleSpanLocked(gs, spanStart, pln.Account{EnergyJ: e, CarbonG: c, CostUSD: usd}, pc, predReal, meanG)
 }
 
 // hashTable content-hashes a characterized lookup table so the plan

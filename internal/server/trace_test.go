@@ -438,8 +438,8 @@ func TestReplanFailureBreachesSLO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(slos) != 3 {
-		t.Fatalf("%d SLO rules, want 3", len(slos))
+	if len(slos) != 4 {
+		t.Fatalf("%d SLO rules, want 4", len(slos))
 	}
 	for _, st := range slos {
 		want := "ok"
