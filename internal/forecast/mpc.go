@@ -59,6 +59,11 @@ type Outcome struct {
 	// Plans counts planner invocations (plan-once runs have exactly 1).
 	Plans int `json:"plans"`
 
+	// WarmStarts counts decision ticks that skipped re-optimization
+	// because the forecast was unchanged across the remaining window —
+	// the previous plan's suffix is still optimal and keeps executing.
+	WarmStarts int `json:"warm_starts,omitempty"`
+
 	// Feasible reports whether the target was actually completed by the
 	// deadline under the truth.
 	Feasible bool `json:"feasible"`
@@ -178,6 +183,7 @@ func run(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Optio
 	}
 	remaining := opts.Target
 	var plan *grid.Plan
+	var planView *grid.Signal // the q-view the current plan was built on (absolute time)
 	planAt := 0.0
 	for di, d := range decisions {
 		if remaining <= 1e-9*(1+opts.Target) {
@@ -191,17 +197,28 @@ func run(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Optio
 				return nil, err
 			}
 		}
-		suffix := Window(fc.At(q), d, deadline)
-		plan, err = grid.Optimize(lt, suffix, grid.Options{
-			Target:     remaining,
-			Objective:  opts.Objective,
-			PowerScale: scale,
-		})
-		if err != nil {
-			return nil, err
+		view := fc.At(q)
+		if plan != nil && SignalEqualWithin(planView, view, d, deadline) {
+			// Warm start: the revision left every interval in the
+			// remaining window untouched (only already-executed or
+			// beyond-deadline intervals changed), so the running plan's
+			// suffix is still the optimum for the remaining target —
+			// keep executing it instead of re-solving.
+			out.WarmStarts++
+		} else {
+			suffix := Window(view, d, deadline)
+			plan, err = grid.Optimize(lt, suffix, grid.Options{
+				Target:     remaining,
+				Objective:  opts.Objective,
+				PowerScale: scale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Plans++
+			planAt = d
+			planView = view
 		}
-		out.Plans++
-		planAt = d
 
 		// Execute the plan up to the next decision time (or, for the
 		// final plan, to the deadline).
@@ -211,13 +228,25 @@ func run(lt *frontier.LookupTable, prov Provider, truth *grid.Signal, opts Optio
 		}
 		for _, ip := range plan.Intervals {
 			absStart, absEnd := planAt+ip.StartS, planAt+ip.EndS
+			if absEnd <= d+1e-9 {
+				continue // already executed in an earlier span (warm start keeps the old plan)
+			}
+			slices := ip.Slices
+			if absStart < d {
+				// A warm-started plan interval straddling the decision
+				// time: the part before d already ran (and was recorded
+				// by the previous span, idle tail included) — resume the
+				// remainder from d.
+				slices, _ = clipPaused(slices, absStart, d)
+				absStart = d
+			}
 			if absStart >= end-1e-9 {
 				break
 			}
 			if absEnd > end {
 				absEnd = end
 			}
-			ei := ExecuteSlices(lt, truth, fc.Signal, scale, absStart, absEnd, ip.Slices)
+			ei := ExecuteSlices(lt, truth, fc.Signal, scale, absStart, absEnd, slices)
 			ei.Replanned = len(out.Intervals) == 0 || out.Intervals[len(out.Intervals)-1].EndS <= planAt
 			if out.FinishS < 0 && out.Iterations+ei.Iterations >= opts.Target-1e-9 {
 				need := opts.Target - out.Iterations
@@ -274,6 +303,39 @@ func (p *Planner) Plan(req plan.Request) (plan.Result, error) {
 		return Replan(p.Table, p.Provider, p.Truth, req)
 	}
 	return PlanOnce(p.Table, p.Provider, p.Truth, req)
+}
+
+// SignalEqualWithin reports whether two absolute-time signals agree
+// exactly (same boundaries, rates, and caps) on every interval
+// overlapping (from, to) — the warm-start test: a forecast revision
+// that only touched intervals outside the remaining planning window
+// leaves the plan built on the old signal optimal. Exact float
+// equality is deliberate: anything less re-plans, which is always
+// correct, just colder.
+func SignalEqualWithin(a, b *grid.Signal, from, to float64) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	overlapFrom := func(ivs []grid.Interval, k int) int {
+		for k < len(ivs) && ivs[k].EndS <= from+1e-9 {
+			k++
+		}
+		return k
+	}
+	i, j := 0, 0
+	for {
+		i, j = overlapFrom(a.Intervals, i), overlapFrom(b.Intervals, j)
+		aDone := i >= len(a.Intervals) || a.Intervals[i].StartS >= to-1e-9
+		bDone := j >= len(b.Intervals) || b.Intervals[j].StartS >= to-1e-9
+		if aDone || bDone {
+			return aDone && bDone
+		}
+		if a.Intervals[i] != b.Intervals[j] {
+			return false
+		}
+		i++
+		j++
+	}
 }
 
 // ExecuteSlices runs a planned interval's slices (back-to-back from

@@ -202,11 +202,14 @@ type fracStep struct {
 
 // solution is the solver outcome, carrying the normalized inputs it
 // was solved under. Whole steps live in stacks; at most one step is
-// fractional.
+// fractional. A solution's buffers are reusable: solving into the same
+// value again truncates and refills them instead of re-allocating.
 type solution struct {
 	ivs      []planInterval
 	stacks   [][]step
+	heap     []heapItem
 	frac     *fracStep
+	fracBuf  fracStep
 	coverage float64
 	cost     float64
 	feasible bool
@@ -214,6 +217,88 @@ type solution struct {
 	deadline float64
 	scale    float64
 	obj      Objective
+}
+
+// heapItem is one interval's currently available step in the greedy's
+// min-heap, keyed by marginal slope with the interval index as the
+// tie-break — lexicographic (slope, k) ordering reproduces exactly the
+// strict-< first-index-wins selection of a sequential scan.
+type heapItem struct {
+	slope float64
+	k     int32
+	st    step
+}
+
+func stepLess(a, b heapItem) bool {
+	return a.slope < b.slope || (a.slope == b.slope && a.k < b.k)
+}
+
+func (sol *solution) siftDown(i int) {
+	n := len(sol.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && stepLess(sol.heap[l], sol.heap[min]) {
+			min = l
+		}
+		if r < n && stepLess(sol.heap[r], sol.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		sol.heap[i], sol.heap[min] = sol.heap[min], sol.heap[i]
+		i = min
+	}
+}
+
+// heapify orders an appended-unordered heap in O(n). The comparator is
+// a strict total order ((slope, k) with unique k), so the pop sequence
+// is independent of how the heap was built.
+func (sol *solution) heapify() {
+	for i := len(sol.heap)/2 - 1; i >= 0; i-- {
+		sol.siftDown(i)
+	}
+}
+
+// dropTop removes the heap minimum. Taking a step and re-inserting the
+// same interval's next one instead goes through replaceTop — one
+// sift-down, no sift-up — which pops in exactly the same order as a
+// pop-then-push would (the comparator is a strict total order).
+func (sol *solution) dropTop() {
+	last := len(sol.heap) - 1
+	sol.heap[0] = sol.heap[last]
+	sol.heap = sol.heap[:last]
+	sol.siftDown(0)
+}
+
+func (sol *solution) replaceTop(k int32, st step) {
+	sol.heap[0] = heapItem{slope: st.dc / st.dw, k: k, st: st}
+	sol.siftDown(0)
+}
+
+// nextStep returns interval k's next available marginal step: wake up
+// at the slowest allowed point, then one point faster at a time, until
+// the interval saturates at its cap floor.
+func (sol *solution) nextStep(lt *frontier.LookupTable, n, k int) (step, bool) {
+	pi := &sol.ivs[k]
+	if pi.only || pi.cur == pi.lo {
+		return step{}, false
+	}
+	if pi.cur < 0 {
+		// First step: wake up at the slowest allowed point.
+		to := n - 1
+		if to < pi.lo {
+			to = pi.lo
+		}
+		return step{from: -1, to: to,
+			dw: pi.dur / lt.PointTime(to),
+			dc: pi.perJ * sol.scale * lt.AvgPower(to) * pi.dur}, true
+	}
+	to := pi.cur - 1
+	return step{from: pi.cur, to: to,
+		dw: pi.dur/lt.PointTime(to) - pi.dur/lt.PointTime(pi.cur),
+		dc: pi.perJ * sol.scale * pi.dur * (lt.AvgPower(to) - lt.AvgPower(pi.cur))}, true
 }
 
 // request maps the options to the shared planning request.
@@ -277,19 +362,106 @@ func normalize(lt *frontier.LookupTable, sig *Signal, opts Options) (deadline, s
 // brute-force enumeration (every per-interval point choice plus every
 // single time-shared interval).
 func Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error) {
-	sol, err := solve(lt, sig, opts)
-	if err != nil {
+	var s Solver
+	return s.Optimize(lt, sig, opts)
+}
+
+// Solver is a reusable temporal-planner instance: repeated Optimize and
+// Evaluate calls on one Solver share the greedy's working buffers, so
+// hot callers — the region planner's candidate descent evaluates tens
+// of thousands of composite signals per plan — avoid re-allocating the
+// per-interval state on every solve. The zero value is ready; a Solver
+// is not safe for concurrent use.
+type Solver struct {
+	sol solution
+	buf []Slice
+}
+
+// Evaluation is the totals-only outcome of a solve: what candidate
+// comparison needs, computed with arithmetic identical to Optimize's
+// plan assembly but without materializing any per-interval plans.
+type Evaluation struct {
+	// Feasible reports whether the target fits before the deadline.
+	Feasible bool
+
+	// Iterations is the planned coverage (the best-effort maximum when
+	// infeasible).
+	Iterations float64
+
+	// EnergyJ, CarbonG, and CostUSD total the plan.
+	EnergyJ float64
+	CarbonG float64
+	CostUSD float64
+}
+
+// Total reads the evaluation total matching the objective.
+func (e Evaluation) Total(obj Objective) float64 {
+	switch obj {
+	case ObjectiveCost:
+		return e.CostUSD
+	case ObjectiveEnergy:
+		return e.EnergyJ
+	default:
+		return e.CarbonG
+	}
+}
+
+// Evaluate solves the instance and returns only its totals, reusing the
+// solver's buffers: no plan, no per-interval slices, no allocations in
+// steady state. The totals are bit-identical to Optimize's on the same
+// inputs — both accumulate the same per-slice terms in the same order —
+// so a descent may compare candidates via Evaluate and re-solve only
+// the winner with Optimize.
+func (s *Solver) Evaluate(lt *frontier.LookupTable, sig *Signal, opts Options) (Evaluation, error) {
+	if err := s.sol.solve(lt, sig, opts); err != nil {
+		return Evaluation{}, err
+	}
+	sol := &s.sol
+	out := Evaluation{Feasible: sol.feasible}
+	for k := range sol.ivs {
+		s.buf = sol.intervalSlices(k, s.buf[:0])
+		var iters, energy float64
+		for _, sl := range s.buf {
+			iters += sl.Seconds / lt.PointTime(sl.Point)
+			energy += sl.Seconds * sol.scale * lt.AvgPower(sl.Point)
+		}
+		pi := &sol.ivs[k]
+		out.Iterations += iters
+		out.EnergyJ += energy
+		out.CarbonG += energy / JoulesPerKWh * pi.iv.CarbonGPerKWh
+		out.CostUSD += energy / JoulesPerKWh * pi.iv.PriceUSDPerKWh
+	}
+	return out, nil
+}
+
+// Optimize plans via the solver's reusable buffers; see the package
+// Optimize for semantics. The returned Plan is freshly allocated (it
+// does not alias the solver), with all interval slices carved from one
+// backing array.
+func (s *Solver) Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error) {
+	if err := s.sol.solve(lt, sig, opts); err != nil {
 		return nil, err
 	}
-	scale, obj := sol.scale, sol.obj
+	sol := &s.sol
+	scale := sol.scale
 
 	plan := &Plan{
-		Objective: obj,
+		Objective: sol.obj,
 		Target:    opts.Target,
 		DeadlineS: sol.deadline,
 		Feasible:  sol.feasible,
 		FinishS:   math.Inf(1),
+		Intervals: make([]IntervalPlan, 0, len(sol.ivs)),
 	}
+	nSlices := 0
+	for k := range sol.ivs {
+		if sol.frac != nil && sol.frac.k == k {
+			nSlices += 2
+		} else if sol.ivs[k].cur >= 0 {
+			nSlices++
+		}
+	}
+	slices := make([]Slice, 0, nSlices)
 	remaining := opts.Target
 	for k := range sol.ivs {
 		pi := &sol.ivs[k]
@@ -300,18 +472,10 @@ func Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error
 			CarbonGPerKWh:  pi.iv.CarbonGPerKWh,
 			PriceUSDPerKWh: pi.iv.PriceUSDPerKWh,
 		}
-		if sol.frac != nil && sol.frac.k == k {
-			// The fractional interval time-shares its step's endpoints:
-			// f·dur seconds at the faster state, the rest at the slower
-			// one (or idle).
-			fs := sol.frac
-			fast := fs.f * pi.dur
-			ip.Slices = append(ip.Slices, Slice{Point: fs.st.to, Seconds: fast})
-			if fs.st.from >= 0 {
-				ip.Slices = append(ip.Slices, Slice{Point: fs.st.from, Seconds: pi.dur - fast})
-			}
-		} else if pi.cur >= 0 {
-			ip.Slices = []Slice{{Point: pi.cur, Seconds: pi.dur}}
+		base := len(slices)
+		slices = sol.intervalSlices(k, slices)
+		if len(slices) > base {
+			ip.Slices = slices[base:len(slices):len(slices)]
 		}
 		var run float64
 		for _, sl := range ip.Slices {
@@ -353,22 +517,65 @@ func Optimize(lt *frontier.LookupTable, sig *Signal, opts Options) (*Plan, error
 	return plan, nil
 }
 
+// intervalSlices appends interval k's planned runs to buf: the
+// fractional interval time-shares its step's endpoints — f·dur seconds
+// at the faster state, the rest at the slower one (or idle) — and any
+// other awake interval runs its descent state for its whole duration.
+func (sol *solution) intervalSlices(k int, buf []Slice) []Slice {
+	pi := &sol.ivs[k]
+	if sol.frac != nil && sol.frac.k == k {
+		fs := sol.frac
+		fast := fs.f * pi.dur
+		buf = append(buf, Slice{Point: fs.st.to, Seconds: fast})
+		if fs.st.from >= 0 {
+			buf = append(buf, Slice{Point: fs.st.from, Seconds: pi.dur - fast})
+		}
+	} else if pi.cur >= 0 {
+		buf = append(buf, Slice{Point: pi.cur, Seconds: pi.dur})
+	}
+	return buf
+}
+
 // solve runs the marginal-cost greedy and returns the per-interval
 // states plus the single fractional step. Exposed separately so tests
 // can compare the solver layer against brute force.
 func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, error) {
-	d, scale, obj, err := normalize(lt, sig, opts)
-	if err != nil {
+	sol := &solution{}
+	if err := sol.solve(lt, sig, opts); err != nil {
 		return nil, err
 	}
+	return sol, nil
+}
 
-	win := sig.Truncate(d)
+// solve fills the solution in place, truncating and reusing its
+// buffers from any previous run.
+func (sol *solution) solve(lt *frontier.LookupTable, sig *Signal, opts Options) error {
+	d, scale, obj, err := normalize(lt, sig, opts)
+	if err != nil {
+		return err
+	}
+
 	n := len(lt.Points)
-	sol := &solution{deadline: d, scale: scale, obj: obj}
-	for _, iv := range win.Intervals {
+	minPow := lt.AvgPower(n - 1) // slowest point's draw: any cap below it forces idle
+	sol.ivs = sol.ivs[:0]
+	sol.frac = nil
+	sol.coverage, sol.cost, sol.maxCover = 0, 0, 0
+	sol.deadline, sol.scale, sol.obj = d, scale, obj
+	for _, iv := range sig.Intervals {
+		// Inline Signal.Truncate: cut at the deadline without copying.
+		if iv.StartS >= d {
+			break
+		}
+		if iv.EndS > d {
+			iv.EndS = d
+		}
 		pi := planInterval{iv: iv, dur: iv.Duration(), perJ: PerJoule(obj, iv), cur: -1, lo: 0}
 		if iv.CapW > 0 {
-			pi.lo = lt.FirstUnderPower(iv.CapW / scale)
+			if maxW := iv.CapW / scale; maxW < minPow {
+				pi.lo = -1 // skip FirstUnderPower's search: no point qualifies
+			} else {
+				pi.lo = lt.FirstUnderPower(maxW)
+			}
 			if pi.lo < 0 {
 				pi.only = true // cap excludes every point: forced idle
 			}
@@ -383,7 +590,14 @@ func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, erro
 		}
 		sol.ivs = append(sol.ivs, pi)
 	}
-	sol.stacks = make([][]step, len(sol.ivs))
+	if cap(sol.stacks) < len(sol.ivs) {
+		sol.stacks = make([][]step, len(sol.ivs))
+	} else {
+		sol.stacks = sol.stacks[:len(sol.ivs)]
+		for k := range sol.stacks {
+			sol.stacks[k] = sol.stacks[k][:0]
+		}
+	}
 	sol.feasible = sol.maxCover >= opts.Target-1e-9
 
 	if !sol.feasible {
@@ -396,7 +610,7 @@ func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, erro
 			pi.cur = pi.lo
 		}
 		sol.coverage = sol.maxCover
-		return sol, nil
+		return nil
 	}
 
 	// Greedy fill: cheapest marginal objective cost per iteration
@@ -406,45 +620,34 @@ func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, erro
 	// the global cheapest-available order is the global slope order.
 	// The final step is taken fractionally, so the fill never
 	// overshoots the target.
-	for sol.coverage < opts.Target-1e-9 {
-		best, bestSlope := -1, 0.0
-		var bestStep step
-		for k := range sol.ivs {
-			pi := &sol.ivs[k]
-			if pi.only || pi.cur == pi.lo {
-				continue
-			}
-			var st step
-			if pi.cur < 0 {
-				// First step: wake up at the slowest allowed point.
-				to := n - 1
-				if to < pi.lo {
-					to = pi.lo
-				}
-				st = step{from: -1, to: to,
-					dw: pi.dur / lt.PointTime(to),
-					dc: pi.perJ * scale * lt.AvgPower(to) * pi.dur}
-			} else {
-				to := pi.cur - 1
-				st = step{from: pi.cur, to: to,
-					dw: pi.dur/lt.PointTime(to) - pi.dur/lt.PointTime(pi.cur),
-					dc: pi.perJ * scale * pi.dur * (lt.AvgPower(to) - lt.AvgPower(pi.cur))}
-			}
-			slope := st.dc / st.dw
-			if best < 0 || slope < bestSlope {
-				best, bestSlope, bestStep = k, slope, st
-			}
+	//
+	// An interval's available step only changes when its current one is
+	// taken, so the cheapest-available selection runs over a min-heap —
+	// each step pushed and popped once, O(steps · log intervals) rather
+	// than a full interval rescan per step — while heapItem's (slope,
+	// index) ordering keeps the pick sequence, and hence every float
+	// accumulation, bit-identical to the sequential scan.
+	sol.heap = sol.heap[:0]
+	for k := range sol.ivs {
+		if st, ok := sol.nextStep(lt, n, k); ok {
+			sol.heap = append(sol.heap, heapItem{slope: st.dc / st.dw, k: int32(k), st: st})
 		}
-		if best < 0 {
+	}
+	sol.heapify()
+	for sol.coverage < opts.Target-1e-9 {
+		if len(sol.heap) == 0 {
 			break // every interval saturated (NoIdle with coverage < target is impossible here)
 		}
+		it := sol.heap[0] // peek: the take either breaks or replaces the top in place
+		best, bestStep := int(it.k), it.st
 		if need := opts.Target - sol.coverage; bestStep.dw > need+1e-12 {
 			// Final fractional take: time-share the step's endpoints so
 			// the target is completed exactly. (Under NoIdle every
 			// interval is already awake, so the shared states both run —
 			// no idle time is introduced.)
 			f := need / bestStep.dw
-			sol.frac = &fracStep{k: best, st: bestStep, f: f}
+			sol.fracBuf = fracStep{k: best, st: bestStep, f: f}
+			sol.frac = &sol.fracBuf
 			sol.coverage += need
 			sol.cost += f * bestStep.dc
 			break
@@ -453,8 +656,13 @@ func solve(lt *frontier.LookupTable, sig *Signal, opts Options) (*solution, erro
 		sol.coverage += bestStep.dw
 		sol.cost += bestStep.dc
 		sol.stacks[best] = append(sol.stacks[best], bestStep)
+		if st, ok := sol.nextStep(lt, n, best); ok {
+			sol.replaceTop(it.k, st)
+		} else {
+			sol.dropTop()
+		}
 	}
-	return sol, nil
+	return nil
 }
 
 // Fixed plans the signal-blind baseline: run one fixed frontier point

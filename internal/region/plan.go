@@ -21,6 +21,32 @@ type Options struct {
 	// first sequential pass: each round re-plans every job against the
 	// others' committed placements. 0 means 2.
 	Rounds int
+
+	// Workers bounds the planner's evaluation parallelism: independent
+	// candidate placements are solved across a worker pool and reduced
+	// in a fixed deterministic order, so the plan is identical for any
+	// value. 0 means runtime.GOMAXPROCS(0); 1 forces sequential
+	// evaluation (determinism_test.go pins the equality).
+	Workers int
+
+	// Seeds optionally warm-starts each job's descent from a prior
+	// placement, keyed by job ID. A seed is one extra starting
+	// candidate beside the usual single-region and rate-envelope
+	// starts, and descent accepts it only on strict improvement — so a
+	// stale or infeasible seed changes nothing, while a near-optimal
+	// one (the previous MPC tick's plan) lets descent converge in a
+	// move or two.
+	Seeds map[string][]SeedSpan
+}
+
+// SeedSpan pins one stretch of a warm-start seed placement: run in
+// Region over [StartS, EndS) seconds ("" or an unknown name pauses).
+// Spans are expressed in time rather than cell indices because the
+// common cell grid generally shifts between MPC ticks.
+type SeedSpan struct {
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	Region string  `json:"region"`
 }
 
 func (o Options) rounds() int {
@@ -28,6 +54,13 @@ func (o Options) rounds() int {
 		return 2
 	}
 	return o.Rounds
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return DefaultWorkers()
+	}
+	return o.Workers
 }
 
 // Assignment is one cell of a job's placement sequence.
@@ -228,13 +261,87 @@ func (u *usage) apply(j *Job, ev *eval, sign int) {
 	}
 }
 
-// planner bundles the immutable planning context.
+// planner bundles the planning context: the immutable instance
+// (regions, cells, options, precomputed rates) plus the mutable solve
+// state — committed usage, per-worker evaluation scratch, and the
+// per-job candidate memo. Tests build bare planners with just the
+// first five fields; every method tolerates the zero values of the
+// rest (nil rates fall back to Region.rates, zero workers run inline).
 type planner struct {
 	regions []Region
 	cells   []Cell
 	horizon float64
 	opts    Options
 	usage   *usage
+
+	workers int
+	rates   [][]cellRates // nil on bare test planners
+	scratch []evalScratch // one per worker
+	memo    jobMemo
+	cands   []int32 // current batch, entry indices in generation order
+	pending []int32 // entries awaiting evaluation this batch
+	curPl   []int   // descent incumbent placement
+	tmpPl   []int   // candidate construction buffer
+}
+
+// newPlanner validates the instance and builds a ready planner:
+// normalized objective, common cell grid, rate table, and worker
+// scratch. The shared front half of every planning entry point
+// (Optimize, Fixed, BestFixed, NoMigration), hoisted so BestFixed pays
+// it once rather than once per region.
+func newPlanner(regions []Region, jobs []Job, opts Options) (*planner, error) {
+	if err := validate(regions, jobs, opts); err != nil {
+		return nil, err
+	}
+	obj, err := grid.ParseObjective(string(opts.Objective))
+	if err != nil {
+		return nil, err
+	}
+	opts.Objective = obj
+
+	horizon := 0.0
+	maxSig := 0.0
+	for i := range regions {
+		if h := regions[i].Signal.Horizon(); h > maxSig {
+			maxSig = h
+		}
+	}
+	for i := range jobs {
+		d := jobs[i].DeadlineS
+		if d <= 0 {
+			d = maxSig
+		}
+		if d > horizon {
+			horizon = d
+		}
+	}
+	cells := commonGrid(regions, horizon)
+	p := &planner{
+		regions: regions,
+		cells:   cells,
+		horizon: horizon,
+		opts:    opts,
+		workers: opts.workers(),
+		rates:   rateTable(regions, cells),
+	}
+	p.scratch = make([]evalScratch, p.workers)
+	return p, nil
+}
+
+// fork clones the planner's immutable context for an independent solve
+// (BestFixed runs one per region concurrently): shared regions, cells,
+// and rates; private usage, scratch, and memo. Forks run their inner
+// evaluations sequentially — the fan-out is across forks.
+func (p *planner) fork() *planner {
+	return &planner{
+		regions: p.regions,
+		cells:   p.cells,
+		horizon: p.horizon,
+		opts:    p.opts,
+		workers: 1,
+		rates:   p.rates,
+		scratch: make([]evalScratch, 1),
+	}
 }
 
 // allowed reports whether the job fits region r's GPU capacity in cell
@@ -250,7 +357,12 @@ func (p *planner) allowed(j *Job, r, k int) bool {
 // region's effective cap minus the power other jobs' plans already
 // draw there (0 = uncapped).
 func (p *planner) capOverride(r, k int) float64 {
-	_, _, capW := p.regions[r].rates(p.cells[k])
+	var capW float64
+	if p.rates != nil {
+		capW = p.rates[r][k].capW
+	} else {
+		_, _, capW = p.regions[r].rates(p.cells[k])
+	}
 	if capW <= 0 {
 		return 0
 	}
@@ -259,6 +371,17 @@ func (p *planner) capOverride(r, k int) float64 {
 		rem = forceIdleCapW
 	}
 	return rem
+}
+
+// cellRate reads region r's (carbon, price) over cell k, through the
+// precomputed table when present.
+func (p *planner) cellRate(r, k int) (carbon, price float64) {
+	if p.rates != nil {
+		rc := p.rates[r][k]
+		return rc.carbon, rc.price
+	}
+	carbon, price, _ = p.regions[r].rates(p.cells[k])
+	return carbon, price
 }
 
 // origin resolves the job's Origin region name to an index (Paused
@@ -275,16 +398,23 @@ func (p *planner) origin(j *Job) int {
 	return Paused
 }
 
-// evaluate compiles a placement into a composite signal and solves the
-// inner temporal subproblem exactly with grid.Optimize.
-func (p *planner) evaluate(j *Job, placement []int) (*eval, error) {
-	sig, mig, cellOf := compile(p.regions, p.cells, placement, p.origin(j), p.opts.Migration, p.capOverride)
-	plan, err := grid.Optimize(j.Table, sig, grid.Options{
+// gridOptions maps a job to its inner temporal-planner options.
+func (p *planner) gridOptions(j *Job) grid.Options {
+	return grid.Options{
 		Target:     j.Target,
 		DeadlineS:  j.DeadlineS,
 		Objective:  p.opts.Objective,
 		PowerScale: j.scale(),
-	})
+	}
+}
+
+// evaluate compiles a placement into a composite signal and solves the
+// inner temporal subproblem exactly with grid.Optimize. The
+// allocate-everything path, kept for bare test planners; hot paths use
+// evaluateFull/evaluateLight below.
+func (p *planner) evaluate(j *Job, placement []int) (*eval, error) {
+	sig, mig, cellOf := compile(p.regions, p.cells, placement, p.origin(j), p.opts.Migration, p.capOverride)
+	plan, err := grid.Optimize(j.Table, sig, p.gridOptions(j))
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +428,126 @@ func (p *planner) evaluate(j *Job, placement []int) (*eval, error) {
 		cost:      objectiveTotal(plan) + mig.objective(plan.Objective),
 	}
 	return ev, nil
+}
+
+// evaluateFull evaluates a placement and materializes the full eval —
+// temporal plan and cell map included — for commit paths (usage
+// accounting, assembly). Compile runs in the scratch's buffers; the
+// returned eval retains only fresh state (the plan and a copied cell
+// map), never the scratch.
+func (p *planner) evaluateFull(s *evalScratch, j *Job, placement []int) (*eval, error) {
+	sig, mig, cellOf := compileInto(&s.compileScratch, p.regions, p.cells, placement, p.origin(j), p.opts.Migration, p.capOverride, p.rates)
+	plan, err := s.solver.Optimize(j.Table, sig, p.gridOptions(j))
+	if err != nil {
+		return nil, err
+	}
+	return &eval{
+		placement: placement,
+		plan:      plan,
+		mig:       mig,
+		cellOf:    append([]int(nil), cellOf...),
+		coverage:  plan.Iterations,
+		feasible:  plan.Feasible,
+		cost:      objectiveTotal(plan) + mig.objective(plan.Objective),
+	}, nil
+}
+
+// evaluateLight evaluates a placement to its comparison outcome only —
+// no plan, no allocations in steady state. grid.Solver.Evaluate totals
+// with arithmetic bit-identical to Optimize's, so light and full
+// evaluations of the same placement always agree; descent compares
+// candidates light and re-solves only committed winners full.
+func (p *planner) evaluateLight(s *evalScratch, j *Job, placement []int) (outcome, error) {
+	sig, mig, _ := compileInto(&s.compileScratch, p.regions, p.cells, placement, p.origin(j), p.opts.Migration, p.capOverride, p.rates)
+	ev, err := s.solver.Evaluate(j.Table, sig, p.gridOptions(j))
+	if err != nil {
+		return outcome{}, err
+	}
+	return outcome{
+		cost:     ev.Total(p.opts.Objective) + mig.objective(p.opts.Objective),
+		coverage: ev.Iterations,
+		feasible: ev.Feasible,
+	}, nil
+}
+
+// beginBatch starts collecting one batch of candidate placements.
+func (p *planner) beginBatch() { p.cands = p.cands[:0] }
+
+// addCand records a candidate in generation order, interning it in the
+// job memo (duplicates and already-solved placements share entries).
+func (p *planner) addCand(pl []int) { p.cands = append(p.cands, p.memo.intern(pl)) }
+
+// runBatch solves every not-yet-solved candidate in the current batch,
+// fanned across the worker pool. Each pending entry is written by
+// exactly one worker and the memo's headers are untouched while
+// workers run, so the pass is race-free; results are then read back
+// sequentially in generation order, which keeps the reduction — and
+// therefore the whole planner — bit-identical for any worker count.
+func (p *planner) runBatch(j *Job) error {
+	p.pending = p.pending[:0]
+	for _, e := range p.cands {
+		ent := &p.memo.entries[e]
+		if !ent.solved {
+			ent.solved = true // batches can repeat an entry; queue it once
+			p.pending = append(p.pending, e)
+		}
+	}
+	parallelFor(p.workers, len(p.pending), func(w, i int) {
+		e := p.pending[i]
+		ent := &p.memo.entries[e]
+		ent.out, ent.err = p.evaluateLight(&p.scratch[w], j, p.memo.placement(e))
+	})
+	for _, e := range p.pending {
+		if err := p.memo.entries[e].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regionIndex resolves a region name to its index, -1 when unknown.
+func (p *planner) regionIndex(name string) int {
+	for i := range p.regions {
+		if p.regions[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// seedPlacement converts the job's warm-start seed spans to a
+// placement on the current cell grid: each cell takes the region of
+// the span covering its midpoint, clamped to Paused past the deadline,
+// where the region is unknown, or where capacity is already committed.
+// Returns nil when the job has no seed or the seed places nothing.
+func (p *planner) seedPlacement(j *Job, kEnd int) []int {
+	spans := p.opts.Seeds[j.ID]
+	if len(spans) == 0 {
+		return nil
+	}
+	pl := make([]int, len(p.cells))
+	any := false
+	for k, c := range p.cells {
+		pl[k] = Paused
+		if k >= kEnd {
+			continue
+		}
+		mid := (c.StartS + c.EndS) / 2
+		for _, sp := range spans {
+			if mid < sp.StartS || mid >= sp.EndS {
+				continue
+			}
+			if r := p.regionIndex(sp.Region); r >= 0 && p.allowed(j, r, k) {
+				pl[k] = r
+				any = true
+			}
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	return pl
 }
 
 // kEnd returns the first cell index at or beyond the job's deadline;
@@ -344,7 +594,7 @@ func (p *planner) starts(j *Job) [][]int {
 			if !p.allowed(j, r, k) {
 				continue
 			}
-			carbon, price, _ := p.regions[r].rates(p.cells[k])
+			carbon, price := p.cellRate(r, k)
 			rate := carbon
 			if p.opts.Objective == grid.ObjectiveCost {
 				rate = price
@@ -365,24 +615,43 @@ func (p *planner) starts(j *Job) [][]int {
 // Paused) and is evaluated exactly via the inner temporal planner, so
 // the descent only accepts moves whose full spatio-temporal cost —
 // migration pause-costs included — strictly improves.
+//
+// Mechanically each descent sweep is batched: candidates are generated
+// in canonical (i, k, t) order, deduplicated through the job memo,
+// evaluated light across the worker pool, and reduced sequentially in
+// generation order with the same strict comparisons the sequential
+// planner makes — so the chosen move, and hence the whole descent, is
+// bit-identical for any Options.Workers.
 func (p *planner) planJob(j *Job) (*eval, error) {
-	var cur *eval
-	for _, pl := range p.starts(j) {
-		ev, err := p.evaluate(j, pl)
-		if err != nil {
-			return nil, err
-		}
-		if ev.better(cur) {
-			cur = ev
+	p.memo.reset()
+	kEnd := p.kEnd(j)
+
+	p.beginBatch()
+	starts := p.starts(j)
+	if seed := p.seedPlacement(j, kEnd); seed != nil {
+		starts = append(starts, seed)
+	}
+	for _, pl := range starts {
+		p.addCand(pl)
+	}
+	if err := p.runBatch(j); err != nil {
+		return nil, err
+	}
+	var cur outcome
+	haveCur := false
+	for _, e := range p.cands {
+		if out := p.memo.entries[e].out; betterOutcome(out, cur, haveCur) {
+			cur, haveCur = out, true
+			p.curPl = append(p.curPl[:0], p.memo.placement(e)...)
 		}
 	}
-	kEnd := p.kEnd(j)
+
 	// Each accepted move strictly improves, so this bound only cuts off
 	// pathological slow convergence; observed descents take well under
 	// a tenth of it.
 	const maxMoves = 64
 	for move := 0; move < maxMoves; move++ {
-		var best *eval
+		p.beginBatch()
 		for i := 0; i < kEnd; i++ {
 			for k := i; k < kEnd; k++ {
 				for t := Paused; t < len(p.regions); t++ {
@@ -392,33 +661,42 @@ func (p *planner) planJob(j *Job) (*eval, error) {
 							ok = false
 							break
 						}
-						if cur.placement[c] != t {
+						if p.curPl[c] != t {
 							changed = true
 						}
 					}
 					if !ok || !changed {
 						continue
 					}
-					cand := append([]int(nil), cur.placement...)
+					cand := append(p.tmpPl[:0], p.curPl...)
 					for c := i; c <= k; c++ {
 						cand[c] = t
 					}
-					ev, err := p.evaluate(j, cand)
-					if err != nil {
-						return nil, err
-					}
-					if ev.better(cur) && ev.better(best) {
-						best = ev
-					}
+					p.tmpPl = cand
+					p.addCand(cand)
 				}
 			}
 		}
-		if best == nil {
+		if err := p.runBatch(j); err != nil {
+			return nil, err
+		}
+		bestE := int32(-1)
+		var best outcome
+		for _, e := range p.cands {
+			out := p.memo.entries[e].out
+			if betterOutcome(out, cur, true) && betterOutcome(out, best, bestE >= 0) {
+				best, bestE = out, e
+			}
+		}
+		if bestE < 0 {
 			break
 		}
 		cur = best
+		p.curPl = append(p.curPl[:0], p.memo.placement(bestE)...)
 	}
-	return cur, nil
+	// Materialize the winner once, full: the descent itself never
+	// builds a temporal plan.
+	return p.evaluateFull(&p.scratch[0], j, append([]int(nil), p.curPl...))
 }
 
 // Optimize plans the joint spatio-temporal schedule: for every job a
@@ -432,10 +710,13 @@ func (p *planner) planJob(j *Job) (*eval, error) {
 // usage of earlier jobs, then refined with opts.Rounds Gauss-Seidel
 // rounds (each job re-planned against all others). Per job the search
 // is steepest descent over contiguous segment moves from the best of
-// the single-region and rate-envelope starts; every candidate is
-// evaluated exactly by grid.Optimize on the placement's composite
-// signal, so temporal shifting, pausing, and migration trade off in
-// one objective. brute_test.go cross-checks the result against
+// the single-region and rate-envelope starts (plus any warm-start
+// seed); every candidate is evaluated exactly by the inner temporal
+// solver on the placement's composite signal, so temporal shifting,
+// pausing, and migration trade off in one objective. Candidate
+// evaluations fan out across an Options.Workers pool with a
+// deterministic sequential reduction, so the plan is identical for any
+// worker count. brute_test.go cross-checks the result against
 // exhaustive placement enumeration on small instances.
 func Optimize(regions []Region, jobs []Job, opts Options) (*Plan, error) {
 	return plan(regions, jobs, opts, nil, true)
@@ -446,33 +727,49 @@ func Optimize(regions []Region, jobs []Job, opts Options) (*Plan, error) {
 // plan), with the same capacity and cap accounting as Optimize, so the
 // two are directly comparable at equal iterations completed.
 func Fixed(regions []Region, jobs []Job, name string, opts Options) (*Plan, error) {
-	idx := -1
-	for i := range regions {
-		if regions[i].Name == name {
-			idx = i
-		}
+	p, err := newPlanner(regions, jobs, opts)
+	if err != nil {
+		return nil, err
 	}
+	idx := p.regionIndex(name)
 	if idx < 0 {
 		return nil, fmt.Errorf("region: unknown region %q", name)
 	}
-	return plan(regions, jobs, opts, func(p *planner, j *Job) ([][]int, error) {
+	return p.solveAll(jobs, fixedCandidates(idx), false)
+}
+
+// fixedCandidates restricts a solve to the single-region start idx.
+func fixedCandidates(idx int) func(*planner, *Job) ([][]int, error) {
+	return func(p *planner, j *Job) ([][]int, error) {
 		return [][]int{p.starts(j)[idx]}, nil
-	}, false)
+	}
 }
 
 // BestFixed plans Fixed for every region and returns the best plan
 // (feasible first, then lowest objective) — the strongest baseline
 // that never moves a job after choosing one datacenter for the fleet.
+// Validation and the common cell grid are built once and shared; the
+// per-region solves are independent, so they run concurrently on
+// planner forks and reduce in region order.
 func BestFixed(regions []Region, jobs []Job, opts Options) (*Plan, error) {
+	p, err := newPlanner(regions, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*Plan, len(regions))
+	errs := make([]error, len(regions))
+	parallelFor(p.workers, len(regions), func(_, i int) {
+		plans[i], errs[i] = p.fork().solveAll(jobs, fixedCandidates(i), false)
+	})
 	var best *Plan
-	for i := range regions {
-		p, err := Fixed(regions, jobs, regions[i].Name, opts)
-		if err != nil {
-			return nil, err
+	for i := range plans {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if best == nil || (p.Feasible && !best.Feasible) ||
-			(p.Feasible == best.Feasible && p.Total() < best.Total()) {
-			best = p
+		pl := plans[i]
+		if best == nil || (pl.Feasible && !best.Feasible) ||
+			(pl.Feasible == best.Feasible && pl.Total() < best.Total()) {
+			best = pl
 		}
 	}
 	return best, nil
@@ -488,38 +785,19 @@ func NoMigration(regions []Region, jobs []Job, opts Options) (*Plan, error) {
 	}, false)
 }
 
-// plan is the shared orchestration: sequential planning with committed
-// usage, optional candidate restriction (baselines), and optional
-// descent + improvement rounds (the full planner).
+// plan is the shared orchestration: build the planner, then solve.
 func plan(regions []Region, jobs []Job, opts Options, candidates func(*planner, *Job) ([][]int, error), descend bool) (*Plan, error) {
-	if err := validate(regions, jobs, opts); err != nil {
-		return nil, err
-	}
-	obj, err := grid.ParseObjective(string(opts.Objective))
+	p, err := newPlanner(regions, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
-	opts.Objective = obj
+	return p.solveAll(jobs, candidates, descend)
+}
 
-	horizon := 0.0
-	maxSig := 0.0
-	for i := range regions {
-		if h := regions[i].Signal.Horizon(); h > maxSig {
-			maxSig = h
-		}
-	}
-	for i := range jobs {
-		d := jobs[i].DeadlineS
-		if d <= 0 {
-			d = maxSig
-		}
-		if d > horizon {
-			horizon = d
-		}
-	}
-	cells := commonGrid(regions, horizon)
-	p := &planner{regions: regions, cells: cells, horizon: horizon, opts: opts}
-
+// solveAll plans the jobs sequentially with committed usage, optional
+// candidate restriction (baselines), and optional descent +
+// improvement rounds (the full planner).
+func (p *planner) solveAll(jobs []Job, candidates func(*planner, *Job) ([][]int, error), descend bool) (*Plan, error) {
 	solve := func(i int) (*eval, error) {
 		j := &jobs[i]
 		if descend {
@@ -531,7 +809,7 @@ func plan(regions []Region, jobs []Job, opts Options, candidates func(*planner, 
 		}
 		var best *eval
 		for _, pl := range cands {
-			ev, err := p.evaluate(j, pl)
+			ev, err := p.evaluateFull(&p.scratch[0], j, pl)
 			if err != nil {
 				return nil, err
 			}
@@ -545,7 +823,7 @@ func plan(regions []Region, jobs []Job, opts Options, candidates func(*planner, 
 	// run plans the jobs sequentially in the given order (with fresh
 	// usage), then refines with Gauss-Seidel rounds.
 	run := func(order []int) ([]*eval, error) {
-		p.usage = newUsage(len(regions), len(cells))
+		p.usage = newUsage(len(p.regions), len(p.cells))
 		evals := make([]*eval, len(jobs))
 		for _, i := range order {
 			ev, err := solve(i)
@@ -564,7 +842,7 @@ func plan(regions []Region, jobs []Job, opts Options, candidates func(*planner, 
 				p.usage.apply(&jobs[i], evals[i], -1)
 				// Re-evaluate the incumbent against the others' current
 				// placements: its stored cost may be stale.
-				cur, err := p.evaluate(&jobs[i], evals[i].placement)
+				cur, err := p.evaluateFull(&p.scratch[0], &jobs[i], evals[i].placement)
 				if err != nil {
 					return false, err
 				}
@@ -581,7 +859,7 @@ func plan(regions []Region, jobs []Job, opts Options, candidates func(*planner, 
 			}
 			return improved, nil
 		}
-		for round := 0; round < opts.rounds(); round++ {
+		for round := 0; round < p.opts.rounds(); round++ {
 			gs, err := gaussSeidel()
 			if err != nil {
 				return nil, err
@@ -658,11 +936,11 @@ func (p *planner) swapRefine(jobs []Job, evals []*eval) (bool, error) {
 					var evA, evB *eval
 					var err error
 					if p.placementFits(&jobs[b], pb) {
-						evB, err = p.evaluate(&jobs[b], pb)
+						evB, err = p.evaluateFull(&p.scratch[0], &jobs[b], pb)
 						if err == nil {
 							p.usage.apply(&jobs[b], evB, +1)
 							if p.placementFits(&jobs[a], pa) {
-								evA, err = p.evaluate(&jobs[a], pa)
+								evA, err = p.evaluateFull(&p.scratch[0], &jobs[a], pa)
 							}
 							p.usage.apply(&jobs[b], evB, -1)
 						}

@@ -184,27 +184,76 @@ func migrations(origin int, placement []int) []int {
 // priced at each arrival cell's rates) and the composite-interval →
 // cell mapping capacity accounting needs.
 func compile(regions []Region, cells []Cell, placement []int, origin int, mig MigrationCost, capOverride func(region, cell int) float64) (*grid.Signal, migSummary, []int) {
-	arrivals := map[int]bool{}
-	for _, m := range migrations(origin, placement) {
-		arrivals[m] = true
+	return compileInto(nil, regions, cells, placement, origin, mig, capOverride, nil)
+}
+
+// cellRates caches one region's effective (carbon, price, cap) over one
+// cell, so hot candidate evaluation skips the cyclic signal scan that
+// Region.rates performs per call.
+type cellRates struct {
+	carbon, price, capW float64
+}
+
+// rateTable precomputes Region.rates for every (region, cell) pair.
+func rateTable(regions []Region, cells []Cell) [][]cellRates {
+	tab := make([][]cellRates, len(regions))
+	for r := range regions {
+		tab[r] = make([]cellRates, len(cells))
+		for k, c := range cells {
+			carbon, price, capW := regions[r].rates(c)
+			tab[r][k] = cellRates{carbon: carbon, price: price, capW: capW}
+		}
 	}
+	return tab
+}
+
+// compileScratch holds compile's reusable output buffers; the signal a
+// scratch-backed compileInto returns aliases them and is only valid
+// until the next call with the same scratch.
+type compileScratch struct {
+	sig    grid.Signal
+	cellOf []int
+}
+
+// compileInto is compile with reusable buffers: a non-nil scratch
+// supplies (and retains) the interval and cell-map storage, and a
+// non-nil rate table replaces the per-cell Region.rates scans. Both
+// paths produce identical signals; compile is the allocate-fresh
+// special case.
+func compileInto(cs *compileScratch, regions []Region, cells []Cell, placement []int, origin int, mig MigrationCost, capOverride func(region, cell int) float64, rates [][]cellRates) (*grid.Signal, migSummary, []int) {
 	var sum migSummary
+	var sig *grid.Signal
 	var cellOf []int
+	if cs != nil {
+		sig = &cs.sig
+		sig.Name = "composite"
+		sig.Intervals = sig.Intervals[:0]
+		cellOf = cs.cellOf[:0]
+	} else {
+		sig = &grid.Signal{Name: "composite"}
+	}
 	idleUntil := math.Inf(-1) // downtime window currently being served
-	sig := &grid.Signal{Name: "composite"}
+	prev := origin            // last placed region, for arrival detection
 	for k, c := range cells {
 		r := placement[k]
 		var carbon, price, capW float64
+		arrived := false
 		if r == Paused {
 			capW = forceIdleCapW
 		} else {
-			reg := &regions[r]
-			carbon, price, capW = reg.rates(c)
+			if rates != nil {
+				rc := rates[r][k]
+				carbon, price, capW = rc.carbon, rc.price, rc.capW
+			} else {
+				carbon, price, capW = regions[r].rates(c)
+			}
 			if capOverride != nil {
 				capW = capOverride(r, k)
 			}
+			arrived = prev != Paused && r != prev
+			prev = r
 		}
-		if arrivals[k] {
+		if arrived {
 			idleUntil = c.StartS + mig.DowntimeS
 			sum.count++
 			sum.downtimeS += mig.DowntimeS
@@ -233,6 +282,9 @@ func compile(regions []Region, cells []Cell, placement []int, origin int, mig Mi
 			CapW: capW,
 		})
 		cellOf = append(cellOf, k)
+	}
+	if cs != nil {
+		cs.cellOf = cellOf
 	}
 	return sig, sum, cellOf
 }

@@ -1,0 +1,156 @@
+package region
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"perseus/internal/grid"
+)
+
+// DefaultWorkers returns the planner's default evaluation parallelism:
+// one worker per available CPU (Options.Workers = 0 resolves to this).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelFor runs fn(worker, index) for every index in [0, n) across
+// at most `workers` goroutines. Indices are handed out atomically and
+// each worker id runs on exactly one goroutine, so per-worker scratch
+// needs no locking. workers <= 1 (or n <= 1) runs inline.
+func parallelFor(workers, n int, fn func(worker, index int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// evalScratch is one worker's private evaluation state — compile
+// buffers plus a reusable grid solver — shared by every candidate that
+// worker evaluates.
+type evalScratch struct {
+	compileScratch
+	solver grid.Solver
+}
+
+// outcome is a light evaluation result: the fields candidate
+// comparison reads, without the materialized plan the commit path
+// needs.
+type outcome struct {
+	cost     float64 // objective incl. migration; only valid when feasible
+	coverage float64
+	feasible bool
+}
+
+// betterOutcome mirrors eval.better on light results; bOK is false
+// when there is no incumbent yet.
+func betterOutcome(a, b outcome, bOK bool) bool {
+	if !bOK {
+		return true
+	}
+	if a.feasible != b.feasible {
+		return a.feasible
+	}
+	if a.feasible {
+		return a.cost < b.cost-1e-9*(1+math.Abs(b.cost))
+	}
+	if math.Abs(a.coverage-b.coverage) > 1e-9*(1+b.coverage) {
+		return a.coverage > b.coverage
+	}
+	return a.cost < b.cost-1e-9*(1+math.Abs(b.cost))
+}
+
+// jobMemo memoizes light evaluations by placement for one job's
+// descent. Usage is fixed while a job is being planned, so an outcome
+// is a pure function of the placement — a repeated candidate (steepest
+// descent re-proposes most of the previous sweep's moves) is never
+// re-solved. Keys are FNV-1a hashes verified against the stored
+// placement, so a hash collision degrades to a duplicate solve, never
+// a wrong result.
+type jobMemo struct {
+	keys    map[uint64]int32
+	entries []memoEntry
+	arena   []int // interned placements, back to back
+}
+
+type memoEntry struct {
+	off, n int32 // placement = arena[off : off+n]
+	out    outcome
+	err    error
+	solved bool
+}
+
+func (m *jobMemo) reset() {
+	if m.keys == nil {
+		m.keys = make(map[uint64]int32)
+	} else {
+		clear(m.keys)
+	}
+	m.entries = m.entries[:0]
+	m.arena = m.arena[:0]
+}
+
+// placement returns entry e's interned placement (arena-backed: valid
+// until the next intern).
+func (m *jobMemo) placement(e int32) []int {
+	ent := &m.entries[e]
+	return m.arena[ent.off : ent.off+ent.n]
+}
+
+func hashPlacement(pl []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, r := range pl {
+		h ^= uint64(uint32(r + 1))
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalPlacement(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intern returns the entry index for the placement, copying it into
+// the arena and adding an unsolved entry on first sight.
+func (m *jobMemo) intern(pl []int) int32 {
+	h := hashPlacement(pl)
+	if e, ok := m.keys[h]; ok && equalPlacement(m.placement(e), pl) {
+		return e
+	}
+	off := int32(len(m.arena))
+	m.arena = append(m.arena, pl...)
+	e := int32(len(m.entries))
+	m.entries = append(m.entries, memoEntry{off: off, n: int32(len(pl))})
+	if _, taken := m.keys[h]; !taken {
+		m.keys[h] = e
+	}
+	return e
+}

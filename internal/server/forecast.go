@@ -146,6 +146,7 @@ type replanState struct {
 	frozen    []ReplanInterval
 	remaining *grid.Plan
 	predSig   *grid.Signal // point forecast the remaining plan was built on
+	planView  *grid.Signal // quantile view the remaining plan was solved against
 	plans     int
 	frevSeen  int  // forecast revision the remaining plan was built on
 	feasible  bool // latest feasibility verdict
@@ -592,7 +593,9 @@ func (s *Server) rollForwardLocked(ctx context.Context, st *replanState, j *job,
 	// does not have — and is retried on the next roll-forward even at
 	// the same time and forecast revision.
 	remaining := st.target - st.doneIters
+	oldPlan, oldOffset, oldView := st.remaining, st.offsetS, st.planView
 	st.remaining = nil
+	st.planView = nil
 	st.offsetS = t
 	st.frevSeen = frev
 	switch {
@@ -624,10 +627,27 @@ func (s *Server) rollForwardLocked(ctx context.Context, st *replanState, j *job,
 		if q == 0 {
 			q = 0.5
 		}
+		view := fc.At(q)
+		// Warm start: if nothing has executed since the last plan
+		// (same offset) and the revised forecast's quantile view is
+		// identical over the remaining window, the old plan is still
+		// optimal — keep it and skip the solve. The schedule did not
+		// change, so long-pollers are not woken and plans does not bump.
+		if oldPlan != nil && oldView != nil && t == oldOffset &&
+			forecast.SignalEqualWithin(oldView, view, t, st.deadlineS) {
+			st.remaining = oldPlan
+			st.planView = oldView
+			st.feasible = oldPlan.Feasible
+			st.needPlan = false
+			s.obs.warmStarts.Inc()
+			s.obs.ring.Emit(s.st.now(), "controller.replan.warm", 0, traceKV(ctx,
+				"job", j.id, "plan", strconv.Itoa(st.plans))...)
+			return nil
+		}
 		// The re-plan runs through the instrumented grid planner over
 		// the forecast window — the MPC counterpart of forecast.Planner,
 		// reported as its own planning layer.
-		suffix := forecast.Window(fc.At(q), t, st.deadlineS)
+		suffix := forecast.Window(view, t, st.deadlineS)
 		sctx, sv := obs.Child(ctx, spanReplanSolve)
 		sv.SetAttr("job", j.id)
 		p := obs.InstrumentPlanner(sctx, s.wrapPlanner(&grid.Planner{Table: table, Signal: suffix}),
@@ -648,6 +668,7 @@ func (s *Server) rollForwardLocked(ctx context.Context, st *replanState, j *job,
 		now := s.st.now()
 		st.remaining = plan
 		st.predSig = fc.Signal
+		st.planView = view
 		st.plans++
 		st.feasible = plan.Feasible
 		st.needPlan = false

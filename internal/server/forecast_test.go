@@ -449,3 +449,93 @@ func TestSignalReinstallResetsForecastState(t *testing.T) {
 		t.Fatalf("stale replan state survived a signal reinstall: %+v", fresh)
 	}
 }
+
+// TestReplanWarmStartOnTailRevision pins the warm-start path under a
+// fake clock: a forecast revision that leaves the quantile view over
+// the remaining window bit-identical (here, re-issuing the same model
+// with a longer horizon — a tail-only revision past the deadline)
+// reuses the running plan instead of re-solving. The executed prefix
+// is untouched, the plan counter does not bump, and
+// perseus_planner_warm_starts_total records the reuse. Advancing the
+// clock afterwards still takes the cold path.
+func TestReplanWarmStartOnTailRevision(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+	srv := New()
+	srv.SetClock(clock.Now)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.NewServerClient(ts.URL)
+
+	id := registerCharacterized(t, srv, JobRequest{
+		Schedule: "1f1b", Stages: 2, Microbatches: 4, GPU: "A100-PCIe", Unit: 5e-3,
+	}, 4)
+	tbl, err := srv.Table(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadGridSignal(forecastTestSignal(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.InstallForecast("persistence", 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	target := math.Floor(0.8 * 14400 / tbl.Tmin())
+	const deadline = 14400.0
+	first, err := cl.FetchReplan(id, target, deadline, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plans != 1 || len(first.Frozen) != 0 {
+		t.Fatalf("first replan %+v", first)
+	}
+
+	// Tail-only revision: the same model re-issued with a longer
+	// horizon bumps the forecast revision counter, but the view inside
+	// [now, deadline] is identical, so the next roll-forward must keep
+	// the running plan.
+	if _, err := cl.InstallForecast("persistence", 0, 0, 28800); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cl.FetchReplan(id, target, deadline, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Plans != 1 {
+		t.Fatalf("tail-only revision re-planned: plans %d, want 1", warm.Plans)
+	}
+	if len(warm.Frozen) != 0 || warm.DoneIterations != 0 || warm.RemainingOffsetS != 0 {
+		t.Fatalf("warm start touched the executed prefix: %+v", warm)
+	}
+	if warm.Remaining == nil || math.Abs(warm.Remaining.Iterations-first.Remaining.Iterations) > 1e-12 {
+		t.Fatalf("warm start altered the plan: %+v vs %+v", warm.Remaining, first.Remaining)
+	}
+	text, err := cl.FetchMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "perseus_planner_warm_starts_total 1") {
+		t.Fatalf("metrics missing warm-start count of 1:\n%s", text)
+	}
+	if !strings.Contains(text, "perseus_planner_workers ") {
+		t.Fatal("metrics missing perseus_planner_workers gauge")
+	}
+
+	// Time advancing past the plan offset is never warm: the executed
+	// hour must freeze and the remainder re-solve.
+	clock.Advance(time.Hour)
+	cold, err := cl.FetchReplan(id, target, deadline, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Plans != 2 || len(cold.Frozen) != 1 {
+		t.Fatalf("time advance did not re-plan: %+v", cold)
+	}
+	text, err = cl.FetchMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "perseus_planner_warm_starts_total 1") {
+		t.Fatal("cold roll-forward incremented the warm-start counter")
+	}
+}

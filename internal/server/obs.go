@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"perseus/internal/obs"
+	"perseus/internal/region"
 )
 
 // serverObs bundles the server's observability surface: one metric
@@ -45,6 +46,8 @@ type serverObs struct {
 	tickDur     *obs.Histogram
 	replans     *obs.Counter
 	replanFails *obs.Counter
+	warmStarts  *obs.Counter
+	planWorkers *obs.Gauge
 
 	// Job registry and deployment (jobs.go, store.go).
 	jobsRegistered *obs.Counter
@@ -181,6 +184,10 @@ func newServerObs() *serverObs {
 			"Successful rolling-horizon re-plans (client replans, ManageJob, and controller ticks)."),
 		replanFails: r.Counter("perseus_controller_replan_failures_total",
 			"Rolling-horizon roll-forwards that failed (forecast issue or solve error)."),
+		warmStarts: r.Counter("perseus_planner_warm_starts_total",
+			"Roll-forwards that reused the running plan because the forecast revision left the remaining window unchanged."),
+		planWorkers: r.Gauge("perseus_planner_workers",
+			"Worker-pool size the region planner fans candidate evaluations across (GOMAXPROCS)."),
 
 		jobsRegistered: r.Counter("perseus_jobs_registered_total",
 			"Training jobs registered."),
@@ -235,6 +242,9 @@ func newServerObs() *serverObs {
 		sloBreaches: r.CounterVec("perseus_slo_breaches_total",
 			"Transitions of an SLO into breach.", "slo"),
 	}
+	// The planner worker-pool gauge is static per process: the region
+	// planner sizes its candidate-evaluation pool to GOMAXPROCS.
+	o.planWorkers.Set(float64(region.DefaultWorkers()))
 	// Fleet rollup families, with component handles pre-rendered so
 	// settlement never touches the registry map.
 	fleetEnergy := r.CounterVec("perseus_fleet_bloat_energy_joules_total",

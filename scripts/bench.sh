@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR7.json}"
-pattern='^(BenchmarkGridOptimize|BenchmarkRegionPlan|BenchmarkFleetAllocate|BenchmarkServerPlanCold|BenchmarkServerPlanCached|BenchmarkLedgerSettle)$'
+pattern='^(BenchmarkGridOptimize|BenchmarkRegionPlan|BenchmarkRegionPlanWarm|BenchmarkFleetAllocate|BenchmarkServerPlanCold|BenchmarkServerPlanCached|BenchmarkLedgerSettle)$'
 
 raw=$(go test -run '^$' -bench "$pattern" -benchmem .)
 echo "$raw" >&2

@@ -34,7 +34,7 @@ old_by = {b["name"]: b for b in old["benchmarks"]}
 new_by = {b["name"]: b for b in new["benchmarks"]}
 
 # Hot paths gated against regression; everything else is report-only.
-GUARDED_PREFIXES = ("BenchmarkServerPlanCached", "BenchmarkGridOptimize")
+GUARDED_PREFIXES = ("BenchmarkServerPlanCached", "BenchmarkGridOptimize", "BenchmarkRegionPlan")
 
 print(f"old: {old_path} (commit {old.get('commit', '?')}, {old.get('date', '?')})")
 print(f"new: {new_path} (commit {new.get('commit', '?')}, {new.get('date', '?')})")

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Profiles one benchmark from the planning-stack suite and prints the
+# flat-top CPU and allocation summaries — the loop that produced the
+# PR10 planner speedups (heap greedy, evaluation memo, scratch reuse).
+# Raw pprof files land in a temp dir (printed at the end) for deeper
+# digging with `go tool pprof`.
+#
+# Usage: scripts/profile.sh [bench-regexp] [benchtime]
+#   scripts/profile.sh                                # RegionPlan/jobs-2
+#   scripts/profile.sh 'BenchmarkGridOptimize/intervals-288' 5s
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-BenchmarkRegionPlan/jobs-2}"
+benchtime="${2:-5s}"
+dir="$(mktemp -d "${TMPDIR:-/tmp}/perseus-profile.XXXXXX")"
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem \
+  -cpuprofile "$dir/cpu.out" -memprofile "$dir/mem.out" -o "$dir/bench.test" .
+
+echo
+echo "=== CPU, flat top 15 ==="
+go tool pprof -top -nodecount=15 "$dir/bench.test" "$dir/cpu.out"
+
+echo
+echo "=== Allocated space, flat top 15 ==="
+go tool pprof -top -nodecount=15 -sample_index=alloc_space "$dir/bench.test" "$dir/mem.out"
+
+echo
+echo "=== Allocated objects, flat top 15 ==="
+go tool pprof -top -nodecount=15 -sample_index=alloc_objects "$dir/bench.test" "$dir/mem.out"
+
+echo
+echo "profiles kept in $dir (cpu.out, mem.out, bench.test)"
